@@ -1,0 +1,45 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one of the paper's tables/figures. Result rows
+are collected by the ``report`` fixture, printed in the terminal summary
+(so they survive pytest's output capture), and written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, List[str]]] = []
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Reporter:
+    def table(self, name: str, title: str, lines: List[str]) -> None:
+        _REPORTS.append((title, list(lines)))
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(title + "\n")
+            handle.write("\n".join(lines) + "\n")
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("PAPER REPRODUCTION RESULTS")
+    terminalreporter.write_line("=" * 72)
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in lines:
+            terminalreporter.write_line(line)

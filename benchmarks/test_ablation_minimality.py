@@ -1,0 +1,59 @@
+"""Ablation: on-demand synthesis vs a generic always-everything fast path.
+
+LinuxFP's dynamic composability thesis (§III-A): "less code leads to more
+efficient code paths". We compare the minimal synthesized router fast path
+against a *generic* path that — like a fixed-function platform — always
+compiles in filtering and ipvs handling even when nothing is configured.
+"""
+
+from repro.core.fpm.library import render_fast_path
+from repro.ebpf.loader import Loader
+from repro.ebpf.minic import compile_c
+from repro.measure.pktgen import Pktgen
+from repro.measure.topology import LineTopology
+
+MINIMAL_NODES = {"router": {"conf": {"decrement_ttl": True}, "next_nf": None}}
+GENERIC_NODES = {
+    "ipvs": {"conf": {"services": []}, "next_nf": "filter"},
+    "filter": {"conf": {"chain": "FORWARD"}, "next_nf": "router"},
+    "router": {"conf": {"decrement_ttl": True}, "next_nf": None},
+}
+
+
+def measure(nodes):
+    topo = LineTopology()
+    topo.install_prefixes(50)
+    topo.prewarm_neighbors()
+    source = render_fast_path("eth0", "xdp", nodes)
+    program = compile_c(source, name="ablate", hook="xdp")
+    loader = Loader(topo.dut)
+    loader.attach_xdp("eth0", loader.load(program))
+    result = Pktgen(topo).throughput(cores=1, packets=800)
+    assert result.delivery_ratio == 1.0
+    return result, len(program)
+
+
+def run_ablation():
+    minimal, minimal_insns = measure(MINIMAL_NODES)
+    generic, generic_insns = measure(GENERIC_NODES)
+    return minimal, minimal_insns, generic, generic_insns
+
+
+def test_ablation_minimal_vs_generic_fast_path(benchmark, report):
+    minimal, minimal_insns, generic, generic_insns = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+
+    overhead = (generic.per_packet_ns - minimal.per_packet_ns) / minimal.per_packet_ns
+    lines = [
+        f"{'variant':12s} {'insns':>7s} {'ns/pkt':>8s} {'Mpps':>7s}",
+        f"{'minimal':12s} {minimal_insns:7d} {minimal.per_packet_ns:8.0f} {minimal.mpps:7.3f}",
+        f"{'generic':12s} {generic_insns:7d} {generic.per_packet_ns:8.0f} {generic.mpps:7.3f}",
+        f"(generic = filter+ipvs always compiled in; overhead {overhead * 100:.1f}% "
+        f"with ZERO rules/services configured)",
+    ]
+    report.table("ablation_minimality", "Ablation: minimal synthesis vs generic fast path", lines)
+
+    assert generic_insns > minimal_insns
+    assert generic.per_packet_ns > minimal.per_packet_ns
+    assert overhead > 0.05  # the minimality win is measurable

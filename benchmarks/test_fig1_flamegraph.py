@@ -1,0 +1,31 @@
+"""Fig 1: flame graph of Linux forwarding — the hot-spot motivation.
+
+Reproduces the observation that drives LinuxFP's design: for a given
+configuration, the majority of traffic follows one sequence of kernel
+functions, so a small synthesized fast path can capture most of the cost.
+"""
+
+from repro.measure.flamegraph import profile_forwarding
+
+
+def test_fig1_forwarding_flamegraph(benchmark, report):
+    graph = benchmark.pedantic(lambda: profile_forwarding(packets=400), rounds=1, iterations=1)
+
+    lines = ["collapsed stacks (self-time ns):"]
+    lines += ["  " + line for line in graph.collapsed()]
+    lines.append("")
+    lines.append("hottest functions (share of self time):")
+    for name, share in graph.hottest(6):
+        lines.append(f"  {name:32s} {share * 100:5.1f}%")
+    lines.append("")
+    lines.append("flame view:")
+    lines += ["  " + line for line in graph.render_ascii().splitlines()]
+    report.table("fig1_flamegraph", "Fig 1: Linux forwarding flame graph", lines)
+
+    # the paper's claim: forwarding has concentrated hot spots
+    hottest = graph.hottest(6)
+    assert hottest[0][1] > 0.15
+    top3_share = sum(share for __, share in hottest[:3])
+    assert top3_share > 0.45
+    names = {name for name, __ in hottest}
+    assert {"dev_queue_xmit", "fib_table_lookup"} & names

@@ -1,0 +1,54 @@
+"""Fig 5: virtual router throughput as a function of core count.
+
+Paper shape: LinuxFP ≈ 1.77× Linux and ≈ Polycube (±20 %); VPP highest
+(vector processing on dedicated 100 %-utilization cores); all scale
+near-linearly with cores at 64 B packets (line rate is far away).
+"""
+
+import pytest
+
+from repro.measure.scenarios import measure_throughput, setup_router
+
+CORES = (1, 2, 3, 4, 5, 6)
+PLATFORMS = ("linux", "linuxfp", "polycube", "vpp")
+
+
+def run_fig5():
+    series = {}
+    for platform in PLATFORMS:
+        topo = setup_router(platform)
+        # one probe per platform; core scaling derives from it
+        per_core = measure_throughput(topo, cores=1, packets=1500)
+        row = []
+        for cores in CORES:
+            result = measure_throughput(topo, cores=cores, packets=200)
+            row.append(result.mpps)
+        series[platform] = (per_core.per_packet_ns, row)
+    return series
+
+
+def test_fig5_router_throughput_vs_cores(benchmark, report):
+    series = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    header = "platform    ns/pkt " + " ".join(f"{c}c".rjust(7) for c in CORES)
+    lines = [header]
+    for platform in PLATFORMS:
+        ns, row = series[platform]
+        lines.append(f"{platform:10s} {ns:7.0f} " + " ".join(f"{v:7.2f}" for v in row))
+    lines.append("(Mpps, 64B packets, 50 prefixes)")
+    report.table("fig5_router_throughput", "Fig 5: virtual router throughput vs cores", lines)
+
+    linux = series["linux"][1]
+    linuxfp = series["linuxfp"][1]
+    polycube = series["polycube"][1]
+    vpp = series["vpp"][1]
+    # paper: LinuxFP nearly doubles Linux (77%)
+    assert 1.6 < linuxfp[0] / linux[0] < 2.0
+    # paper: LinuxFP and Polycube similar
+    assert abs(linuxfp[0] - polycube[0]) / polycube[0] < 0.25
+    # paper: VPP above the eBPF systems
+    assert vpp[0] > linuxfp[0]
+    # near-linear core scaling for every platform
+    for platform in PLATFORMS:
+        row = series[platform][1]
+        assert 5.0 < row[5] / row[0] <= 6.0

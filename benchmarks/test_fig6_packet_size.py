@@ -1,0 +1,46 @@
+"""Fig 6: single-core router throughput vs packet size.
+
+Paper shape: per-packet cost is nearly size-independent, so pps holds
+roughly flat while bits/s grow with the frame; LinuxFP and Polycube reach
+near line rate (25 Gbps) at 1500 B with one core, Linux does not.
+"""
+
+from repro.measure.scenarios import measure_throughput, setup_router
+
+SIZES = (64, 128, 256, 512, 1024, 1500)
+PLATFORMS = ("linux", "linuxfp", "polycube", "vpp")
+
+
+def run_fig6():
+    series = {}
+    for platform in PLATFORMS:
+        topo = setup_router(platform)
+        row = []
+        for size in SIZES:
+            result = measure_throughput(topo, cores=1, packet_size=size, packets=400)
+            row.append((result.mpps, result.gbps))
+        series[platform] = row
+    return series
+
+
+def test_fig6_throughput_vs_packet_size(benchmark, report):
+    series = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    header = "platform   " + " ".join(f"{s}B".rjust(12) for s in SIZES)
+    lines = [header]
+    for platform in PLATFORMS:
+        cells = " ".join(f"{mpps:5.2f}/{gbps:5.1f}".rjust(12) for mpps, gbps in series[platform])
+        lines.append(f"{platform:10s} {cells}")
+    lines.append("(Mpps/Gbps, single core)")
+    report.table("fig6_packet_size", "Fig 6: single-core throughput vs packet size", lines)
+
+    # near line rate at 1500B for the fast paths (paper: LinuxFP+Polycube)
+    for platform in ("linuxfp", "polycube", "vpp"):
+        assert series[platform][-1][1] > 20.0, platform
+    # Linux stays clearly below line rate at 1500B
+    assert series["linux"][-1][1] < 16.0
+    # pps roughly flat across sizes until the line-rate cap binds
+    for platform in PLATFORMS:
+        small = series[platform][0][0]
+        mid = series[platform][2][0]
+        assert mid / small > 0.85

@@ -1,0 +1,47 @@
+"""Fig 7: virtual gateway (forwarding + 100-rule IP blacklist) throughput
+vs cores.
+
+Paper shape: LinuxFP nearly doubles Linux; plain-iptables LinuxFP inherits
+the linear rule scan, but ipset aggregation lets it beat Polycube; VPP
+above all.
+"""
+
+from repro.measure.scenarios import measure_throughput, setup_gateway
+
+CORES = (1, 2, 3, 4, 5, 6)
+VARIANTS = (
+    ("linux", {}),
+    ("linuxfp", {}),
+    ("linuxfp-ipset", {"use_ipset": True}),
+    ("polycube", {}),
+    ("vpp", {}),
+)
+
+
+def run_fig7():
+    series = {}
+    for name, kwargs in VARIANTS:
+        platform = name.split("-")[0]
+        topo = setup_gateway(platform, **kwargs)
+        row = [measure_throughput(topo, cores=c, packets=250).mpps for c in CORES]
+        series[name] = row
+    return series
+
+
+def test_fig7_gateway_throughput_vs_cores(benchmark, report):
+    series = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    header = "variant         " + " ".join(f"{c}c".rjust(7) for c in CORES)
+    lines = [header]
+    for name, __ in VARIANTS:
+        lines.append(f"{name:15s} " + " ".join(f"{v:7.2f}" for v in series[name]))
+    lines.append("(Mpps, 64B packets, 100 blacklist rules + 50 prefixes)")
+    report.table("fig7_gateway_throughput", "Fig 7: virtual gateway throughput vs cores", lines)
+
+    # paper: LinuxFP nearly doubles Linux for this use case
+    assert series["linuxfp"][0] / series["linux"][0] > 1.35
+    # paper: ipset aggregation beats Polycube; plain rules do not
+    assert series["linuxfp-ipset"][0] > series["polycube"][0]
+    assert series["linuxfp"][0] < series["polycube"][0]
+    # VPP on top
+    assert series["vpp"][0] > series["linuxfp-ipset"][0]

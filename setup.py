@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` with build isolation) fail with
+``invalid command 'bdist_wheel'``. This shim lets the legacy editable path
+work: ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

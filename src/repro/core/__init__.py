@@ -1,0 +1,30 @@
+"""LinuxFP: the transparent fast-path controller (the paper's contribution).
+
+The controller continuously introspects the kernel's networking
+configuration over netlink, derives a *processing graph* of the
+functionality currently configured, synthesizes minimal fast-path modules
+(FPMs) as C source from templates, compiles them with
+:mod:`repro.ebpf.minic`, verifies and loads the bytecode, and atomically
+swaps it into the XDP or TC hook through a tail-call dispatcher.
+
+Component map (mirrors §V "Implementation"):
+
+- :mod:`repro.core.objects` — *LinuxFP objects*: typed views of kernel
+  services built from netlink messages.
+- :mod:`repro.core.introspection` — Service Introspection: initial netlink
+  dumps plus multicast subscriptions.
+- :mod:`repro.core.graph` — Topology Manager + the JSON processing graph.
+- :mod:`repro.core.templates` — the Jinja-like template engine.
+- :mod:`repro.core.fpm` — the FPM template library (bridge, router,
+  filter, ipvs, dispatcher, snippets).
+- :mod:`repro.core.synthesizer` — Fast Path Synthesizer: graph → C source.
+- :mod:`repro.core.capability` — Capability Manager: available helpers.
+- :mod:`repro.core.deployer` — Fast Path Deployer: compile, verify, load,
+  atomic tail-call swap.
+- :mod:`repro.core.controller` — the daemon tying it all together, with
+  reaction-time measurement (Table VI).
+"""
+
+from repro.core.controller import Controller
+
+__all__ = ["Controller"]

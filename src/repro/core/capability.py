@@ -1,0 +1,54 @@
+"""The Capability Manager (paper §V).
+
+Before synthesis, the controller checks that the running kernel exposes the
+helpers each FPM needs. Mainline kernels have ``bpf_fib_lookup`` but not the
+paper's ``bpf_fdb_lookup``/``bpf_ipt_lookup`` (those are the ~260 LoC the
+authors add); on such a kernel LinuxFP can still accelerate routing while
+bridging/filtering stay on the slow path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.ebpf.helpers import HELPER_IDS, LINUXFP_HELPERS, MAINLINE_HELPERS
+
+# helpers each FPM requires
+FPM_REQUIREMENTS: Dict[str, Set[str]] = {
+    "router": {"fib_lookup", "redirect"},
+    "bridge": {"fdb_lookup", "redirect"},
+    "filter": {"ipt_lookup"},
+    "ipvs": {"conntrack_lookup"},
+}
+
+
+class CapabilityManager:
+    """Knows which helpers the target kernel provides."""
+
+    def __init__(self, available_helpers: Iterable[str] = None) -> None:
+        if available_helpers is None:
+            available_helpers = set(HELPER_IDS)  # our kernel ships everything
+        self.available = set(available_helpers)
+        unknown = self.available - set(HELPER_IDS)
+        if unknown:
+            raise ValueError(f"unknown helpers: {sorted(unknown)}")
+
+    @classmethod
+    def mainline(cls) -> "CapabilityManager":
+        """A kernel without the paper's added helpers."""
+        return cls(MAINLINE_HELPERS)
+
+    @classmethod
+    def linuxfp(cls) -> "CapabilityManager":
+        """A kernel with the LinuxFP helper patch applied."""
+        return cls(MAINLINE_HELPERS | LINUXFP_HELPERS)
+
+    def supports(self, nf: str) -> bool:
+        return FPM_REQUIREMENTS.get(nf, set()) <= self.available
+
+    def filter_nodes(self, nf_names: Iterable[str]) -> List[str]:
+        """The subset of FPMs the kernel can host; order preserved."""
+        return [nf for nf in nf_names if self.supports(nf)]
+
+    def missing_for(self, nf: str) -> Set[str]:
+        return FPM_REQUIREMENTS.get(nf, set()) - self.available

@@ -1,0 +1,85 @@
+"""The Fast Path Deployer: compile → verify → load → atomic swap.
+
+Re-attaching an XDP/TC program can lose packets for seconds (paper §IV-A2);
+LinuxFP instead attaches a stable *dispatcher* once per interface whose only
+job is to tail-call through a prog array. Deploying a new fast path is then
+a single prog-array slot update — atomic, no loss window (Fig 4). Clearing
+the slot makes the dispatcher fall through to Linux, so teardown is equally
+safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.fpm.library import render_dispatcher
+from repro.core.synthesizer import SynthesizedPath
+from repro.ebpf.loader import Loader
+from repro.ebpf.maps import ProgArray
+from repro.ebpf.minic import compile_c
+from repro.ebpf.verifier import verify
+
+
+@dataclass
+class DeployedInterface:
+    ifname: str
+    hook: str
+    prog_array: ProgArray
+    dispatcher: object  # attachment handle
+    current: Optional[SynthesizedPath] = None
+    swaps: int = 0
+
+
+class Deployer:
+    def __init__(self, kernel, hook: str = "xdp") -> None:
+        if hook not in ("xdp", "tc"):
+            raise ValueError(f"bad hook {hook!r}")
+        self.kernel = kernel
+        self.hook = hook
+        self.loader = Loader(kernel)
+        self.deployed: Dict[str, DeployedInterface] = {}
+
+    def _ensure_dispatcher(self, ifname: str) -> DeployedInterface:
+        entry = self.deployed.get(ifname)
+        if entry is not None:
+            return entry
+        prog_array = ProgArray(f"linuxfp_jmp_{ifname}", max_entries=4)
+        source = render_dispatcher(ifname, self.hook)
+        dispatcher_prog = compile_c(
+            source, name=f"linuxfp_dispatch_{ifname}", hook=self.hook, maps={"jmp": prog_array}
+        )
+        attachment = self.loader.load(dispatcher_prog)
+        if self.hook == "xdp":
+            self.loader.attach_xdp(ifname, attachment)
+        else:
+            self.loader.attach_tc(ifname, attachment)
+        entry = DeployedInterface(ifname=ifname, hook=self.hook, prog_array=prog_array, dispatcher=attachment)
+        self.deployed[ifname] = entry
+        return entry
+
+    def deploy(self, path: SynthesizedPath) -> DeployedInterface:
+        """Verify+load the new fast path, then atomically swap it in."""
+        verify(path.program)
+        entry = self._ensure_dispatcher(path.ifname)
+        entry.prog_array.set_prog(0, path.program)  # the atomic pointer update
+        entry.current = path
+        entry.swaps += 1
+        return entry
+
+    def withdraw(self, ifname: str) -> None:
+        """Clear the fast path; the dispatcher falls through to Linux."""
+        entry = self.deployed.get(ifname)
+        if entry is not None:
+            entry.prog_array.clear(0)
+            entry.current = None
+            entry.swaps += 1
+
+    def teardown(self) -> None:
+        """Detach every dispatcher (full LinuxFP removal)."""
+        for ifname in list(self.deployed):
+            if self.hook == "xdp":
+                self.loader.detach_xdp(ifname)
+            else:
+                self.loader.detach_tc(ifname)
+            del self.deployed[ifname]

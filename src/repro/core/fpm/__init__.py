@@ -1,0 +1,18 @@
+"""The FPM template library.
+
+Each template renders to minic C (paper: Jinja → C → clang → eBPF; here:
+:mod:`repro.core.templates` → minic → bytecode). Templates are specialized
+by the processing graph's conf sub-keys, so disabled features contribute
+**zero** instructions to the synthesized program — the paper's minimality
+principle ("branching inside the fast path can be reduced to a minimum as
+this logic is not included if not required", §IV-B1).
+"""
+
+from repro.core.fpm.library import (
+    DISPATCHER_TEMPLATE,
+    MAIN_TEMPLATE,
+    render_dispatcher,
+    render_fast_path,
+)
+
+__all__ = ["MAIN_TEMPLATE", "DISPATCHER_TEMPLATE", "render_fast_path", "render_dispatcher"]

@@ -1,0 +1,167 @@
+"""The Topology Manager and the JSON processing-graph model (paper §IV-C2).
+
+For each candidate interface the manager derives which FPMs the current
+configuration needs, each node's configuration sub-keys, and ``next_nf``
+chaining — following the same ordering the kernel applies:
+
+- frames on a bridge port hit the **bridge** FPM first; if the bridge holds
+  IP addresses or routes point at it, ``next_nf: router``;
+- L3 interfaces get a **router** FPM when ``net.ipv4.ip_forward=1`` and
+  routes exist; if FORWARD-chain filtering is configured, the **filter**
+  FPM runs before forwarding (``next_nf`` from filter to router);
+- configured ipvs services add an **ipvs** node ahead of the router
+  (optional; the paper's future-work item).
+
+The resulting model is JSON-serializable (Fig 3) and is the synthesizer's
+only input: identical graphs ⇒ identical fast paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.objects import InterfaceObject, KernelView
+
+
+@dataclass
+class GraphNode:
+    nf: str  # bridge | filter | router | ipvs
+    conf: Dict[str, Any] = field(default_factory=dict)
+    next_nf: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"conf": dict(self.conf)}
+        if self.next_nf:
+            out["next_nf"] = self.next_nf
+        return out
+
+
+@dataclass
+class InterfaceGraph:
+    ifname: str
+    ifindex: int
+    nodes: List[GraphNode] = field(default_factory=list)
+
+    def node(self, nf: str) -> Optional[GraphNode]:
+        for node in self.nodes:
+            if node.nf == nf:
+                return node
+        return None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {node.nf: node.to_json() for node in self.nodes}
+
+    @property
+    def empty(self) -> bool:
+        return not self.nodes
+
+
+class ProcessingGraph:
+    """The full data-plane model: one ordered FPM chain per interface."""
+
+    def __init__(self) -> None:
+        self.interfaces: Dict[str, InterfaceGraph] = {}
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {name: g.to_json() for name, g in sorted(self.interfaces.items()) if not g.empty},
+            indent=2,
+            sort_keys=True,
+        )
+
+    def signature(self) -> str:
+        """Stable identity: deploys are skipped when the graph is unchanged."""
+        return self.to_json()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProcessingGraph) and self.signature() == other.signature()
+
+
+class TopologyManager:
+    """Derives the processing graph from the introspected kernel view."""
+
+    def __init__(self, enable_ipvs: bool = False) -> None:
+        self.enable_ipvs = enable_ipvs
+
+    def build(self, view: KernelView, target_interfaces: Optional[List[str]] = None) -> ProcessingGraph:
+        graph = ProcessingGraph()
+        for iface in sorted(view.interfaces.values(), key=lambda i: i.ifindex):
+            if not iface.up or iface.kind == "loopback":
+                continue
+            if target_interfaces is not None and iface.name not in target_interfaces:
+                continue
+            if iface.kind not in ("physical", "veth"):
+                continue  # fast paths attach at packet-entry interfaces
+            iface_graph = self._build_interface(view, iface)
+            graph.interfaces[iface.name] = iface_graph
+        return graph
+
+    def _build_interface(self, view: KernelView, iface: InterfaceObject) -> InterfaceGraph:
+        iface_graph = InterfaceGraph(ifname=iface.name, ifindex=iface.ifindex)
+        nodes = iface_graph.nodes
+
+        routing = view.routing_configured()
+        filtering = view.filter.forward_configured()
+        ipvs = self.enable_ipvs and bool(view.ipvs_services)
+
+        if iface.master is not None:
+            bridge = view.interfaces.get(iface.master)
+            if bridge is not None and bridge.is_bridge and bridge.up:
+                # NOTE: the port list is deliberately NOT part of the conf —
+                # port membership is read through bpf_fdb_lookup at run time,
+                # so enslaving another port must not resynthesize siblings.
+                bridge_node = GraphNode(
+                    nf="bridge",
+                    conf={
+                        "bridge_ifindex": bridge.ifindex,
+                        "STP_enabled": bridge.stp_enabled,
+                        "VLAN_enabled": bridge.vlan_filtering,
+                    },
+                )
+                # routes on/through the bridge interface chain into L3
+                bridge_has_l3 = bridge.has_l3 or any(r.oif == bridge.ifindex for r in view.routes.values())
+                if routing and bridge_has_l3:
+                    bridge_node.conf["bridge_mac"] = str(bridge.mac) if bridge.mac else None
+                    bridge_node.next_nf = "filter" if filtering else "router"
+                nodes.append(bridge_node)
+                if bridge_node.next_nf is None:
+                    return iface_graph  # pure L2: nothing else on this path
+
+        if not routing:
+            return iface_graph
+
+        if ipvs:
+            nodes.append(
+                GraphNode(
+                    nf="ipvs",
+                    conf={
+                        "services": [
+                            {"vip": str(s.vip), "port": s.port, "proto": s.proto} for s in view.ipvs_services
+                        ]
+                    },
+                    next_nf="filter" if filtering else "router",
+                )
+            )
+
+        if filtering:
+            # NOTE: no rule counts here — rules are read by bpf_ipt_lookup at
+            # run time, so adding/removing rules does not resynthesize the
+            # fast path; only the *presence* of filtering does. The same goes
+            # for routes below (bpf_fib_lookup reads the live FIB).
+            nodes.append(
+                GraphNode(
+                    nf="filter",
+                    conf={"chain": "FORWARD"},
+                    next_nf="router",
+                )
+            )
+
+        nodes.append(
+            GraphNode(
+                nf="router",
+                conf={"decrement_ttl": True},
+            )
+        )
+        return iface_graph

@@ -1,0 +1,213 @@
+"""Service Introspection: building and maintaining the kernel view.
+
+On start, issues netlink dumps for every subsystem (links, addresses,
+routes, neighbors, FDB, filter rules, ipsets, ipvs, sysctl) to get the
+initial view; then joins every multicast group so each configuration change
+updates the view incrementally and triggers the controller (paper §IV-C1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+from repro.core.objects import (
+    InterfaceObject,
+    IpvsServiceObject,
+    KernelView,
+    RouteObject,
+    RuleObject,
+)
+from repro.netlink import messages as m
+from repro.netlink.bus import NetlinkSocket
+from repro.netlink.messages import ALL_GROUPS, NLM_F_DUMP, NLM_F_REQUEST, NetlinkMsg
+
+ChangeListener = Callable[[NetlinkMsg], None]
+
+
+class ServiceIntrospection:
+    """Maintains a :class:`KernelView` over a netlink socket."""
+
+    def __init__(self, socket: NetlinkSocket) -> None:
+        self.socket = socket
+        self.view = KernelView()
+        self._listeners: List[ChangeListener] = []
+        self.events_seen = 0
+
+    # ---------------------------------------------------------------- start
+
+    def start(self) -> KernelView:
+        """Initial dumps plus multicast subscriptions."""
+        self.socket.subscribe(*ALL_GROUPS)
+        self.socket.add_listener(self._on_notification)
+        for msg in self._dump(m.RTM_GETLINK):
+            self._apply_link(msg.attrs, deleted=False)
+        for msg in self._dump(m.RTM_GETADDR):
+            self._apply_addr(msg.attrs, deleted=False)
+        for msg in self._dump(m.RTM_GETROUTE):
+            self._apply_route(msg.attrs, deleted=False)
+        for msg in self._dump(m.RTM_GETNEIGH):
+            self.view.neighbors += 1
+        for msg in self._dump(m.NFT_GETRULE):
+            if msg.msg_type == m.NFT_SETPOLICY:
+                self._apply_policy(msg.attrs)
+            else:
+                self._apply_rule(msg.attrs, deleted=False)
+        for msg in self._dump(m.IPSET_GETSET):
+            self.view.ipsets.add(msg.attrs["name"])
+        for msg in self._dump(m.IPVS_GETSERVICE):
+            if msg.msg_type == m.IPVS_NEWSERVICE:
+                self._apply_ipvs_service(msg.attrs, deleted=False)
+            else:
+                self._apply_ipvs_dest(msg.attrs, deleted=False)
+        for msg in self._dump(m.SYSCTL_GET):
+            if msg.attrs.get("name") == "net.ipv4.ip_forward":
+                self.view.ip_forward = msg.attrs.get("value") not in ("0", "")
+        return self.view
+
+    def _dump(self, msg_type: int) -> List[NetlinkMsg]:
+        return self.socket.request(NetlinkMsg(msg_type, flags=NLM_F_REQUEST | NLM_F_DUMP))
+
+    # -------------------------------------------------------------- updates
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        """Called after the view is updated for each notification."""
+        self._listeners.append(listener)
+
+    def _on_notification(self, msg: NetlinkMsg) -> None:
+        self.events_seen += 1
+        handler = {
+            m.RTM_NEWLINK: lambda: self._apply_link(msg.attrs, deleted=False),
+            m.RTM_DELLINK: lambda: self._apply_link(msg.attrs, deleted=True),
+            m.RTM_NEWADDR: lambda: self._apply_addr(msg.attrs, deleted=False),
+            m.RTM_DELADDR: lambda: self._apply_addr(msg.attrs, deleted=True),
+            m.RTM_NEWROUTE: lambda: self._apply_route(msg.attrs, deleted=False),
+            m.RTM_DELROUTE: lambda: self._apply_route(msg.attrs, deleted=True),
+            m.RTM_NEWNEIGH: lambda: self._bump_neighbors(+1),
+            m.RTM_DELNEIGH: lambda: self._bump_neighbors(-1),
+            m.NFT_NEWRULE: lambda: self._apply_rule(msg.attrs, deleted=False),
+            m.NFT_DELRULE: lambda: self._apply_rule(msg.attrs, deleted=True),
+            m.NFT_SETPOLICY: lambda: self._apply_policy(msg.attrs),
+            m.IPSET_NEWSET: lambda: self.view.ipsets.add(msg.attrs["name"]),
+            m.IPSET_DELSET: lambda: self.view.ipsets.discard(msg.attrs["name"]),
+            m.IPVS_NEWSERVICE: lambda: self._apply_ipvs_service(msg.attrs, deleted=False),
+            m.IPVS_DELSERVICE: lambda: self._apply_ipvs_service(msg.attrs, deleted=True),
+            m.IPVS_NEWDEST: lambda: self._apply_ipvs_dest(msg.attrs, deleted=False),
+            m.IPVS_DELDEST: lambda: self._apply_ipvs_dest(msg.attrs, deleted=True),
+            m.SYSCTL_SET: lambda: self._apply_sysctl(msg.attrs),
+        }.get(msg.msg_type)
+        if handler is not None:
+            handler()
+        for listener in self._listeners:
+            listener(msg)
+
+    # ------------------------------------------------------------- appliers
+
+    def _apply_link(self, attrs: dict, deleted: bool) -> None:
+        ifindex = attrs.get("ifindex")
+        if ifindex is None:
+            return
+        if deleted:
+            self.view.interfaces.pop(ifindex, None)
+            return
+        iface = self.view.interfaces.get(ifindex)
+        if iface is None:
+            iface = InterfaceObject(ifindex=ifindex, name=attrs.get("ifname", f"if{ifindex}"), kind=attrs.get("kind", "generic"))
+            self.view.interfaces[ifindex] = iface
+        iface.name = attrs.get("ifname", iface.name)
+        iface.kind = attrs.get("kind", iface.kind)
+        iface.up = bool(attrs.get("operstate", iface.up))
+        if "operstate" in attrs:
+            iface.up = bool(attrs["operstate"])
+        iface.mac = attrs.get("address", iface.mac)
+        iface.mtu = attrs.get("mtu", iface.mtu)
+        iface.num_queues = attrs.get("num_queues", iface.num_queues)
+        iface.master = attrs.get("master") if "master" in attrs else None
+        bridge_info = attrs.get("bridge")
+        if bridge_info:
+            iface.stp_enabled = bool(bridge_info.get("stp_state", 0))
+            iface.vlan_filtering = bool(bridge_info.get("vlan_filtering", 0))
+            iface.ageing_time_s = bridge_info.get("ageing_time", iface.ageing_time_s)
+        vxlan_info = attrs.get("vxlan")
+        if vxlan_info:
+            iface.vni = vxlan_info.get("vni")
+
+    def _apply_addr(self, attrs: dict, deleted: bool) -> None:
+        iface = self.view.interfaces.get(attrs.get("ifindex"))
+        if iface is None:
+            return
+        entry = (attrs["address"], attrs.get("prefixlen", 32))
+        if deleted:
+            iface.addresses = [a for a in iface.addresses if a[0] != entry[0]]
+        elif entry not in iface.addresses:
+            iface.addresses.append(entry)
+
+    def _apply_route(self, attrs: dict, deleted: bool) -> None:
+        route = RouteObject(
+            dst=attrs["dst"],
+            dst_len=attrs.get("dst_len", 32),
+            oif=attrs.get("oif", 0),
+            gateway=attrs.get("gateway"),
+            metric=attrs.get("metric", 0),
+        )
+        if deleted:
+            self.view.routes.pop(route.key(), None)
+        else:
+            self.view.routes[route.key()] = route
+
+    def _bump_neighbors(self, delta: int) -> None:
+        self.view.neighbors = max(0, self.view.neighbors + delta)
+
+    def _apply_rule(self, attrs: dict, deleted: bool) -> None:
+        chain = attrs.get("chain", "FORWARD")
+        if chain == "*":  # flush-all notification
+            for rules in self.view.filter.rules.values():
+                rules.clear()
+            return
+        if chain not in self.view.filter.rules:
+            return
+        if deleted:
+            handle = attrs.get("handle")
+            if handle is None:
+                self.view.filter.rules[chain].clear()
+            else:
+                self.view.filter.rules[chain] = [
+                    r for r in self.view.filter.rules[chain] if r.handle != handle
+                ]
+            return
+        rule = RuleObject(
+            chain=chain,
+            handle=attrs.get("handle", 0),
+            target=attrs.get("target", "ACCEPT"),
+            uses_set="match_set" in attrs,
+            unsupported=attrs.get("target") not in ("ACCEPT", "DROP"),
+        )
+        self.view.filter.rules[chain].append(rule)
+
+    def _apply_policy(self, attrs: dict) -> None:
+        chain = attrs.get("chain")
+        if chain in self.view.filter.policies and "policy" in attrs:
+            self.view.filter.policies[chain] = attrs["policy"]
+
+    def _apply_ipvs_service(self, attrs: dict, deleted: bool) -> None:
+        key = (attrs["vip"], attrs["vport"], attrs["proto"])
+        services = self.view.ipvs_services
+        existing = next((s for s in services if (s.vip, s.port, s.proto) == key), None)
+        if deleted:
+            if existing is not None:
+                services.remove(existing)
+            return
+        if existing is None:
+            services.append(
+                IpvsServiceObject(
+                    vip=attrs["vip"], port=attrs["vport"], proto=attrs["proto"], scheduler=attrs.get("scheduler", "rr")
+                )
+            )
+
+    def _apply_ipvs_dest(self, attrs: dict, deleted: bool) -> None:
+        key = (attrs["vip"], attrs["vport"], attrs["proto"])
+        existing = next((s for s in self.view.ipvs_services if (s.vip, s.port, s.proto) == key), None)
+        if existing is not None:
+            existing.dest_count += -1 if deleted else 1
+
+    def _apply_sysctl(self, attrs: dict) -> None:
+        if attrs.get("name") == "net.ipv4.ip_forward":
+            self.view.ip_forward = attrs.get("value") not in ("0", "")

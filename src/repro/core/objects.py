@@ -1,0 +1,120 @@
+"""LinuxFP objects: the controller's typed view of kernel network services.
+
+Service Introspection converts netlink messages into these objects
+(paper §IV-C1). They are plain data — everything here was learned through
+the management API, never by touching kernel internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netsim.addresses import IPv4Addr, MacAddr
+
+
+@dataclass
+class InterfaceObject:
+    ifindex: int
+    name: str
+    kind: str  # physical | veth | bridge | vxlan | loopback
+    up: bool = False
+    mac: Optional[MacAddr] = None
+    master: Optional[int] = None  # bridge ifindex when enslaved
+    mtu: int = 1500
+    num_queues: int = 1
+    addresses: List[Tuple[IPv4Addr, int]] = field(default_factory=list)
+    # bridge-specific
+    stp_enabled: bool = False
+    vlan_filtering: bool = False
+    ageing_time_s: int = 300
+    # vxlan-specific
+    vni: Optional[int] = None
+
+    @property
+    def is_bridge(self) -> bool:
+        return self.kind == "bridge"
+
+    @property
+    def has_l3(self) -> bool:
+        return bool(self.addresses)
+
+
+@dataclass
+class RouteObject:
+    dst: IPv4Addr
+    dst_len: int
+    oif: int
+    gateway: Optional[IPv4Addr] = None
+    metric: int = 0
+
+    def key(self) -> Tuple[int, int, int]:
+        return (self.dst.value, self.dst_len, self.metric)
+
+
+@dataclass
+class RuleObject:
+    chain: str
+    handle: int
+    target: str
+    uses_set: bool = False
+    # features the fast path cannot honor force slow-path fallback
+    unsupported: bool = False
+
+
+@dataclass
+class FilterState:
+    policies: Dict[str, str] = field(default_factory=lambda: {"INPUT": "ACCEPT", "FORWARD": "ACCEPT", "OUTPUT": "ACCEPT"})
+    rules: Dict[str, List[RuleObject]] = field(default_factory=lambda: {"INPUT": [], "FORWARD": [], "OUTPUT": []})
+
+    def forward_configured(self) -> bool:
+        return bool(self.rules["FORWARD"]) or self.policies["FORWARD"] != "ACCEPT"
+
+
+@dataclass
+class IpvsServiceObject:
+    vip: IPv4Addr
+    port: int
+    proto: int
+    scheduler: str
+    dest_count: int = 0
+
+
+@dataclass
+class KernelView:
+    """Everything the controller currently believes about one kernel."""
+
+    interfaces: Dict[int, InterfaceObject] = field(default_factory=dict)
+    routes: Dict[Tuple[int, int, int], RouteObject] = field(default_factory=dict)
+    neighbors: int = 0
+    filter: FilterState = field(default_factory=FilterState)
+    ipsets: Set[str] = field(default_factory=set)
+    ipvs_services: List[IpvsServiceObject] = field(default_factory=list)
+    ip_forward: bool = False
+
+    def interface_by_name(self, name: str) -> Optional[InterfaceObject]:
+        for iface in self.interfaces.values():
+            if iface.name == name:
+                return iface
+        return None
+
+    def bridge_ports(self, bridge_ifindex: int) -> List[InterfaceObject]:
+        return sorted(
+            (i for i in self.interfaces.values() if i.master == bridge_ifindex),
+            key=lambda i: i.ifindex,
+        )
+
+    def routing_configured(self) -> bool:
+        """L3 forwarding is on and there is at least one non-connected route
+        (mirrors the paper's 'ip_forward=1 and routes configured')."""
+        return self.ip_forward and len(self.routes) > 0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "interfaces": sorted(i.name for i in self.interfaces.values()),
+            "bridges": sorted(i.name for i in self.interfaces.values() if i.is_bridge),
+            "routes": len(self.routes),
+            "forward_rules": len(self.filter.rules["FORWARD"]),
+            "ip_forward": self.ip_forward,
+            "ipvs_services": len(self.ipvs_services),
+        }

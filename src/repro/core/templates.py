@@ -1,0 +1,160 @@
+"""A small Jinja-like template engine for FPM synthesis.
+
+The paper renders FPM C code from Jinja templates; this offline environment
+has no jinja2, so we implement the needed subset:
+
+- ``{{ expr }}`` substitution (attribute/key access and formatting via
+  Python ``eval`` over a restricted namespace);
+- ``{% if expr %} … {% elif expr %} … {% else %} … {% endif %}``;
+- ``{% for name in expr %} … {% endfor %}``;
+- ``{# comments #}``.
+
+Templates are trusted input (they ship with LinuxFP, like the paper's);
+the restriction exists to catch mistakes, not adversaries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+TOKEN_RE = re.compile(r"({%.*?%}|{{.*?}}|{#.*?#})", re.S)
+
+SAFE_BUILTINS = {
+    "len": len,
+    "str": str,
+    "int": int,
+    "hex": hex,
+    "enumerate": enumerate,
+    "sorted": sorted,
+    "range": range,
+    "min": min,
+    "max": max,
+}
+
+
+class TemplateError(ValueError):
+    """Malformed template or failing expression."""
+
+
+def _eval(expr: str, ctx: Dict[str, Any]) -> Any:
+    try:
+        return eval(expr, {"__builtins__": SAFE_BUILTINS}, ctx)  # noqa: S307 - trusted templates
+    except Exception as exc:
+        raise TemplateError(f"template expression {expr!r} failed: {exc}") from exc
+
+
+class _Node:
+    def render(self, ctx: Dict[str, Any], out: List[str]) -> None:
+        raise NotImplementedError
+
+
+class _Text(_Node):
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self, ctx: Dict[str, Any], out: List[str]) -> None:
+        out.append(self.text)
+
+
+class _Expr(_Node):
+    def __init__(self, expr: str) -> None:
+        self.expr = expr
+
+    def render(self, ctx: Dict[str, Any], out: List[str]) -> None:
+        out.append(str(_eval(self.expr, ctx)))
+
+
+class _If(_Node):
+    def __init__(self) -> None:
+        # list of (condition expr or None for else, body)
+        self.branches: List[Tuple[Any, List[_Node]]] = []
+
+    def render(self, ctx: Dict[str, Any], out: List[str]) -> None:
+        for condition, body in self.branches:
+            if condition is None or _eval(condition, ctx):
+                for node in body:
+                    node.render(ctx, out)
+                return
+
+
+class _For(_Node):
+    def __init__(self, var: str, expr: str) -> None:
+        self.var = var
+        self.expr = expr
+        self.body: List[_Node] = []
+
+    def render(self, ctx: Dict[str, Any], out: List[str]) -> None:
+        items = _eval(self.expr, ctx)
+        inner = dict(ctx)
+        for i, item in enumerate(items):
+            inner[self.var] = item
+            inner["loop_index"] = i
+            for node in self.body:
+                node.render(inner, out)
+
+
+def _parse(tokens: List[str], pos: int, terminators: Tuple[str, ...]) -> Tuple[List[_Node], int, str]:
+    nodes: List[_Node] = []
+    while pos < len(tokens):
+        token = tokens[pos]
+        if token.startswith("{#"):
+            pos += 1
+            continue
+        if token.startswith("{{"):
+            nodes.append(_Expr(token[2:-2].strip()))
+            pos += 1
+            continue
+        if token.startswith("{%"):
+            tag = token[2:-2].strip()
+            keyword = tag.split(None, 1)[0]
+            if keyword in terminators:
+                return nodes, pos, tag
+            if keyword == "if":
+                node = _If()
+                condition = tag[2:].strip()
+                while True:
+                    body, pos, ended = _parse(tokens, pos + 1, ("elif", "else", "endif"))
+                    node.branches.append((condition, body))
+                    end_keyword = ended.split(None, 1)[0]
+                    if end_keyword == "elif":
+                        condition = ended[4:].strip()
+                        continue
+                    if end_keyword == "else":
+                        body, pos, ended = _parse(tokens, pos + 1, ("endif",))
+                        node.branches.append((None, body))
+                    break
+                nodes.append(node)
+                pos += 1
+                continue
+            if keyword == "for":
+                match = re.match(r"for\s+(\w+)\s+in\s+(.+)", tag)
+                if not match:
+                    raise TemplateError(f"bad for tag: {tag!r}")
+                node = _For(match.group(1), match.group(2))
+                node.body, pos, __ = _parse(tokens, pos + 1, ("endfor",))
+                nodes.append(node)
+                pos += 1
+                continue
+            raise TemplateError(f"unknown tag {tag!r}")
+        nodes.append(_Text(token))
+        pos += 1
+    if terminators:
+        raise TemplateError(f"unclosed block; expected one of {terminators}")
+    return nodes, pos, ""
+
+
+class Template:
+    def __init__(self, source: str) -> None:
+        tokens = [t for t in TOKEN_RE.split(source) if t]
+        self.nodes, __, __ = _parse(tokens, 0, ())
+
+    def render(self, **ctx: Any) -> str:
+        out: List[str] = []
+        for node in self.nodes:
+            node.render(ctx, out)
+        return "".join(out)
+
+
+def render(source: str, **ctx: Any) -> str:
+    return Template(source).render(**ctx)

@@ -1,0 +1,110 @@
+"""AF_XDP-style sockets: raw frames from the XDP layer to userspace.
+
+The paper's future work (§VIII) includes "custom packet-processing
+applications in user space … a special type of socket, called AF_XDP, that
+allows sending raw packets directly from the XDP layer to user space".
+
+Model: an :class:`XskSocket` binds to a (ifindex, queue) pair and is
+registered in an :class:`XskMap`; an XDP program returns the redirect
+verdict via the ``redirect_xsk`` helper and the raw frame lands in the
+socket's RX ring, bypassing the rest of the kernel stack. Userspace can
+also transmit raw frames back out of the device.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.ebpf.maps import BpfMap, MapError
+
+
+class XskError(ValueError):
+    """Invalid AF_XDP socket operation."""
+
+
+class XskSocket:
+    """A userspace AF_XDP endpoint bound to one device queue."""
+
+    def __init__(self, kernel, ifindex: int, queue: int = 0, ring_size: int = 2048) -> None:
+        self.kernel = kernel
+        self.ifindex = ifindex
+        self.queue = queue
+        self.ring_size = ring_size
+        self.rx_ring: Deque[bytes] = deque()
+        self.rx_dropped = 0
+        self.tx_packets = 0
+
+    def push_rx(self, frame: bytes) -> bool:
+        """Kernel side: deliver a frame to userspace (False when ring full)."""
+        if len(self.rx_ring) >= self.ring_size:
+            self.rx_dropped += 1
+            return False
+        self.rx_ring.append(frame)
+        return True
+
+    def recv(self, budget: int = 64) -> List[bytes]:
+        """Userspace side: drain up to ``budget`` frames."""
+        out: List[bytes] = []
+        while self.rx_ring and len(out) < budget:
+            out.append(self.rx_ring.popleft())
+        return out
+
+    def send(self, frame: bytes) -> None:
+        """Userspace side: transmit a raw frame out of the bound device."""
+        self.tx_packets += 1
+        self.kernel.devices.by_index(self.ifindex).transmit(frame)
+
+
+class XskMap(BpfMap):
+    """``BPF_MAP_TYPE_XSKMAP``: slot index → AF_XDP socket."""
+
+    map_type = "xskmap"
+
+    def __init__(self, name: str, max_entries: int = 64) -> None:
+        super().__init__(name, key_size=4, value_size=4, max_entries=max_entries)
+        self._sockets: Dict[int, XskSocket] = {}
+
+    def set_socket(self, index: int, socket: XskSocket) -> None:
+        if not 0 <= index < self.max_entries:
+            raise MapError(f"{self.name}: index {index} out of range")
+        self._sockets[index] = socket
+
+    def get_socket(self, index: int) -> Optional[XskSocket]:
+        return self._sockets.get(index)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        return b"\x01\x00\x00\x00" if index in self._sockets else None
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise MapError("use set_socket() for xsk maps")
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self._sockets.pop(int.from_bytes(key, "little"), None)
+
+
+def bpf_redirect_xsk(env, args) -> int:
+    """(xskmap, slot, fallback_verdict) → XDP_REDIRECT_XSK or the fallback.
+
+    On success the hook layer pushes the (possibly rewritten) frame into the
+    socket's RX ring instead of driver TX.
+    """
+    from repro.ebpf.helpers import HelperError, _as_int, _as_map
+
+    xsk_map = _as_map(args[0], "redirect_xsk")
+    if not isinstance(xsk_map, XskMap):
+        raise HelperError("redirect_xsk needs an xskmap")
+    socket = xsk_map.get_socket(_as_int(args[1], "redirect_xsk slot"))
+    if socket is None:
+        return _as_int(args[2], "redirect_xsk fallback")
+    env.kernel.costs_charge("ebpf_map_lookup")
+    env.xsk_socket = socket
+    return XDP_REDIRECT_XSK
+
+
+# a dedicated verdict the XDP attachment understands (not part of the
+# kernel's enum; consumed entirely inside the eBPF layer)
+XDP_REDIRECT_XSK = 64

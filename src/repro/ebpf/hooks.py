@@ -1,0 +1,77 @@
+"""XDP and TC attachment wrappers.
+
+These adapt a verified :class:`~repro.ebpf.program.Program` to the kernel's
+hook contract (:mod:`repro.kernel.hooks_api`). Entry ABI (a documented
+simplification of the real ctx structs): R1 = packet pointer, R2 = packet
+length, R3 = ingress ifindex. Programs may rewrite the packet in place;
+aborts (memory violations and the like) become drops, as with
+``XDP_ABORTED``.
+"""
+
+from __future__ import annotations
+
+
+from repro.ebpf.memory import Pointer, Region
+from repro.ebpf.program import HOOK_TC, HOOK_XDP, Program
+from repro.ebpf.vm import VM, Env, VMError
+from repro.kernel.hooks_api import (
+    TC_ACT_REDIRECT,
+    TC_ACT_SHOT,
+    TcResult,
+    XDP_ABORTED,
+    XDP_REDIRECT,
+    XdpResult,
+)
+
+
+class XdpAttachment:
+    """An XDP-hook driver program (runs on the raw frame, pre-sk_buff)."""
+
+    def __init__(self, program: Program) -> None:
+        if program.hook != HOOK_XDP:
+            raise ValueError(f"{program.name} is not an XDP program")
+        self.program = program
+        self.invocations = 0
+        self.aborts = 0
+
+    def run_xdp(self, kernel, dev, frame: bytes) -> XdpResult:
+        self.invocations += 1
+        region = Region("pkt", bytearray(frame))
+        env = Env(kernel, redirect_verdict=XDP_REDIRECT)
+        vm = VM(kernel)
+        try:
+            verdict = vm.run(self.program, [Pointer(region, 0), len(frame), dev.ifindex], env)
+        except VMError:
+            self.aborts += 1
+            return XdpResult(XDP_ABORTED, frame)
+        from repro.ebpf.af_xdp import XDP_REDIRECT_XSK
+        from repro.kernel.hooks_api import XDP_CONSUMED
+
+        if verdict == XDP_REDIRECT_XSK and env.xsk_socket is not None:
+            env.xsk_socket.push_rx(bytes(region.data))
+            return XdpResult(XDP_CONSUMED, bytes(region.data))
+        return XdpResult(int(verdict), bytes(region.data), env.redirect_ifindex)
+
+
+class TcAttachment:
+    """A TC-hook program (runs with sk_buff context)."""
+
+    def __init__(self, program: Program) -> None:
+        if program.hook != HOOK_TC:
+            raise ValueError(f"{program.name} is not a TC program")
+        self.program = program
+        self.invocations = 0
+        self.aborts = 0
+
+    def run_tc(self, kernel, dev, skb) -> TcResult:
+        self.invocations += 1
+        frame = skb.pkt.to_bytes()
+        region = Region("pkt", bytearray(frame))
+        env = Env(kernel, redirect_verdict=TC_ACT_REDIRECT)
+        vm = VM(kernel)
+        try:
+            verdict = vm.run(self.program, [Pointer(region, 0), len(frame), skb.ifindex], env)
+        except VMError:
+            self.aborts += 1
+            return TcResult(TC_ACT_SHOT, frame)
+        return TcResult(int(verdict), bytes(region.data), env.redirect_ifindex)

@@ -1,0 +1,135 @@
+"""The eBPF-like instruction set.
+
+Eleven registers (R0…R10) as in real eBPF: R0 holds return values, R1–R5
+carry call arguments, R6–R9 are callee-preserved scratch, and R10 is the
+read-only frame pointer. Instructions are a fixed 5-field record
+``(op, dst, src, off, imm)``. The opcode set is a cleaned-up analogue of
+eBPF's: ALU64 ops, sized loads/stores, conditional jumps, helper calls,
+tail calls, and exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+NUM_REGS = 11
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(NUM_REGS)
+
+MASK64 = (1 << 64) - 1
+
+
+class Op(enum.Enum):
+    # moves
+    MOV_IMM = "mov_imm"      # dst = imm
+    MOV_REG = "mov_reg"      # dst = src
+    # ALU (64-bit, immediate and register forms)
+    ADD_IMM = "add_imm"
+    ADD_REG = "add_reg"
+    SUB_IMM = "sub_imm"
+    SUB_REG = "sub_reg"
+    MUL_IMM = "mul_imm"
+    MUL_REG = "mul_reg"
+    DIV_IMM = "div_imm"      # unsigned; div by zero yields 0 (eBPF semantics)
+    DIV_REG = "div_reg"
+    MOD_IMM = "mod_imm"
+    MOD_REG = "mod_reg"
+    AND_IMM = "and_imm"
+    AND_REG = "and_reg"
+    OR_IMM = "or_imm"
+    OR_REG = "or_reg"
+    XOR_IMM = "xor_imm"
+    XOR_REG = "xor_reg"
+    LSH_IMM = "lsh_imm"
+    LSH_REG = "lsh_reg"
+    RSH_IMM = "rsh_imm"
+    RSH_REG = "rsh_reg"
+    NEG = "neg"
+    # memory: size in imm (1, 2, 4, 8); big-endian (network order) accessors
+    LDX = "ldx"              # dst = *(size*)(src + off)
+    STX = "stx"              # *(size*)(dst + off) = src
+    ST_IMM = "st_imm"        # *(size*)(dst + off) = imm  (size in src field)
+    # jumps: relative offset in off (target = pc + 1 + off)
+    JA = "ja"
+    JEQ_IMM = "jeq_imm"
+    JEQ_REG = "jeq_reg"
+    JNE_IMM = "jne_imm"
+    JNE_REG = "jne_reg"
+    JGT_IMM = "jgt_imm"
+    JGT_REG = "jgt_reg"
+    JGE_IMM = "jge_imm"
+    JGE_REG = "jge_reg"
+    JLT_IMM = "jlt_imm"
+    JLT_REG = "jlt_reg"
+    JLE_IMM = "jle_imm"
+    JLE_REG = "jle_reg"
+    JSET_IMM = "jset_imm"    # jump if dst & imm
+    # map reference (like LD_IMM64 with a map-fd relocation)
+    LD_MAP = "ld_map"        # dst = program.maps[imm]
+    # calls
+    CALL = "call"            # helper id in imm
+    TAIL_CALL = "tail_call"  # prog array fd in src-reg convention: r1=ctx, r2=map, r3=index
+    EXIT = "exit"
+
+
+ALU_IMM_OPS = {
+    Op.ADD_IMM, Op.SUB_IMM, Op.MUL_IMM, Op.DIV_IMM, Op.MOD_IMM, Op.AND_IMM,
+    Op.OR_IMM, Op.XOR_IMM, Op.LSH_IMM, Op.RSH_IMM,
+}
+ALU_REG_OPS = {
+    Op.ADD_REG, Op.SUB_REG, Op.MUL_REG, Op.DIV_REG, Op.MOD_REG, Op.AND_REG,
+    Op.OR_REG, Op.XOR_REG, Op.LSH_REG, Op.RSH_REG,
+}
+JMP_IMM_OPS = {Op.JEQ_IMM, Op.JNE_IMM, Op.JGT_IMM, Op.JGE_IMM, Op.JLT_IMM, Op.JLE_IMM, Op.JSET_IMM}
+JMP_REG_OPS = {Op.JEQ_REG, Op.JNE_REG, Op.JGT_REG, Op.JGE_REG, Op.JLT_REG, Op.JLE_REG}
+JUMP_OPS = JMP_IMM_OPS | JMP_REG_OPS | {Op.JA}
+MEM_SIZES = (1, 2, 4, 8)
+
+
+@dataclass
+class Insn:
+    """One instruction: ``(op, dst, src, off, imm)``."""
+
+    op: Op
+    dst: int = 0
+    src: int = 0
+    off: int = 0
+    imm: int = 0
+    # populated by the assembler/compiler for diagnostics
+    comment: str = ""
+
+    def __repr__(self) -> str:
+        parts = [self.op.value, f"dst=r{self.dst}"]
+        if self.op in ALU_REG_OPS or self.op in JMP_REG_OPS or self.op in (Op.MOV_REG, Op.LDX, Op.STX):
+            parts.append(f"src=r{self.src}")
+        if self.off:
+            parts.append(f"off={self.off}")
+        if self.imm:
+            parts.append(f"imm={self.imm:#x}" if abs(self.imm) > 9 else f"imm={self.imm}")
+        text = " ".join(parts)
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return f"<{text}>"
+
+
+def mov_imm(dst: int, imm: int, comment: str = "") -> Insn:
+    return Insn(Op.MOV_IMM, dst=dst, imm=imm, comment=comment)
+
+
+def mov_reg(dst: int, src: int, comment: str = "") -> Insn:
+    return Insn(Op.MOV_REG, dst=dst, src=src, comment=comment)
+
+
+def exit_(comment: str = "") -> Insn:
+    return Insn(Op.EXIT, comment=comment)
+
+
+def call(helper_id: int, comment: str = "") -> Insn:
+    return Insn(Op.CALL, imm=helper_id, comment=comment)
+
+
+def ldx(dst: int, src: int, off: int, size: int, comment: str = "") -> Insn:
+    return Insn(Op.LDX, dst=dst, src=src, off=off, imm=size, comment=comment)
+
+
+def stx(dst: int, src: int, off: int, size: int, comment: str = "") -> Insn:
+    return Insn(Op.STX, dst=dst, src=src, off=off, imm=size, comment=comment)

@@ -1,0 +1,224 @@
+"""eBPF maps: hash, array, LPM trie, prog array, and devmap.
+
+Keys and values are fixed-size byte strings, as in real eBPF. The LinuxFP
+design deliberately avoids using maps for *kernel state* (state is reached
+through helpers); maps remain for the dispatch machinery (prog arrays for
+atomic fast-path swaps and tail-call chains, devmaps for redirects) and for
+the Polycube baseline, which keeps its own map-based state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.netsim.addresses import IPv4Addr
+
+
+class MapError(ValueError):
+    """Raised for invalid map operations."""
+
+
+class BpfMap:
+    """Base class: fixed key/value sizes, bounded entry count."""
+
+    map_type = "generic"
+
+    def __init__(self, name: str, key_size: int, value_size: int, max_entries: int) -> None:
+        if key_size <= 0 or value_size <= 0 or max_entries <= 0:
+            raise MapError("map dimensions must be positive")
+        self.name = name
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise MapError(f"{self.name}: key must be {self.key_size} bytes, got {len(key)}")
+
+    def _check_value(self, value: bytes) -> None:
+        if len(value) != self.value_size:
+            raise MapError(f"{self.name}: value must be {self.value_size} bytes, got {len(value)}")
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        raise NotImplementedError
+
+
+class HashMap(BpfMap):
+    map_type = "hash"
+
+    def __init__(self, name: str, key_size: int, value_size: int, max_entries: int = 1024) -> None:
+        super().__init__(name, key_size, value_size, max_entries)
+        self._data: Dict[bytes, bytes] = {}
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        return self._data.get(key)
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        self._check_value(value)
+        if key not in self._data and len(self._data) >= self.max_entries:
+            raise MapError(f"{self.name}: map full ({self.max_entries})")
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self._data.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> List[bytes]:
+        return list(self._data)
+
+
+class ArrayMap(BpfMap):
+    map_type = "array"
+
+    def __init__(self, name: str, value_size: int, max_entries: int) -> None:
+        super().__init__(name, 4, value_size, max_entries)
+        self._slots: List[bytes] = [b"\x00" * value_size for _ in range(max_entries)]
+
+    def _index(self, key: bytes) -> int:
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            raise MapError(f"{self.name}: index {index} out of range")
+        return index
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        return self._slots[self._index(key)]
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_value(value)
+        self._slots[self._index(key)] = value
+
+    def delete(self, key: bytes) -> None:
+        self._slots[self._index(key)] = b"\x00" * self.value_size
+
+
+class LpmTrieMap(BpfMap):
+    """Longest-prefix-match trie keyed like ``BPF_MAP_TYPE_LPM_TRIE``:
+    key = u32 little-endian prefix length + big-endian address bytes."""
+
+    map_type = "lpm_trie"
+
+    def __init__(self, name: str, value_size: int, max_entries: int = 1024) -> None:
+        super().__init__(name, 8, value_size, max_entries)
+        self._by_len: Dict[int, Dict[int, bytes]] = {}
+        self._count = 0
+
+    @staticmethod
+    def make_key(prefix_len: int, addr: IPv4Addr) -> bytes:
+        return prefix_len.to_bytes(4, "little") + addr.to_bytes()
+
+    def _parse_key(self, key: bytes):
+        self._check_key(key)
+        prefix_len = int.from_bytes(key[:4], "little")
+        if prefix_len > 32:
+            raise MapError(f"{self.name}: bad prefix length {prefix_len}")
+        addr = int.from_bytes(key[4:8], "big")
+        return prefix_len, addr
+
+    @staticmethod
+    def _mask(length: int) -> int:
+        return 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_value(value)
+        length, addr = self._parse_key(key)
+        bucket = self._by_len.setdefault(length, {})
+        masked = addr & self._mask(length)
+        if masked not in bucket:
+            if self._count >= self.max_entries:
+                raise MapError(f"{self.name}: map full")
+            self._count += 1
+        bucket[masked] = value
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        """Lookup uses the address portion; returns the longest match."""
+        __, addr = self._parse_key(key)
+        for length in sorted(self._by_len, reverse=True):
+            masked = addr & self._mask(length)
+            value = self._by_len[length].get(masked)
+            if value is not None:
+                return value
+        return None
+
+    def delete(self, key: bytes) -> None:
+        length, addr = self._parse_key(key)
+        bucket = self._by_len.get(length)
+        if bucket is not None and bucket.pop(addr & self._mask(length), None) is not None:
+            self._count -= 1
+
+
+class ProgArray(BpfMap):
+    """Program array for tail calls and atomic fast-path swapping.
+
+    Values are program objects (the loader's handle), not bytes.
+    """
+
+    map_type = "prog_array"
+
+    def __init__(self, name: str, max_entries: int = 16) -> None:
+        super().__init__(name, 4, 8, max_entries)
+        self._progs: Dict[int, object] = {}
+
+    def set_prog(self, index: int, prog: object) -> None:
+        if not 0 <= index < self.max_entries:
+            raise MapError(f"{self.name}: index {index} out of range")
+        self._progs[index] = prog
+
+    def get_prog(self, index: int) -> Optional[object]:
+        return self._progs.get(index)
+
+    def clear(self, index: int) -> None:
+        self._progs.pop(index, None)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        raise MapError("prog arrays are not directly readable")
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise MapError("use set_prog() for prog arrays")
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self.clear(int.from_bytes(key, "little"))
+
+
+class DevMap(BpfMap):
+    """Redirect map: slot index → ifindex."""
+
+    map_type = "devmap"
+
+    def __init__(self, name: str, max_entries: int = 64) -> None:
+        super().__init__(name, 4, 4, max_entries)
+        self._slots: Dict[int, int] = {}
+
+    def set_dev(self, index: int, ifindex: int) -> None:
+        if not 0 <= index < self.max_entries:
+            raise MapError(f"{self.name}: index {index} out of range")
+        self._slots[index] = ifindex
+
+    def get_dev(self, index: int) -> Optional[int]:
+        return self._slots.get(index)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        ifindex = self._slots.get(int.from_bytes(key, "little"))
+        return None if ifindex is None else ifindex.to_bytes(4, "little")
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        self._check_value(value)
+        self.set_dev(int.from_bytes(key, "little"), int.from_bytes(value, "little"))
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self._slots.pop(int.from_bytes(key, "little"), None)

@@ -1,0 +1,31 @@
+"""minic: the restricted-C compiler for synthesized fast-path sources.
+
+The LinuxFP synthesizer emits C from templates (§IV-B3); this package
+compiles that C down to the eBPF bytecode the loader verifies and attaches.
+The language is the loop-free subset real FPMs need:
+
+- types ``u8 u16 u32 u64 void`` plus pointers (all values are 64-bit words
+  at runtime, as in eBPF registers);
+- functions; ``static`` functions are **inlined at the call site** — this is
+  the "function call" FPM chaining the paper compares against tail calls
+  (Fig 10);
+- ``if``/``else``, local variables, u64 stack arrays, full C expression
+  operators with short-circuit ``&&``/``||``;
+- **no loops** (classic eBPF's termination rule; iteration lives inside
+  helpers, as with ``bpf_ipt_lookup``);
+- builtins: big-endian accessors ``ld8/ld16/ld32/ld48/ld64`` and
+  ``st8/st16/st32/st48/st64``, every kernel helper by name
+  (``fib_lookup(dst, buf)``, ``fdb_lookup(...)``, ``ipt_lookup(...)``, …),
+  and ``tail_call(ctx, prog_array, index)``;
+- ``extern map NAME;`` declares a map slot resolved at compile time.
+
+Entry point::
+
+    program = compile_c(source, name="router", hook="xdp", maps={...})
+"""
+
+from repro.ebpf.minic.lexer import LexError, tokenize
+from repro.ebpf.minic.parser import ParseError, parse
+from repro.ebpf.minic.codegen import CodegenError, compile_c
+
+__all__ = ["tokenize", "parse", "compile_c", "LexError", "ParseError", "CodegenError"]

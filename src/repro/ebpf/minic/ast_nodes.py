@@ -1,0 +1,112 @@
+"""minic AST node definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# --- expressions ---
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class AddrOf:
+    name: str
+
+
+@dataclass
+class Unary:
+    op: str  # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    op: str  # + - * / % & | ^ << >> == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call:
+    name: str
+    args: List["Expr"]
+
+
+Expr = object  # union of the above
+
+
+# --- statements ---
+
+@dataclass
+class VarDecl:
+    name: str
+    array_size: Optional[int] = None  # u64 elements when an array
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+Stmt = object  # union of the above
+
+
+# --- top level ---
+
+@dataclass
+class Param:
+    name: str
+
+
+@dataclass
+class Func:
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    static: bool = False
+
+
+@dataclass
+class MapDecl:
+    name: str
+
+
+@dataclass
+class Unit:
+    funcs: List[Func]
+    maps: List[MapDecl]
+
+    def func(self, name: str) -> Optional[Func]:
+        for fn in self.funcs:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,85 @@
+"""minic lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {"u8", "u16", "u32", "u64", "void", "if", "else", "return", "static", "extern", "map"}
+
+TWO_CHAR = {"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}
+ONE_CHAR = set("()[]{};,=<>+-*/%&|^!~")
+
+
+class LexError(SyntaxError):
+    """Bad token in minic source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'num' | 'kw' | 'punct' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}:{self.text!r}@{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j == i + 2:
+                    raise LexError(f"line {line}: bad hex literal")
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("kw" if text in KEYWORDS else "ident", text, line))
+            i = j
+            continue
+        if source[i : i + 2] in TWO_CHAR:
+            tokens.append(Token("punct", source[i : i + 2], line))
+            i += 2
+            continue
+        if ch in ONE_CHAR:
+            tokens.append(Token("punct", ch, line))
+            i += 1
+            continue
+        raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

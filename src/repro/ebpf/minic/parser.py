@@ -1,0 +1,223 @@
+"""minic recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ebpf.minic import ast_nodes as ast
+from repro.ebpf.minic.lexer import Token, tokenize
+
+TYPE_KEYWORDS = {"u8", "u16", "u32", "u64", "void"}
+
+
+class ParseError(SyntaxError):
+    """Malformed minic source."""
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # --- token plumbing ---
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(f"line {token.line}: expected {want!r}, got {token.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "kw" and self.peek().text in TYPE_KEYWORDS
+
+    # --- top level ---
+
+    def parse_unit(self) -> ast.Unit:
+        funcs: List[ast.Func] = []
+        maps: List[ast.MapDecl] = []
+        while self.peek().kind != "eof":
+            if self.accept("kw", "extern"):
+                self.expect("kw", "map")
+                name = self.expect("ident").text
+                self.expect("punct", ";")
+                maps.append(ast.MapDecl(name))
+                continue
+            funcs.append(self.parse_func())
+        if not any(fn.name == "main" for fn in funcs):
+            raise ParseError("no main() function")
+        return ast.Unit(funcs=funcs, maps=maps)
+
+    def parse_func(self) -> ast.Func:
+        static = bool(self.accept("kw", "static"))
+        self.parse_type()
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: List[ast.Param] = []
+        if not self.accept("punct", ")"):
+            while True:
+                self.parse_type()
+                params.append(ast.Param(self.expect("ident").text))
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        body = self.parse_block()
+        return ast.Func(name=name, params=params, body=body, static=static)
+
+    def parse_type(self) -> str:
+        token = self.peek()
+        if not self.at_type():
+            raise ParseError(f"line {token.line}: expected a type, got {token.text!r}")
+        self.advance()
+        text = token.text
+        while self.accept("punct", "*"):
+            text += "*"
+        return text
+
+    # --- statements ---
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("punct", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("punct", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "kw" and token.text == "if":
+            return self.parse_if()
+        if token.kind == "kw" and token.text == "return":
+            self.advance()
+            value = None
+            if not (self.peek().kind == "punct" and self.peek().text == ";"):
+                value = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Return(value)
+        if self.at_type():
+            self.parse_type()
+            name = self.expect("ident").text
+            array_size = None
+            if self.accept("punct", "["):
+                array_size = self.parse_int_literal()
+                self.expect("punct", "]")
+            init = None
+            if self.accept("punct", "="):
+                init = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.VarDecl(name=name, array_size=array_size, init=init)
+        # assignment or expression statement ("==" lexes as one token, so a
+        # bare "=" after an identifier is unambiguous)
+        next_token = self.tokens[self.pos + 1]
+        if token.kind == "ident" and next_token.kind == "punct" and next_token.text == "=":
+            name = self.advance().text
+            self.expect("punct", "=")
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Assign(name=name, value=value)
+        expr = self.parse_expr()
+        self.expect("punct", ";")
+        return ast.ExprStmt(expr)
+
+    def parse_if(self) -> ast.If:
+        self.expect("kw", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then_body = self.parse_block()
+        else_body: List[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.peek().kind == "kw" and self.peek().text == "if":
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def parse_int_literal(self) -> int:
+        token = self.expect("num")
+        return int(token.text, 0)
+
+    # --- expressions (precedence climbing) ---
+
+    PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_binary(0)
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self.PRECEDENCE):
+            return self.parse_unary()
+        ops = self.PRECEDENCE[level]
+        left = self.parse_binary(level + 1)
+        while self.peek().kind == "punct" and self.peek().text in ops:
+            op = self.advance().text
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "punct" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(op=token.text, operand=self.parse_unary())
+        if token.kind == "punct" and token.text == "&":
+            self.advance()
+            name = self.expect("ident").text
+            return ast.AddrOf(name)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(int(token.text, 0))
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.accept("punct", "("):
+                args: List[ast.Expr] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("punct", ")"):
+                            break
+                        self.expect("punct", ",")
+                return ast.Call(name=name, args=args)
+            return ast.Var(name)
+        if token.kind == "kw" and token.text == "else":
+            raise ParseError(f"line {token.line}: 'else' without matching 'if'")
+        raise ParseError(f"line {token.line}: unexpected token {token.text!r}")
+
+
+def parse(source: str) -> ast.Unit:
+    return Parser(tokenize(source)).parse_unit()

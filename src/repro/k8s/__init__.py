@@ -1,0 +1,14 @@
+"""Kubernetes substrate: nodes, pods, and the Flannel CNI plugin.
+
+Models the paper's §VI-A2 evaluation environment: a multi-node cluster
+whose pod networking is configured by an **unmodified** Flannel-like CNI
+plugin using only standard kernel APIs (bridge + veth + vxlan + routes +
+neighbor/FDB entries installed via netlink). Because the configuration
+surface is plain Linux networking, running the LinuxFP controller on each
+node transparently accelerates pod-to-pod traffic — no change to the
+plugin, pods, or "kubelet" logic.
+"""
+
+from repro.k8s.cluster import Cluster, Node, Pod
+
+__all__ = ["Cluster", "Node", "Pod"]

@@ -1,0 +1,97 @@
+"""Cluster, nodes, and pods.
+
+A :class:`Cluster` is N nodes on a 192.168.1.0/24 underlay joined by a
+learning switch, each running flanneld. Pods are lightweight network
+namespaces (their own :class:`~repro.kernel.Kernel`) attached through the
+CNI. ``accelerate()`` starts a LinuxFP controller on every node at the TC
+hook, exactly as the paper deploys it for this scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.k8s.flannel import FlannelDaemon, NodeNetInfo
+from repro.k8s.underlay import UnderlaySwitch
+from repro.kernel import Kernel
+from repro.netsim.addresses import IPv4Addr
+from repro.netsim.clock import Clock
+from repro.netsim.cost import CostModel
+from repro.tools import ip
+
+
+@dataclass
+class Pod:
+    name: str
+    kernel: Kernel
+    node: "Node"
+    ip: str
+
+
+class Node:
+    def __init__(self, cluster: "Cluster", index: int) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.name = f"node{index}"
+        self.kernel = Kernel(self.name, clock=cluster.clock, costs=cluster.costs)
+        self.underlay_ip = IPv4Addr.parse(f"192.168.1.{10 + index}")
+        self.kernel.add_physical("eth0")
+        ip(self.kernel, "link set eth0 up")
+        ip(self.kernel, f"addr add {self.underlay_ip}/24 dev eth0")
+        cluster.switch.attach(self.kernel.devices.by_name("eth0").nic)
+        self.flannel = FlannelDaemon(self.kernel, index, self.underlay_ip)
+        self.net_info: Optional[NodeNetInfo] = None
+        self.pods: List[Pod] = []
+        self.controller = None  # LinuxFP, when accelerated
+
+    def host_veth_names(self) -> List[str]:
+        return [d.name for d in self.kernel.devices.all() if d.kind == "veth"]
+
+
+class Cluster:
+    """One primary plus ``workers`` worker nodes (paper: 1 + 2)."""
+
+    def __init__(self, workers: int = 2, costs: Optional[CostModel] = None) -> None:
+        self.clock = Clock()
+        self.costs = costs if costs is not None else CostModel()
+        self.switch = UnderlaySwitch()
+        self.nodes: List[Node] = [Node(self, i) for i in range(1, workers + 2)]
+        self._pod_count = 0
+        # flanneld on every node, then full-mesh subnet discovery
+        infos = [node.flannel.start() for node in self.nodes]
+        for node in self.nodes:
+            node.net_info = infos[node.index - 1]
+            for info in infos:
+                node.flannel.learn_remote(info)
+
+    @property
+    def primary(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def workers(self) -> List[Node]:
+        return self.nodes[1:]
+
+    def create_pod(self, node: Node, name: Optional[str] = None) -> Pod:
+        self._pod_count += 1
+        pod_name = name or f"pod-{self._pod_count}"
+        pod_kernel = Kernel(pod_name, clock=self.clock, costs=self.costs)
+        pod_ip = node.flannel.attach_pod(pod_kernel)
+        pod = Pod(name=pod_name, kernel=pod_kernel, node=node, ip=pod_ip)
+        node.pods.append(pod)
+        return pod
+
+    def accelerate(self, enable_ipvs: bool = False) -> None:
+        """Install LinuxFP on every node (TC hook, as in the paper)."""
+        from repro.core import Controller
+
+        for node in self.nodes:
+            node.controller = Controller(node.kernel, hook="tc", enable_ipvs=enable_ipvs)
+            node.controller.start()
+
+    def pod_pair(self, intra: bool) -> (Pod, Pod):
+        """A (client, server) pod pair, co-located or on different nodes."""
+        client_node = self.workers[0]
+        server_node = self.workers[0] if intra else self.workers[1]
+        return self.create_pod(client_node), self.create_pod(server_node)

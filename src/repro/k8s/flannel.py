@@ -1,0 +1,102 @@
+"""A Flannel-like CNI plugin (vxlan backend).
+
+Configures each node exactly the way real Flannel does, using ONLY the
+standard management surface (our netlink-backed tools):
+
+- bridge ``cni0`` with the node's pod-subnet gateway address;
+- vxlan device ``flannel.1`` (VNI 1, UDP 8472) with the node's underlay IP;
+- per remote node: a route ``10.244.J.0/24 via 10.244.J.0 dev flannel.1``,
+  a permanent neighbor entry mapping that gateway to the remote vtep MAC,
+  and a vtep FDB entry mapping the remote MAC to the remote node IP;
+- ``net.ipv4.ip_forward=1``.
+
+Pod attachment (the CNI ADD operation) creates a veth pair, moves one end
+into the pod, enslaves the host end to ``cni0``, and assigns the pod its
+IP + default route. Nothing here knows LinuxFP exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.addresses import IPv4Addr, MacAddr
+from repro.tools import bridge_tool, ip, sysctl
+
+VNI = 1
+VXLAN_PORT = 8472
+
+
+@dataclass
+class NodeNetInfo:
+    """What Flannel's key-value store holds per node."""
+
+    index: int
+    underlay_ip: IPv4Addr
+    pod_subnet: str  # e.g. "10.244.1.0/24"
+    vtep_mac: MacAddr
+    flannel_ip: IPv4Addr  # 10.244.<i>.0
+
+
+class FlannelDaemon:
+    """flanneld for one node."""
+
+    def __init__(self, kernel, node_index: int, underlay_ip: IPv4Addr, underlay_dev: str = "eth0") -> None:
+        self.kernel = kernel
+        self.node_index = node_index
+        self.underlay_ip = underlay_ip
+        self.underlay_dev = underlay_dev
+        self.pod_subnet = f"10.244.{node_index}.0/24"
+        self.gateway_ip = f"10.244.{node_index}.1"
+        self.flannel_ip = IPv4Addr.parse(f"10.244.{node_index}.0")
+        self._next_pod_host = 2
+        self._next_veth = 0
+
+    def start(self) -> NodeNetInfo:
+        """Create cni0 + flannel.1; returns this node's published info."""
+        k = self.kernel
+        sysctl(k, "-w net.ipv4.ip_forward=1")
+        ip(k, "link add cni0 type bridge")
+        ip(k, f"addr add {self.gateway_ip}/24 dev cni0")
+        ip(k, "link set cni0 up")
+        ip(
+            k,
+            f"link add flannel.1 type vxlan id {VNI} local {self.underlay_ip} "
+            f"dstport {VXLAN_PORT} dev {self.underlay_dev}",
+        )
+        ip(k, f"addr add {self.flannel_ip}/32 dev flannel.1")
+        ip(k, "link set flannel.1 up")
+        vtep_mac = k.devices.by_name("flannel.1").mac
+        return NodeNetInfo(
+            index=self.node_index,
+            underlay_ip=self.underlay_ip,
+            pod_subnet=self.pod_subnet,
+            vtep_mac=vtep_mac,
+            flannel_ip=self.flannel_ip,
+        )
+
+    def learn_remote(self, info: NodeNetInfo) -> None:
+        """Install the route/ARP/FDB triple for one remote node."""
+        if info.index == self.node_index:
+            return
+        k = self.kernel
+        ip(k, f"route add {info.pod_subnet} via {info.flannel_ip} dev flannel.1 onlink")
+        ip(k, f"neigh add {info.flannel_ip} lladdr {info.vtep_mac} dev flannel.1")
+        bridge_tool(k, f"fdb add {info.vtep_mac} dev flannel.1 dst {info.underlay_ip}")
+
+    # ------------------------------------------------------------- CNI ADD
+
+    def attach_pod(self, pod_kernel) -> str:
+        """Wire a pod into cni0; returns the pod's IP address."""
+        k = self.kernel
+        host_if = f"veth{self.node_index}{self._next_veth:02d}"
+        self._next_veth += 1
+        pod_ip = f"10.244.{self.node_index}.{self._next_pod_host}"
+        self._next_pod_host += 1
+        # veth pair with one end in the pod's netns
+        k.add_veth_pair(host_if, "eth0", peer_kernel=pod_kernel)
+        ip(k, f"link set {host_if} up")
+        ip(k, f"link set {host_if} master cni0")
+        ip(pod_kernel, "link set eth0 up")
+        ip(pod_kernel, f"addr add {pod_ip}/24 dev eth0")
+        ip(pod_kernel, f"route add default via {self.gateway_ip}")
+        return pod_ip

@@ -1,0 +1,106 @@
+"""kube-proxy (ipvs mode), miniature.
+
+Kubernetes Services give pods a stable virtual IP; kube-proxy's ipvs mode
+realizes them by assigning the ClusterIP to a local dummy interface on
+every node and programming ipvs with the endpoint pods. The paper names
+ipvs ("used in Kubernetes services") as its next acceleration target —
+this module provides the substrate that workload runs on.
+
+Like everything else in :mod:`repro.k8s`, configuration happens through
+the standard tools (``ip addr`` + ``ipvsadm``), so the LinuxFP controller
+with ``enable_ipvs=True`` can accelerate established service flows
+transparently.
+
+Simplification: replies travel directly from the endpoint pod to the
+client (our toy sockets demultiplex by port only, so the missing source
+un-NAT is invisible); real ipvs NAT mode rewrites them on the director.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.k8s.cluster import Cluster, Pod
+from repro.tools import ip, ipvsadm
+
+
+class ServiceError(ValueError):
+    """Invalid service operation."""
+
+
+@dataclass
+class Service:
+    name: str
+    cluster_ip: str
+    port: int
+    target_port: int
+    endpoints: List[Pod] = field(default_factory=list)
+
+
+class KubeProxy:
+    """Programs every node's ipvs tables for the cluster's Services."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.services: Dict[str, Service] = {}
+        self._ip_alloc = itertools.count(1)
+
+    def create_service(
+        self, name: str, port: int, endpoints: List[Pod], target_port: int = None
+    ) -> Service:
+        if name in self.services:
+            raise ServiceError(f"service {name!r} exists")
+        if not endpoints:
+            raise ServiceError("a service needs at least one endpoint")
+        service = Service(
+            name=name,
+            cluster_ip=f"10.96.0.{next(self._ip_alloc)}",
+            port=port,
+            target_port=target_port if target_port is not None else port,
+            endpoints=list(endpoints),
+        )
+        for node in self.cluster.nodes:
+            ip(node.kernel, f"addr add {service.cluster_ip}/32 dev lo")
+            ipvsadm(node.kernel, f"-A -t {service.cluster_ip}:{service.port} -s rr")
+            for pod in service.endpoints:
+                ipvsadm(
+                    node.kernel,
+                    f"-a -t {service.cluster_ip}:{service.port} -r {pod.ip}:{service.target_port}",
+                )
+        self.services[name] = service
+        return service
+
+    def add_endpoint(self, name: str, pod: Pod) -> None:
+        service = self._require(name)
+        service.endpoints.append(pod)
+        for node in self.cluster.nodes:
+            ipvsadm(
+                node.kernel,
+                f"-a -t {service.cluster_ip}:{service.port} -r {pod.ip}:{service.target_port}",
+            )
+
+    def remove_endpoint(self, name: str, pod: Pod) -> None:
+        service = self._require(name)
+        if pod not in service.endpoints:
+            raise ServiceError(f"{pod.name} is not an endpoint of {name!r}")
+        service.endpoints.remove(pod)
+        for node in self.cluster.nodes:
+            ipvsadm(
+                node.kernel,
+                f"-d -t {service.cluster_ip}:{service.port} -r {pod.ip}:{service.target_port}",
+            )
+
+    def delete_service(self, name: str) -> None:
+        service = self._require(name)
+        for node in self.cluster.nodes:
+            ipvsadm(node.kernel, f"-D -t {service.cluster_ip}:{service.port}")
+            ip(node.kernel, f"addr del {service.cluster_ip}/32 dev lo")
+        del self.services[name]
+
+    def _require(self, name: str) -> Service:
+        service = self.services.get(name)
+        if service is None:
+            raise ServiceError(f"no service {name!r}")
+        return service

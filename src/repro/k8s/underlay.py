@@ -1,0 +1,40 @@
+"""The cluster underlay: a learning L2 switch joining the node NICs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netsim.addresses import MacAddr
+from repro.netsim.nic import NIC, Wire
+
+
+class UnderlaySwitch:
+    """A simple learning switch with one port per node."""
+
+    def __init__(self, name: str = "tor") -> None:
+        self.name = name
+        self.ports: List[NIC] = []
+        self.mac_table: Dict[MacAddr, int] = {}
+
+    def attach(self, peer_nic: NIC) -> None:
+        """Create a switch port and wire it to ``peer_nic``."""
+        port = NIC(f"{self.name}-p{len(self.ports)}")
+        port_index = len(self.ports)
+        self.ports.append(port)
+        port.attach(lambda frame, queue, idx=port_index: self._forward(idx, frame))
+        Wire(port, peer_nic)
+
+    def _forward(self, in_port: int, frame: bytes) -> None:
+        if len(frame) < 14:
+            return
+        dst = MacAddr.from_bytes(frame[0:6])
+        src = MacAddr.from_bytes(frame[6:12])
+        self.mac_table[src] = in_port
+        out = self.mac_table.get(dst)
+        if out is not None and not dst.is_multicast:
+            if out != in_port:
+                self.ports[out].transmit(frame)
+            return
+        for index, port in enumerate(self.ports):
+            if index != in_port:
+                port.transmit(frame)

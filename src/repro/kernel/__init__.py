@@ -1,0 +1,30 @@
+"""The simulated Linux kernel networking stack (the LinuxFP *slow path*).
+
+This package models the parts of Linux networking that LinuxFP introspects
+and accelerates:
+
+- :mod:`repro.kernel.interfaces` — net devices (physical/veth/bridge/vxlan/
+  loopback), enslavement, addresses.
+- :mod:`repro.kernel.fib` — the forwarding information base (LPM routing).
+- :mod:`repro.kernel.neighbor` — ARP/neighbor table with entry states.
+- :mod:`repro.kernel.bridge` — L2 bridging: FDB learning/aging, flooding,
+  VLAN filtering, simplified STP.
+- :mod:`repro.kernel.netfilter` — iptables-style tables/chains/rules with
+  linear rule evaluation, plus :mod:`repro.kernel.ipset` set matching.
+- :mod:`repro.kernel.conntrack` — connection tracking.
+- :mod:`repro.kernel.ipvs` — L4 load balancing (the paper's future-work item).
+- :mod:`repro.kernel.sysctl` — ``net.ipv4.ip_forward`` and friends.
+- :mod:`repro.kernel.stack` — the packet pipeline itself, including the XDP
+  and TC eBPF hook points.
+- :mod:`repro.kernel.rtnetlink` — the netlink management surface.
+- :mod:`repro.kernel.kernel` — :class:`Kernel`, tying it all together.
+
+Every pipeline stage charges simulated nanoseconds (see
+:mod:`repro.netsim.cost`) and records profiler frames, so both the paper's
+flame-graph motivation (Fig 1) and all throughput/latency results are
+measurable against this stack.
+"""
+
+from repro.kernel.kernel import Kernel
+
+__all__ = ["Kernel"]

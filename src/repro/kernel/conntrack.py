@@ -1,0 +1,116 @@
+"""Connection tracking.
+
+Tracks flows by 5-tuple with the usual NEW → ESTABLISHED lifecycle and
+timeout-based expiry on the simulated clock. Used by ipvs (NAT'd flows must
+hit the same real server) and available to stateful filtering. Per Table I
+of the paper, conntrack *lookup/update* is fast-path work while entry
+creation and lifecycle handling stay in the slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.addresses import IPv4Addr
+from repro.netsim.clock import Clock
+from repro.netsim.packet import IPPROTO_TCP, TCP, UDP
+from repro.netsim.skbuff import SKBuff
+
+CT_NEW = "NEW"
+CT_ESTABLISHED = "ESTABLISHED"
+CT_CLOSED = "CLOSED"
+
+UDP_TIMEOUT_NS = 30 * 1_000_000_000
+TCP_TIMEOUT_NS = 300 * 1_000_000_000
+
+
+@dataclass(frozen=True)
+class ConnTuple:
+    src: IPv4Addr
+    dst: IPv4Addr
+    proto: int
+    sport: int
+    dport: int
+
+    def reversed(self) -> "ConnTuple":
+        return ConnTuple(self.dst, self.src, self.proto, self.dport, self.sport)
+
+    @classmethod
+    def from_skb(cls, skb: SKBuff) -> Optional["ConnTuple"]:
+        ip = skb.pkt.ip
+        l4 = skb.pkt.l4
+        if ip is None or not isinstance(l4, (TCP, UDP)):
+            return None
+        return cls(ip.src, ip.dst, ip.proto, l4.sport, l4.dport)
+
+
+@dataclass
+class ConnEntry:
+    tuple: ConnTuple
+    state: str = CT_NEW
+    created_ns: int = 0
+    updated_ns: int = 0
+    packets: int = 0
+    # NAT rewrite installed by ipvs: packets of this flow go to (ip, port)
+    dnat_to: Optional[Tuple[IPv4Addr, int]] = None
+
+    def timeout_ns(self) -> int:
+        return TCP_TIMEOUT_NS if self.tuple.proto == IPPROTO_TCP else UDP_TIMEOUT_NS
+
+
+class Conntrack:
+    """The conntrack table for one kernel."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._table: Dict[ConnTuple, ConnEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, tup: ConnTuple) -> Optional[ConnEntry]:
+        """Find the entry for a tuple in either direction, expiring stale ones."""
+        entry = self._table.get(tup) or self._table.get(tup.reversed())
+        if entry is None:
+            return None
+        if self._clock.now_ns - entry.updated_ns > entry.timeout_ns():
+            self.remove(entry.tuple)
+            return None
+        return entry
+
+    def track(self, skb: SKBuff) -> Optional[ConnEntry]:
+        """Slow-path tracking: create/confirm the entry for this packet."""
+        tup = ConnTuple.from_skb(skb)
+        if tup is None:
+            return None
+        entry = self.lookup(tup)
+        now = self._clock.now_ns
+        if entry is None:
+            entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
+            self._table[tup] = entry
+        else:
+            # A packet in the reverse direction confirms the connection.
+            if entry.state == CT_NEW and tup == entry.tuple.reversed():
+                entry.state = CT_ESTABLISHED
+            entry.updated_ns = now
+        entry.packets += 1
+        skb.conntrack = entry
+        if isinstance(skb.pkt.l4, TCP) and skb.pkt.l4.has(TCP.FIN | TCP.RST):
+            entry.state = CT_CLOSED
+        return entry
+
+    def remove(self, tup: ConnTuple) -> None:
+        self._table.pop(tup, None)
+        self._table.pop(tup.reversed(), None)
+
+    def gc(self) -> int:
+        """Expire timed-out entries; returns count removed."""
+        now = self._clock.now_ns
+        expired = [t for t, e in self._table.items() if now - e.updated_ns > e.timeout_ns()]
+        for tup in expired:
+            del self._table[tup]
+        return len(expired)
+
+    def entries(self) -> List[ConnEntry]:
+        return list(self._table.values())

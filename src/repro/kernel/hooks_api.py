@@ -1,0 +1,48 @@
+"""The kernel's eBPF hook API: verdict codes and attachment contracts.
+
+This is the simulator's equivalent of ``uapi/linux/bpf.h``: the kernel
+defines what an attached program may return and what context it receives;
+:mod:`repro.ebpf` implements programs against this contract.
+
+An attached XDP program object must expose::
+
+    run_xdp(kernel, dev, frame: bytes) -> XdpResult
+
+and a TC program::
+
+    run_tc(kernel, dev, skb) -> TcResult
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# XDP verdicts (mirroring enum xdp_action)
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4
+# frame consumed inside the eBPF layer (e.g. delivered to an AF_XDP socket);
+# not part of the kernel enum — the real kernel folds this into REDIRECT
+XDP_CONSUMED = 5
+
+# TC verdicts (subset of TC_ACT_*)
+TC_ACT_OK = 0
+TC_ACT_SHOT = 2
+TC_ACT_REDIRECT = 7
+
+
+@dataclass
+class XdpResult:
+    verdict: int
+    frame: bytes  # possibly rewritten
+    redirect_ifindex: Optional[int] = None
+
+
+@dataclass
+class TcResult:
+    verdict: int
+    frame: bytes  # possibly rewritten
+    redirect_ifindex: Optional[int] = None

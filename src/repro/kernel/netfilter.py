@@ -1,0 +1,198 @@
+"""Netfilter: iptables-style tables, chains, and linearly-scanned rules.
+
+Only the ``filter`` table semantics the paper exercises are modelled:
+built-in chains INPUT / FORWARD / OUTPUT with a default policy, rules with
+the classic 5-tuple-ish matches (src/dst prefix, protocol, ports, in/out
+interface) plus ipset matches. Rule evaluation is intentionally a linear
+scan — the paper's Fig 8 measures exactly this cost, and LinuxFP's
+``bpf_ipt_lookup`` helper inherits it (while ipset aggregation avoids it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.netsim.addresses import IPv4Prefix
+from repro.netsim.packet import IPv4, TCP, UDP
+from repro.netsim.skbuff import SKBuff
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.ipset import IpsetRegistry
+
+# hook names (filter table)
+INPUT = "INPUT"
+FORWARD = "FORWARD"
+OUTPUT = "OUTPUT"
+BUILTIN_CHAINS = (INPUT, FORWARD, OUTPUT)
+
+ACCEPT = "ACCEPT"
+DROP = "DROP"
+RETURN = "RETURN"
+
+
+class NetfilterError(ValueError):
+    """Raised for invalid rule/chain operations."""
+
+
+@dataclass
+class Rule:
+    """One iptables rule. ``None`` fields are wildcards."""
+
+    target: str
+    src: Optional[IPv4Prefix] = None
+    dst: Optional[IPv4Prefix] = None
+    proto: Optional[int] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None
+    in_iface: Optional[str] = None
+    out_iface: Optional[str] = None
+    match_set: Optional[str] = None  # ipset name
+    set_dir: str = "src"  # which address the set matches
+    ct_state: Optional[str] = None  # "NEW" | "ESTABLISHED" (stateful match)
+    handle: int = 0
+    packets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in (ACCEPT, DROP, RETURN):
+            raise NetfilterError(f"unsupported target {self.target!r}")
+        if self.set_dir not in ("src", "dst"):
+            raise NetfilterError(f"bad set direction {self.set_dir!r}")
+        if self.ct_state is not None and self.ct_state not in ("NEW", "ESTABLISHED"):
+            raise NetfilterError(f"unsupported conntrack state {self.ct_state!r}")
+
+    def matches(
+        self,
+        ip: IPv4,
+        skb: SKBuff,
+        in_name: Optional[str],
+        out_name: Optional[str],
+        ipsets: "IpsetRegistry",
+    ) -> bool:
+        if self.src is not None and not self.src.contains(ip.src):
+            return False
+        if self.dst is not None and not self.dst.contains(ip.dst):
+            return False
+        if self.proto is not None and ip.proto != self.proto:
+            return False
+        if self.sport is not None or self.dport is not None:
+            l4 = skb.pkt.l4
+            if not isinstance(l4, (TCP, UDP)):
+                return False
+            if self.sport is not None and l4.sport != self.sport:
+                return False
+            if self.dport is not None and l4.dport != self.dport:
+                return False
+        if self.in_iface is not None and in_name != self.in_iface:
+            return False
+        if self.out_iface is not None and out_name != self.out_iface:
+            return False
+        if self.match_set is not None:
+            ipset = ipsets.get(self.match_set)
+            if ipset is None:
+                return False
+            addr = ip.src if self.set_dir == "src" else ip.dst
+            if not ipset.test(addr):
+                return False
+        if self.ct_state is not None:
+            entry = skb.conntrack
+            state = getattr(entry, "state", None)
+            if self.ct_state == "ESTABLISHED":
+                if state != "ESTABLISHED":
+                    return False
+            else:  # NEW: untracked or explicitly new connections
+                if state not in (None, "NEW"):
+                    return False
+        return True
+
+
+@dataclass
+class Chain:
+    name: str
+    policy: str = ACCEPT
+    rules: List[Rule] = field(default_factory=list)
+
+
+class Netfilter:
+    """The filter table for one kernel."""
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+        self.chains: Dict[str, Chain] = {name: Chain(name) for name in BUILTIN_CHAINS}
+        self._next_handle = 1
+
+    def chain(self, name: str) -> Chain:
+        try:
+            return self.chains[name]
+        except KeyError:
+            raise NetfilterError(f"no chain {name!r}") from None
+
+    def set_policy(self, chain_name: str, policy: str) -> None:
+        if policy not in (ACCEPT, DROP):
+            raise NetfilterError(f"bad policy {policy!r}")
+        self.chain(chain_name).policy = policy
+
+    def append_rule(self, chain_name: str, rule: Rule) -> Rule:
+        rule.handle = self._next_handle
+        self._next_handle += 1
+        self.chain(chain_name).rules.append(rule)
+        return rule
+
+    def insert_rule(self, chain_name: str, rule: Rule, position: int = 0) -> Rule:
+        rule.handle = self._next_handle
+        self._next_handle += 1
+        self.chain(chain_name).rules.insert(position, rule)
+        return rule
+
+    def delete_rule(self, chain_name: str, handle: int) -> Rule:
+        chain = self.chain(chain_name)
+        for i, rule in enumerate(chain.rules):
+            if rule.handle == handle:
+                return chain.rules.pop(i)
+        raise NetfilterError(f"no rule with handle {handle} in {chain_name}")
+
+    def flush(self, chain_name: Optional[str] = None) -> None:
+        for chain in self.chains.values():
+            if chain_name is None or chain.name == chain_name:
+                chain.rules.clear()
+
+    def rule_count(self, chain_name: Optional[str] = None) -> int:
+        if chain_name is not None:
+            return len(self.chain(chain_name).rules)
+        return sum(len(c.rules) for c in self.chains.values())
+
+    def has_stateful_rules(self, chain_name: str) -> bool:
+        """True when the chain needs conntrack state to evaluate."""
+        return any(r.ct_state is not None for r in self.chain(chain_name).rules)
+
+    def evaluate(
+        self,
+        chain_name: str,
+        skb: SKBuff,
+        in_name: Optional[str] = None,
+        out_name: Optional[str] = None,
+    ) -> Tuple[str, int]:
+        """Traverse a chain; returns (verdict, rules_scanned).
+
+        Charges the per-hook overhead plus the per-rule linear-scan cost to
+        the simulated clock, which is what makes Fig 8's rule-count scaling
+        measurable.
+        """
+        kernel = self._kernel
+        kernel.costs_charge("nf_hook_overhead")
+        chain = self.chain(chain_name)
+        ip = skb.pkt.ip
+        if ip is None:
+            return ACCEPT, 0
+        scanned = 0
+        for rule in chain.rules:
+            scanned += 1
+            kernel.costs_charge("nf_rule_cost")
+            if rule.match_set is not None:
+                kernel.costs_charge("ipset_lookup")
+            if rule.matches(ip, skb, in_name, out_name, kernel.ipsets):
+                rule.packets += 1
+                if rule.target == RETURN:
+                    break
+                return rule.target, scanned
+        return chain.policy, scanned

@@ -1,0 +1,90 @@
+"""A minimal in-kernel socket layer for local delivery.
+
+Enough to host the measurement workloads: servers register on
+(protocol, port) and receive delivered SKBuffs; they reply through the
+kernel's IP output path. This models the part of the stack the paper's
+Kubernetes pods exercise (netperf's netserver / TCP_RR clients).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from repro.netsim.packet import IPPROTO_TCP, IPPROTO_UDP, IPv4, TCP, UDP
+from repro.netsim.skbuff import SKBuff
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+# Handler receives (kernel, skb); return value is ignored.
+SocketHandler = Callable[["Kernel", SKBuff], None]
+
+
+class SocketError(ValueError):
+    """Raised for invalid socket operations."""
+
+
+class SocketTable:
+    """Registered local endpoints keyed by (proto, port)."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        self._handlers: Dict[Tuple[int, int], SocketHandler] = {}
+        self.delivered = 0
+        self.unclaimed = 0
+
+    def bind(self, proto: int, port: int, handler: SocketHandler) -> None:
+        key = (proto, port)
+        if key in self._handlers:
+            raise SocketError(f"port {port}/proto {proto} already bound")
+        self._handlers[key] = handler
+
+    def unbind(self, proto: int, port: int) -> None:
+        self._handlers.pop((proto, port), None)
+
+    def deliver(self, skb: SKBuff) -> bool:
+        l4 = skb.pkt.l4
+        if not isinstance(l4, (TCP, UDP)):
+            self.unclaimed += 1
+            return False
+        handler = self._handlers.get((skb.pkt.ip.proto, l4.dport))
+        if handler is None:
+            self.unclaimed += 1
+            return False
+        self.delivered += 1
+        handler(self._kernel, skb)
+        return True
+
+
+def udp_echo_server(kernel: "Kernel", port: int) -> None:
+    """Bind a UDP server that echoes payloads back to the sender."""
+
+    def handle(k: "Kernel", skb: SKBuff) -> None:
+        req_ip, req_udp = skb.pkt.ip, skb.pkt.l4
+        k.send_ip(
+            IPv4(src=req_ip.dst, dst=req_ip.src, proto=IPPROTO_UDP),
+            UDP(sport=req_udp.dport, dport=req_udp.sport),
+            skb.pkt.payload,
+        )
+
+    kernel.sockets.bind(IPPROTO_UDP, port, handle)
+
+
+def tcp_rr_server(kernel: "Kernel", port: int, response_size: int = 1) -> None:
+    """Bind a netperf-style TCP_RR responder: fixed-size reply per request.
+
+    The payload is opaque (measurement harnesses embed timestamps); we echo
+    the first ``response_size`` bytes (padding with zeros) so round-trip
+    correlation data survives.
+    """
+
+    def handle(k: "Kernel", skb: SKBuff) -> None:
+        req_ip, req_tcp = skb.pkt.ip, skb.pkt.l4
+        body = skb.pkt.payload[:response_size].ljust(response_size, b"\x00")
+        k.send_ip(
+            IPv4(src=req_ip.dst, dst=req_ip.src, proto=IPPROTO_TCP),
+            TCP(sport=req_tcp.dport, dport=req_tcp.sport, flags=TCP.ACK | TCP.PSH),
+            body,
+        )
+
+    kernel.sockets.bind(IPPROTO_TCP, port, handle)

@@ -1,0 +1,498 @@
+"""The packet pipeline: the LinuxFP *slow path*.
+
+``Stack.receive`` mirrors the structure of the real Linux receive path —
+driver → XDP hook → sk_buff allocation → TC ingress → bridge handling →
+``ip_rcv`` → routing decision → forward / local deliver → neighbor output →
+TC egress → driver. Stage names recorded in the profiler match the kernel
+functions a flame graph of real Linux forwarding shows (paper Fig 1), and
+every stage charges its calibrated cost to the simulated clock.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.fib import Route
+from repro.kernel.hooks_api import (
+    TC_ACT_REDIRECT,
+    TC_ACT_SHOT,
+    XDP_CONSUMED,
+    XDP_DROP,
+    XDP_PASS,
+    XDP_REDIRECT,
+    XDP_TX,
+)
+from repro.kernel.interfaces import BridgeDevice, NetDevice, PhysicalDevice, VxlanDevice
+from repro.netsim.addresses import IPv4Addr, MacAddr
+from repro.netsim.packet import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ETH_P_ARP,
+    ETH_P_IP,
+    ICMP,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IPPROTO_ICMP,
+    IPPROTO_UDP,
+    IPv4,
+    Packet,
+    PacketError,
+    UDP,
+    make_arp_reply,
+    make_arp_request,
+)
+from repro.netsim.skbuff import SKBuff
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+VXLAN_HDR = struct.Struct("!B3xI")  # flags, reserved, (vni << 8)
+VXLAN_FLAG_VNI = 0x08
+
+
+class Stack:
+    """The receive/transmit pipeline for one kernel."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.drops: Counter = Counter()
+        self.forwarded = 0
+        self.delivered_local = 0
+        self.xdp_actions: Counter = Counter()
+        self.tc_actions: Counter = Counter()
+        from repro.kernel.fragments import Reassembler
+
+        self.reassembler = Reassembler(kernel.clock)
+
+    # ------------------------------------------------------------------ RX
+
+    def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
+        """Entry point for a frame arriving on ``dev``."""
+        kernel = self.kernel
+        if isinstance(dev, PhysicalDevice):
+            kernel.costs_charge("driver_rx")
+
+        # --- XDP hook (driver level, raw frame, no sk_buff yet) ---
+        if dev.xdp_prog is not None:
+            result = dev.xdp_prog.run_xdp(kernel, dev, frame)
+            self.xdp_actions[result.verdict] += 1
+            if result.verdict == XDP_DROP:
+                self.drops["xdp_drop"] += 1
+                return
+            if result.verdict == XDP_TX:
+                dev.transmit(result.frame)
+                return
+            if result.verdict == XDP_REDIRECT:
+                kernel.costs_charge("xdp_redirect")
+                target = kernel.devices.by_index(result.redirect_ifindex)
+                target.transmit(result.frame)
+                return
+            if result.verdict == XDP_CONSUMED:
+                return  # e.g. delivered to an AF_XDP socket
+            if result.verdict == XDP_PASS:
+                kernel.costs_charge("xdp_pass_to_stack")
+                frame = result.frame
+            else:  # XDP_ABORTED or garbage
+                self.drops["xdp_aborted"] += 1
+                return
+
+        # --- sk_buff allocation + parse ---
+        kernel.costs_charge("skb_alloc")
+        try:
+            pkt = Packet.from_bytes(frame)
+        except PacketError:
+            self.drops["malformed"] += 1
+            return
+        skb = SKBuff(pkt=pkt, ifindex=dev.ifindex, rx_queue=queue)
+
+        # --- TC ingress hook ---
+        if dev.tc_ingress_prog is not None:
+            result = dev.tc_ingress_prog.run_tc(kernel, dev, skb)
+            self.tc_actions[result.verdict] += 1
+            if result.verdict == TC_ACT_SHOT:
+                self.drops["tc_shot"] += 1
+                return
+            if result.verdict == TC_ACT_REDIRECT:
+                kernel.costs_charge("tc_redirect")
+                target = kernel.devices.by_index(result.redirect_ifindex)
+                target.transmit(result.frame)
+                return
+            if result.frame != frame:
+                try:
+                    skb = SKBuff(pkt=Packet.from_bytes(result.frame), ifindex=dev.ifindex, rx_queue=queue)
+                except PacketError:
+                    self.drops["malformed"] += 1
+                    return
+
+        self.netif_receive(dev, skb)
+
+    def netif_receive(self, dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        with kernel.profiler.frame("__netif_receive_skb_core"):
+            kernel.costs_charge("netif_receive")
+
+            # Frames arriving on an enslaved port go through the bridge.
+            if dev.master is not None:
+                master = kernel.devices.by_index(dev.master)
+                if isinstance(master, BridgeDevice):
+                    with kernel.profiler.frame("br_handle_frame"):
+                        passed_up = master.bridge.handle_frame(dev, skb)
+                    if passed_up is None:
+                        return
+                    skb = passed_up
+                    dev = master
+
+            ethertype = skb.pkt.eth.ethertype
+            if skb.pkt.vlan is not None:
+                ethertype = skb.pkt.vlan.ethertype
+
+            if ethertype == ETH_P_ARP and skb.pkt.arp is not None:
+                with kernel.profiler.frame("arp_rcv"):
+                    self.arp_rcv(dev, skb)
+                return
+            if ethertype == ETH_P_IP and skb.pkt.ip is not None:
+                with kernel.profiler.frame("ip_rcv"):
+                    self.ip_rcv(dev, skb)
+                return
+            self.drops["unknown_ethertype"] += 1
+
+    # ----------------------------------------------------------------- ARP
+
+    def arp_rcv(self, dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        arp = skb.pkt.arp
+        if arp.opcode == ARP_REQUEST:
+            if dev.has_address(arp.target_ip):
+                # Learn the requester and answer.
+                kernel.neighbors.update(dev.ifindex, arp.sender_ip, arp.sender_mac)
+                reply = make_arp_reply(dev.mac, arp.target_ip, arp.sender_mac, arp.sender_ip)
+                dev.transmit(reply.to_bytes())
+            return
+        if arp.opcode == ARP_REPLY:
+            drained = kernel.neighbors.update(dev.ifindex, arp.sender_ip, arp.sender_mac)
+            for queued in drained:
+                queued_skb, route = queued
+                self.ip_finish_output(queued_skb, route)
+
+    def arp_solicit(self, out_dev: NetDevice, target_ip: IPv4Addr) -> None:
+        source_ip = out_dev.addresses[0].address if out_dev.addresses else IPv4Addr(0)
+        request = make_arp_request(out_dev.mac, source_ip, target_ip)
+        out_dev.transmit(request.to_bytes())
+
+    # ------------------------------------------------------------------ IP
+
+    def ip_rcv(self, dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        kernel.costs_charge("ip_rcv")
+        ip = skb.pkt.ip
+
+        # VXLAN termination: UDP to the vxlan port on a local address.
+        if (
+            ip.proto == IPPROTO_UDP
+            and isinstance(skb.pkt.l4, UDP)
+            and self._vxlan_for(skb) is not None
+            and self._is_local(ip.dst)
+        ):
+            self.vxlan_rcv(skb)
+            return
+
+        if self._is_local(ip.dst) or ip.dst.is_broadcast or self._is_local_broadcast(dev, ip.dst):
+            # inbound fragments reassemble before local processing
+            if ip.is_fragment:
+                with kernel.profiler.frame("ip_defrag"):
+                    kernel.costs_charge("ip_rcv")
+                    whole = self.reassembler.push(skb.pkt)
+                if whole is None:
+                    return  # waiting for more fragments
+                skb.pkt = whole
+                ip = skb.pkt.ip
+            # ipvs virtual services intercept at local-in.
+            if self._ipvs_intercept(dev, skb):
+                return
+            with kernel.profiler.frame("nf_hook_slow[INPUT]"):
+                verdict, __ = kernel.netfilter.evaluate("INPUT", skb, in_name=dev.name)
+            if verdict != "ACCEPT":
+                self.drops["nf_input"] += 1
+                return
+            self.local_deliver(skb)
+            return
+
+        if not kernel.sysctl.get_bool("net.ipv4.ip_forward"):
+            self.drops["not_forwarding"] += 1
+            return
+        self.ip_forward(dev, skb)
+
+    def ip_forward(self, dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        ip = skb.pkt.ip
+        if ip.ttl <= 1:
+            self.drops["ttl_exceeded"] += 1
+            self._icmp_time_exceeded(dev, skb)
+            return
+        if ip.is_fragment:
+            # Fragment reassembly is slow-path-only work; we account the cost
+            # and forward fragments independently (sufficient for the eval).
+            kernel.costs_charge("ip_rcv")
+
+        with kernel.profiler.frame("fib_table_lookup"):
+            kernel.costs_charge("fib_lookup")
+            route = kernel.fib.lookup(ip.dst)
+        if route is None:
+            self.drops["no_route"] += 1
+            self._icmp_unreachable(dev, skb)
+            return
+
+        out_dev = kernel.devices.by_index(route.oif)
+        with kernel.profiler.frame("nf_hook_slow[FORWARD]"):
+            if kernel.netfilter.has_stateful_rules("FORWARD"):
+                # stateful filtering needs conntrack on the forward path
+                kernel.costs_charge("conntrack_lookup")
+                kernel.conntrack.track(skb)
+            verdict, __ = kernel.netfilter.evaluate("FORWARD", skb, in_name=dev.name, out_name=out_dev.name)
+        if verdict != "ACCEPT":
+            self.drops["nf_forward"] += 1
+            return
+
+        with kernel.profiler.frame("ip_forward"):
+            kernel.costs_charge("ip_forward")
+            skb.pkt.ip = ip.decrement_ttl()
+        self.forwarded += 1
+        self.ip_finish_output(skb, route)
+
+    def ip_finish_output(self, skb: SKBuff, route: Route) -> None:
+        kernel = self.kernel
+        out_dev = kernel.devices.by_index(route.oif)
+        next_hop = route.next_hop or skb.pkt.ip.dst
+
+        with kernel.profiler.frame("ip_output"):
+            kernel.costs_charge("ip_output")
+
+            if skb.pkt.eth.dst.is_broadcast or skb.pkt.ip.dst.is_broadcast:
+                self._xmit(out_dev, skb)
+                return
+
+            with kernel.profiler.frame("neigh_resolve"):
+                kernel.costs_charge("neigh_lookup")
+                mac = kernel.neighbors.resolved(out_dev.ifindex, next_hop)
+            if mac is None:
+                entry = kernel.neighbors.create_incomplete(out_dev.ifindex, next_hop)
+                if kernel.neighbors.queue_packet(entry, (skb, route)):
+                    self.arp_solicit(out_dev, next_hop)
+                else:
+                    self.drops["neigh_queue_full"] += 1
+                return
+
+            skb.pkt.eth.src = out_dev.mac
+            skb.pkt.eth.dst = mac
+            self._xmit(out_dev, skb)
+
+    def _xmit(self, out_dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        # fragment oversized IP datagrams at the egress MTU (slow-path work,
+        # per Table I; fast paths never see frames above MTU)
+        if skb.pkt.ip is not None and skb.pkt.frame_len - 14 > out_dev.mtu:
+            from repro.kernel.fragments import fragment
+
+            with kernel.profiler.frame("ip_fragment"):
+                kernel.costs_charge("ip_output")
+                pieces = fragment(skb.pkt, out_dev.mtu)
+            if not pieces:
+                self.drops["frag_needed_df"] += 1
+                return
+            for piece in pieces:
+                self._xmit_frame(out_dev, SKBuff(pkt=piece, ifindex=skb.ifindex))
+            return
+        self._xmit_frame(out_dev, skb)
+
+    def _xmit_frame(self, out_dev: NetDevice, skb: SKBuff) -> None:
+        kernel = self.kernel
+        with kernel.profiler.frame("dev_queue_xmit"):
+            kernel.costs_charge("dev_queue_xmit")
+            frame = skb.pkt.to_bytes()
+            if out_dev.tc_egress_prog is not None:
+                result = out_dev.tc_egress_prog.run_tc(kernel, out_dev, skb)
+                self.tc_actions[result.verdict] += 1
+                if result.verdict == TC_ACT_SHOT:
+                    self.drops["tc_egress_shot"] += 1
+                    return
+                frame = result.frame
+            out_dev.transmit(frame)
+
+    # --------------------------------------------------------- local paths
+
+    def local_deliver(self, skb: SKBuff) -> None:
+        kernel = self.kernel
+        with kernel.profiler.frame("ip_local_deliver"):
+            kernel.costs_charge("local_deliver")
+            kernel.costs_charge("conntrack_lookup")
+            kernel.conntrack.track(skb)
+            ip = skb.pkt.ip
+            if ip.proto == IPPROTO_ICMP and isinstance(skb.pkt.l4, ICMP):
+                if skb.pkt.l4.icmp_type == ICMP_ECHO_REQUEST:
+                    self._icmp_echo_reply(skb)
+                    return
+            kernel.costs_charge("socket_wakeup")
+            if kernel.sockets.deliver(skb):
+                self.delivered_local += 1
+            else:
+                self.drops["no_socket"] += 1
+
+    def send_ip(self, ip: IPv4, l4, payload: bytes = b"") -> None:
+        """Transmit a locally-generated IP packet (the socket TX path)."""
+        kernel = self.kernel
+        pkt = Packet(
+            eth=_placeholder_eth(),
+            ip=ip,
+            l4=l4,
+            payload=payload,
+        )
+        skb = SKBuff(pkt=pkt)
+        with kernel.profiler.frame("nf_hook_slow[OUTPUT]"):
+            verdict, __ = kernel.netfilter.evaluate("OUTPUT", skb)
+        if verdict != "ACCEPT":
+            self.drops["nf_output"] += 1
+            return
+        if self._is_local(ip.dst):
+            # loopback delivery
+            self.local_deliver(skb)
+            return
+        kernel.costs_charge("fib_lookup")
+        route = kernel.fib.lookup(ip.dst)
+        if route is None:
+            self.drops["no_route_out"] += 1
+            return
+        self.ip_finish_output(skb, route)
+
+    def _icmp_echo_reply(self, skb: SKBuff) -> None:
+        request_ip = skb.pkt.ip
+        request_icmp = skb.pkt.l4
+        self.send_ip(
+            IPv4(src=request_ip.dst, dst=request_ip.src, proto=IPPROTO_ICMP),
+            ICMP(ICMP_ECHO_REPLY, ident=request_icmp.ident, seq=request_icmp.seq),
+            skb.pkt.payload,
+        )
+
+    def _icmp_time_exceeded(self, dev: NetDevice, skb: SKBuff) -> None:
+        if not dev.addresses:
+            return
+        from repro.netsim.packet import ICMP_TIME_EXCEEDED
+
+        self.send_ip(
+            IPv4(src=dev.addresses[0].address, dst=skb.pkt.ip.src, proto=IPPROTO_ICMP),
+            ICMP(ICMP_TIME_EXCEEDED),
+            skb.pkt.ip.pack(0)[:20],
+        )
+
+    def _icmp_unreachable(self, dev: NetDevice, skb: SKBuff) -> None:
+        """ICMP destination unreachable (type 3, net unreachable)."""
+        if not dev.addresses or skb.pkt.ip is None:
+            return
+        self.send_ip(
+            IPv4(src=dev.addresses[0].address, dst=skb.pkt.ip.src, proto=IPPROTO_ICMP),
+            ICMP(3, code=0),
+            skb.pkt.ip.pack(0)[:20],
+        )
+
+    # --------------------------------------------------------------- vxlan
+
+    def vxlan_rcv(self, skb: SKBuff) -> None:
+        kernel = self.kernel
+        kernel.costs_charge("vxlan_encap")
+        payload = skb.pkt.payload
+        if len(payload) < VXLAN_HDR.size:
+            self.drops["vxlan_malformed"] += 1
+            return
+        flags, vni_field = VXLAN_HDR.unpack_from(payload)
+        if not flags & VXLAN_FLAG_VNI:
+            self.drops["vxlan_malformed"] += 1
+            return
+        vni = vni_field >> 8
+        inner = payload[VXLAN_HDR.size :]
+        vxlan_dev = self._vxlan_by_vni(vni)
+        if vxlan_dev is None or not vxlan_dev.up:
+            self.drops["vxlan_no_vni"] += 1
+            return
+        # Learn the remote vtep for the inner source MAC.
+        try:
+            src_mac = MacAddr.from_bytes(inner[6:12])
+            vxlan_dev.fdb_add(src_mac, skb.pkt.ip.src)
+        except Exception:
+            pass
+        vxlan_dev.deliver(inner)
+
+    def vxlan_encap_out(self, vxlan_dev: VxlanDevice, inner_frame: bytes, remote: IPv4Addr) -> None:
+        kernel = self.kernel
+        kernel.costs_charge("vxlan_encap")
+        header = VXLAN_HDR.pack(VXLAN_FLAG_VNI, vxlan_dev.vni << 8)
+        self.send_ip(
+            IPv4(src=vxlan_dev.local, dst=remote, proto=IPPROTO_UDP),
+            UDP(sport=49152 + (vxlan_dev.vni & 0x3FFF), dport=vxlan_dev.port),
+            header + inner_frame,
+        )
+
+    def _vxlan_for(self, skb: SKBuff) -> Optional[VxlanDevice]:
+        udp = skb.pkt.l4
+        for dev in self.kernel.devices.all():
+            if isinstance(dev, VxlanDevice) and udp.dport == dev.port:
+                return dev
+        return None
+
+    def _vxlan_by_vni(self, vni: int) -> Optional[VxlanDevice]:
+        for dev in self.kernel.devices.all():
+            if isinstance(dev, VxlanDevice) and dev.vni == vni:
+                return dev
+        return None
+
+    # -------------------------------------------------------------- ipvs
+
+    def _ipvs_intercept(self, dev: NetDevice, skb: SKBuff) -> bool:
+        """DNAT packets addressed to an ipvs virtual service. Returns True
+        when the packet was consumed (rescheduled toward a real server)."""
+        kernel = self.kernel
+        from repro.kernel.conntrack import ConnTuple
+
+        tup = ConnTuple.from_skb(skb)
+        if tup is None or kernel.ipvs.match(tup) is None:
+            return False
+        kernel.costs_charge("conntrack_lookup")
+        entry = kernel.conntrack.lookup(tup)
+        if entry is None or entry.dnat_to is None:
+            kernel.costs_charge("ipvs_schedule")
+            kernel.costs_charge("conntrack_create")
+            dnat = kernel.ipvs.connect(tup)
+            if dnat is None:
+                self.drops["ipvs_no_dest"] += 1
+                return True
+        else:
+            dnat = entry.dnat_to
+        new_ip, new_port = dnat
+        skb.pkt.ip.dst = new_ip
+        skb.pkt.l4.dport = new_port
+        kernel.costs_charge("fib_lookup")
+        route = kernel.fib.lookup(new_ip)
+        if route is None:
+            self.drops["no_route"] += 1
+            return True
+        self.forwarded += 1
+        self.ip_finish_output(skb, route)
+        return True
+
+    # ------------------------------------------------------------- helpers
+
+    def _is_local(self, addr: IPv4Addr) -> bool:
+        for dev in self.kernel.devices.all():
+            if dev.has_address(addr):
+                return True
+        return False
+
+    def _is_local_broadcast(self, dev: NetDevice, addr: IPv4Addr) -> bool:
+        return any(a.broadcast == addr for a in dev.addresses)
+
+
+def _placeholder_eth():
+    from repro.netsim.packet import Ethernet
+
+    zero = MacAddr(0)
+    return Ethernet(dst=zero, src=zero, ethertype=ETH_P_IP)

@@ -1,0 +1,54 @@
+"""Sysctl registry (``net.*`` keys only).
+
+Real Linux exposes these via procfs; the LinuxFP controller needs change
+notifications, so writes are also announced on the netlink bus under the
+``sysctl`` group (a documented divergence — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+DEFAULTS = {
+    "net.ipv4.ip_forward": "0",
+    "net.ipv4.conf.all.rp_filter": "1",
+    "net.bridge.bridge-nf-call-iptables": "1",
+    "net.ipv4.vs.conntrack": "1",
+}
+
+
+class SysctlError(KeyError):
+    """Raised for unknown sysctl keys."""
+
+
+class Sysctl:
+    """String-valued kernel tunables with change listeners."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, str] = dict(DEFAULTS)
+        self._listeners: List[Callable[[str, str], None]] = []
+
+    def get(self, name: str) -> str:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise SysctlError(f"unknown sysctl {name!r}") from None
+
+    def get_bool(self, name: str) -> bool:
+        return self.get(name) not in ("0", "")
+
+    def set(self, name: str, value: str) -> None:
+        if name not in self._values:
+            raise SysctlError(f"unknown sysctl {name!r}")
+        value = str(value)
+        if self._values[name] == value:
+            return
+        self._values[name] = value
+        for listener in self._listeners:
+            listener(name, value)
+
+    def add_listener(self, callback: Callable[[str, str], None]) -> None:
+        self._listeners.append(callback)
+
+    def known_keys(self) -> List[str]:
+        return sorted(self._values)

@@ -1,0 +1,21 @@
+"""Measurement harness: topologies, traffic generators, stats, flame graphs.
+
+This package plays the role of the paper's CloudLab testbed + DPDK Pktgen +
+netperf: it builds the evaluation topologies, drives traffic through the
+simulated kernels, and converts accumulated simulated nanoseconds into the
+throughput/latency numbers the benchmark suite reports.
+"""
+
+from repro.measure.topology import LineTopology
+from repro.measure.pktgen import Pktgen, ThroughputResult
+from repro.measure.netperf import Netperf, LatencyResult
+from repro.measure.stats import summarize
+
+__all__ = [
+    "LineTopology",
+    "Pktgen",
+    "ThroughputResult",
+    "Netperf",
+    "LatencyResult",
+    "summarize",
+]

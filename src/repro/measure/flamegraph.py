@@ -1,0 +1,67 @@
+"""Flame-graph generation from kernel profiler samples (paper Fig 1).
+
+The simulated kernel's pipeline records frames named after the real Linux
+functions (``__netif_receive_skb_core``, ``ip_rcv``, ``fib_table_lookup``,
+…). This module drives a forwarding workload with profiling enabled and
+renders the collapsed stacks plus a small ASCII flame view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.measure.pktgen import Pktgen
+from repro.measure.topology import LineTopology
+
+
+def profile_forwarding(packets: int = 500, rules: int = 0) -> "FlameGraph":
+    """Profile the Linux slow path forwarding the paper's router workload."""
+    topo = LineTopology()
+    topo.install_prefixes(50)
+    if rules:
+        from repro.kernel.netfilter import Rule
+        from repro.netsim.addresses import IPv4Prefix
+
+        for i in range(rules):
+            topo.dut.ipt_append(
+                "FORWARD", Rule(target="DROP", src=IPv4Prefix.parse(f"172.16.{i % 256}.0/24"))
+            )
+    generator = Pktgen(topo)
+    topo.dut.profiler.enabled = True
+    generator.measure_per_packet_ns(packets=packets, warmup=50)
+    return FlameGraph(topo.dut.profiler.samples, topo.dut.profiler.self_weights())
+
+
+class FlameGraph:
+    """Collapsed-stack container with simple rendering."""
+
+    def __init__(self, samples: Dict[Tuple[str, ...], int], self_weights: Dict[Tuple[str, ...], int]) -> None:
+        self.samples = samples
+        self.self_weights = self_weights
+
+    def collapsed(self) -> List[str]:
+        lines = [(";".join(stack), w) for stack, w in self.self_weights.items() if w > 0]
+        lines.sort(key=lambda item: (-item[1], item[0]))
+        return [f"{stack} {weight}" for stack, weight in lines]
+
+    def total_ns(self) -> int:
+        return sum(w for w in self.self_weights.values())
+
+    def hottest(self, top: int = 5) -> List[Tuple[str, float]]:
+        """Leaf functions by share of total self time."""
+        total = self.total_ns() or 1
+        leaf: Dict[str, int] = {}
+        for stack, weight in self.self_weights.items():
+            leaf[stack[-1]] = leaf.get(stack[-1], 0) + weight
+        ranked = sorted(leaf.items(), key=lambda kv: -kv[1])[:top]
+        return [(name, weight / total) for name, weight in ranked]
+
+    def render_ascii(self, width: int = 72) -> str:
+        """A one-level-per-line flame view, widths proportional to time."""
+        total = max((w for w in self.samples.values()), default=1)
+        out = []
+        for stack in sorted(self.samples, key=lambda s: (len(s), s)):
+            weight = self.samples[stack]
+            bar = max(1, int(width * weight / total))
+            out.append(f"{'  ' * (len(stack) - 1)}{stack[-1]:<34} {'█' * bar}")
+        return "\n".join(out)

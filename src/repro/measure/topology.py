@@ -1,0 +1,82 @@
+"""Evaluation topologies.
+
+:class:`LineTopology` is the paper's three-node line — a traffic source and a
+traffic sink each connected to the device under test (DUT) by a separate
+25 Gbps link. The DUT is configured per-scenario (virtual router, virtual
+gateway) *only through standard kernel APIs* so that Linux, LinuxFP, and the
+baseline platforms all run the same configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel import Kernel
+from repro.netsim.clock import Clock
+from repro.netsim.cost import CostModel
+from repro.netsim.nic import Wire
+
+
+class LineTopology:
+    """source ── dut ── sink, with addressing the paper's experiments use.
+
+    - source eth0: 10.0.1.2/24, default route via 10.0.1.1
+    - dut eth0:    10.0.1.1/24 (ingress), eth1: 10.0.2.1/24 (egress)
+    - sink eth0:   10.0.2.2/24, default route via 10.0.2.1
+    """
+
+    def __init__(
+        self,
+        num_queues: int = 1,
+        clock: Optional[Clock] = None,
+        costs: Optional[CostModel] = None,
+        dut_forwarding: bool = True,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.costs = costs if costs is not None else CostModel()
+        self.source = Kernel("source", clock=self.clock, costs=self.costs)
+        self.dut = Kernel("dut", clock=self.clock, costs=self.costs, num_cores=num_queues)
+        self.sink = Kernel("sink", clock=self.clock, costs=self.costs)
+
+        self.src_eth = self.source.add_physical("eth0", num_queues=num_queues)
+        self.dut_in = self.dut.add_physical("eth0", num_queues=num_queues)
+        self.dut_out = self.dut.add_physical("eth1", num_queues=num_queues)
+        self.sink_eth = self.sink.add_physical("eth0", num_queues=num_queues)
+        for kernel, names in ((self.source, ["eth0"]), (self.dut, ["eth0", "eth1"]), (self.sink, ["eth0"])):
+            for name in names:
+                kernel.set_link(name, True)
+
+        Wire(self.src_eth.nic, self.dut_in.nic)
+        Wire(self.dut_out.nic, self.sink_eth.nic)
+
+        self.source.add_address("eth0", "10.0.1.2/24")
+        self.dut.add_address("eth0", "10.0.1.1/24")
+        self.dut.add_address("eth1", "10.0.2.1/24")
+        self.sink.add_address("eth0", "10.0.2.2/24")
+        self.source.route_add("0.0.0.0/0", via="10.0.1.1")
+        self.sink.route_add("0.0.0.0/0", via="10.0.2.1")
+        if dut_forwarding:
+            self.dut.sysctl_set("net.ipv4.ip_forward", "1")
+
+    def install_prefixes(self, count: int = 50) -> List[str]:
+        """The paper's router workload: ``count`` prefixes via iproute2.
+
+        Prefix i covers 10.(100+i).0.0/16 and routes toward the sink.
+        """
+        prefixes = []
+        for i in range(count):
+            prefix = f"10.{100 + i}.0.0/16"
+            self.dut.route_add(prefix, via="10.0.2.2")
+            prefixes.append(prefix)
+        return prefixes
+
+    def prewarm_neighbors(self) -> None:
+        """Resolve the DUT's neighbors up front (as a warmed-up testbed is)."""
+        self.dut.neigh_add("eth0", "10.0.1.2", self.src_eth.mac)
+        self.dut.neigh_add("eth1", "10.0.2.2", self.sink_eth.mac)
+        self.source.neigh_add("eth0", "10.0.1.1", self.dut_in.mac)
+        self.sink.neigh_add("eth0", "10.0.2.1", self.dut_out.mac)
+
+    def flow_destination(self, flow: int, num_prefixes: int = 50) -> str:
+        """A destination IP inside one of the installed prefixes."""
+        return f"10.{100 + (flow % num_prefixes)}.0.{(flow % 250) + 1}"

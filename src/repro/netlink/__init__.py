@@ -1,0 +1,24 @@
+"""Netlink substrate: the management-plane protocol between tools and kernel.
+
+LinuxFP's transparency claim rests on consuming the *same* management API
+that iproute2, brctl, iptables, and Kubernetes CNI plugins use: netlink.
+This package implements a faithful miniature of that protocol:
+
+- :mod:`repro.netlink.codec` — 4-byte-aligned TLV attribute encoding and a
+  schema-driven value codec (u8/u16/u32/u64/string/ip4/mac/nested/list).
+- :mod:`repro.netlink.messages` — message-type constants (``RTM_*`` plus the
+  netfilter extensions), flags, and the :class:`NetlinkMsg` container with
+  full binary round-tripping.
+- :mod:`repro.netlink.bus` — the kernel-side bus: request/reply (including
+  ``NLM_F_DUMP`` multi-part replies) and multicast notification groups, which
+  is how the LinuxFP controller observes configuration changes.
+
+All management tools in :mod:`repro.tools` and the LinuxFP controller in
+:mod:`repro.core` speak exclusively through this layer — they never touch
+kernel objects directly.
+"""
+
+from repro.netlink.messages import NetlinkError, NetlinkMsg
+from repro.netlink.bus import NetlinkBus, NetlinkSocket
+
+__all__ = ["NetlinkMsg", "NetlinkError", "NetlinkBus", "NetlinkSocket"]

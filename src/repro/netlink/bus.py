@@ -1,0 +1,155 @@
+"""The kernel-side netlink bus: request/reply plus multicast notifications.
+
+The bus lives inside a simulated kernel. Kernel subsystems register
+*handlers* per message type; userspace components (management tools, the
+LinuxFP controller, CNI plugins) open :class:`NetlinkSocket`\\ s to send
+requests and to subscribe to multicast groups.
+
+Faithfulness notes:
+
+- Requests and replies cross the bus **as bytes** — both sides run the real
+  codec, so schema bugs surface exactly like malformed netlink would.
+- Dump requests (``NLM_F_DUMP``) produce multi-part replies terminated by
+  ``NLMSG_DONE``.
+- Notifications carry the same message types as the corresponding requests
+  (``RTM_NEWROUTE`` both configures a route and announces one), as in Linux.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.netlink.messages import (
+    ALL_GROUPS,
+    NLM_F_DUMP,
+    NetlinkError,
+    NetlinkMsg,
+    ack_msg,
+    done_msg,
+    error_msg,
+)
+
+# A kernel handler takes the request message and returns reply messages
+# (excluding the trailing DONE for dumps, which the bus appends).
+Handler = Callable[[NetlinkMsg], List[NetlinkMsg]]
+
+
+class NetlinkBus:
+    """Message router between userspace sockets and kernel subsystems."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, Handler] = {}
+        self._sockets: List["NetlinkSocket"] = []
+        self._next_pid = 1
+
+    def register_handler(self, msg_type: int, handler: Handler) -> None:
+        if msg_type in self._handlers:
+            raise ValueError(f"handler already registered for type {msg_type}")
+        self._handlers[msg_type] = handler
+
+    def open_socket(self) -> "NetlinkSocket":
+        sock = NetlinkSocket(self, pid=self._next_pid)
+        self._next_pid += 1
+        self._sockets.append(sock)
+        return sock
+
+    def close_socket(self, sock: "NetlinkSocket") -> None:
+        if sock in self._sockets:
+            self._sockets.remove(sock)
+
+    def dispatch(self, raw: bytes) -> bytes:
+        """Handle one request (as bytes) and return the reply byte stream."""
+        request = NetlinkMsg.from_bytes(raw)
+        handler = self._handlers.get(request.msg_type)
+        if handler is None:
+            return error_msg(-95, f"unsupported message type {request.type_name}", request.seq).to_bytes()
+        try:
+            replies = handler(request)
+        except NetlinkError as exc:
+            return error_msg(exc.code, exc.message, request.seq).to_bytes()
+        if request.flags & NLM_F_DUMP:
+            replies = list(replies) + [done_msg(request.seq)]
+        elif not replies:
+            replies = [ack_msg(request.seq)]
+        for reply in replies:
+            reply.seq = request.seq
+        return b"".join(reply.to_bytes() for reply in replies)
+
+    def notify(self, group: str, msg: NetlinkMsg) -> None:
+        """Multicast a notification to every socket subscribed to ``group``."""
+        if group not in ALL_GROUPS:
+            raise ValueError(f"unknown multicast group {group!r}")
+        raw = msg.to_bytes()
+        for sock in self._sockets:
+            if group in sock.groups:
+                sock._deliver(raw)
+
+
+class NetlinkSocket:
+    """Userspace endpoint: synchronous requests plus a notification queue."""
+
+    def __init__(self, bus: NetlinkBus, pid: int) -> None:
+        self._bus = bus
+        self.pid = pid
+        self.groups: set = set()
+        self._queue: Deque[bytes] = deque()
+        self._seq = 0
+        self.listeners: List[Callable[[NetlinkMsg], None]] = []
+
+    def subscribe(self, *groups: str) -> None:
+        for group in groups:
+            if group not in ALL_GROUPS:
+                raise ValueError(f"unknown multicast group {group!r}")
+            self.groups.add(group)
+
+    def unsubscribe(self, *groups: str) -> None:
+        for group in groups:
+            self.groups.discard(group)
+
+    def request(self, msg: NetlinkMsg) -> List[NetlinkMsg]:
+        """Send a request; return replies. Raises :class:`NetlinkError` on error."""
+        self._seq += 1
+        msg.seq = self._seq
+        msg.pid = self.pid
+        raw_reply = self._bus.dispatch(msg.to_bytes())
+        replies = NetlinkMsg.parse_stream(raw_reply)
+        out: List[NetlinkMsg] = []
+        for reply in replies:
+            reply.raise_for_error()
+            if reply.is_error():  # a zero-code ACK
+                continue
+            if reply.msg_type == 3:  # NLMSG_DONE
+                continue
+            out.append(reply)
+        return out
+
+    def add_listener(self, callback: Callable[[NetlinkMsg], None]) -> None:
+        """Register a push callback invoked for each delivered notification."""
+        self.listeners.append(callback)
+
+    def recv(self) -> Optional[NetlinkMsg]:
+        """Pop the next queued notification, or None when the queue is empty."""
+        if not self._queue:
+            return None
+        return NetlinkMsg.from_bytes(self._queue.popleft())
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> List[NetlinkMsg]:
+        out = []
+        while self._queue:
+            out.append(NetlinkMsg.from_bytes(self._queue.popleft()))
+        return out
+
+    def close(self) -> None:
+        self._bus.close_socket(self)
+
+    def _deliver(self, raw: bytes) -> None:
+        if self.listeners:
+            msg = NetlinkMsg.from_bytes(raw)
+            for listener in self.listeners:
+                listener(msg)
+        else:
+            self._queue.append(raw)

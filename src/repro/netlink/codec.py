@@ -1,0 +1,190 @@
+"""TLV attribute codec for netlink messages.
+
+Netlink attributes are encoded as ``struct nlattr``: a 4-byte header
+(u16 length including header, u16 type) followed by the payload, padded to a
+4-byte boundary. Attribute *values* are typed per-message by a schema
+(:class:`AttrSchema`), mirroring how real netlink families document their
+attribute spaces (``IFLA_*``, ``RTA_*``, …).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.netsim.addresses import IPv4Addr, MacAddr
+
+NLATTR_HDR = struct.Struct("<HH")
+ALIGN = 4
+
+
+class CodecError(ValueError):
+    """Raised on malformed attribute encodings or schema violations."""
+
+
+def _pad(length: int) -> int:
+    return (ALIGN - (length % ALIGN)) % ALIGN
+
+
+def pack_attr(attr_type: int, payload: bytes) -> bytes:
+    """Encode one nlattr TLV (with padding)."""
+    length = NLATTR_HDR.size + len(payload)
+    if length > 0xFFFF:
+        raise CodecError(f"attribute payload too large: {len(payload)}")
+    return NLATTR_HDR.pack(length, attr_type) + payload + b"\x00" * _pad(len(payload))
+
+
+def unpack_attrs(data: bytes) -> List[Tuple[int, bytes]]:
+    """Decode a run of nlattr TLVs into (type, payload) pairs."""
+    attrs: List[Tuple[int, bytes]] = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < NLATTR_HDR.size:
+            raise CodecError("truncated attribute header")
+        length, attr_type = NLATTR_HDR.unpack_from(data, offset)
+        if length < NLATTR_HDR.size or offset + length > len(data):
+            raise CodecError(f"bad attribute length {length} at offset {offset}")
+        payload = data[offset + NLATTR_HDR.size : offset + length]
+        attrs.append((attr_type, payload))
+        offset += length + _pad(length - NLATTR_HDR.size)
+    return attrs
+
+
+@dataclass(frozen=True)
+class AttrDef:
+    """One attribute in a message schema."""
+
+    attr_id: int
+    kind: str  # u8|u16|u32|u64|s32|flag|string|bytes|ip4|mac|nested|list
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALUE_CODECS and self.kind not in ("nested", "list"):
+            raise CodecError(f"unknown attr kind {self.kind!r}")
+
+
+def _enc_uint(width: int):
+    def enc(value: Any) -> bytes:
+        if not isinstance(value, int) or value < 0:
+            raise CodecError(f"expected unsigned int, got {value!r}")
+        return value.to_bytes(width, "little")
+
+    return enc
+
+
+def _dec_uint(width: int):
+    def dec(payload: bytes) -> int:
+        if len(payload) != width:
+            raise CodecError(f"expected {width}-byte integer, got {len(payload)} bytes")
+        return int.from_bytes(payload, "little")
+
+    return dec
+
+
+_VALUE_CODECS = {
+    "u8": (_enc_uint(1), _dec_uint(1)),
+    "u16": (_enc_uint(2), _dec_uint(2)),
+    "u32": (_enc_uint(4), _dec_uint(4)),
+    "u64": (_enc_uint(8), _dec_uint(8)),
+    "s32": (
+        lambda v: int(v).to_bytes(4, "little", signed=True),
+        lambda p: int.from_bytes(p, "little", signed=True),
+    ),
+    "flag": (lambda v: b"" if v else b"", lambda p: True),
+    "string": (
+        lambda v: str(v).encode() + b"\x00",
+        lambda p: p.rstrip(b"\x00").decode(),
+    ),
+    "bytes": (lambda v: bytes(v), lambda p: p),
+    "ip4": (
+        lambda v: (v if isinstance(v, IPv4Addr) else IPv4Addr.parse(str(v))).to_bytes(),
+        lambda p: IPv4Addr.from_bytes(p),
+    ),
+    "mac": (
+        lambda v: (v if isinstance(v, MacAddr) else MacAddr.parse(str(v))).to_bytes(),
+        lambda p: MacAddr.from_bytes(p),
+    ),
+}
+
+
+class AttrSchema:
+    """A named attribute space: maps attribute names ↔ ids with typed codecs.
+
+    ``nested`` attributes take a sub-schema; ``list`` attributes encode a
+    Python list where each element is an indexed nested attribute (the
+    convention real netlink uses for e.g. ``IFLA_VFINFO_LIST``).
+    """
+
+    def __init__(self, name: str, attrs: Dict[str, AttrDef], nested: Dict[str, "AttrSchema"] = None) -> None:
+        self.name = name
+        self.attrs = dict(attrs)
+        self.nested = dict(nested or {})
+        self._by_id = {d.attr_id: (n, d) for n, d in self.attrs.items()}
+        if len(self._by_id) != len(self.attrs):
+            raise CodecError(f"duplicate attribute ids in schema {name}")
+        for attr_name, definition in self.attrs.items():
+            if definition.kind in ("nested", "list") and attr_name not in self.nested:
+                raise CodecError(f"schema {name}: {attr_name} needs a sub-schema")
+
+    def encode(self, values: Dict[str, Any]) -> bytes:
+        out = []
+        for attr_name in sorted(values):
+            value = values[attr_name]
+            if value is None:
+                continue
+            definition = self.attrs.get(attr_name)
+            if definition is None:
+                raise CodecError(f"schema {self.name}: unknown attribute {attr_name!r}")
+            if definition.kind == "flag" and not value:
+                continue
+            out.append(pack_attr(definition.attr_id, self._encode_value(attr_name, definition, value)))
+        return b"".join(out)
+
+    def decode(self, data: bytes) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        for attr_id, payload in unpack_attrs(data):
+            if attr_id not in self._by_id:
+                # Unknown attributes are skipped, like real netlink consumers do.
+                continue
+            attr_name, definition = self._by_id[attr_id]
+            values[attr_name] = self._decode_value(attr_name, definition, payload)
+        return values
+
+    def _encode_value(self, attr_name: str, definition: AttrDef, value: Any) -> bytes:
+        if definition.kind == "nested":
+            return self.nested[attr_name].encode(value)
+        if definition.kind == "list":
+            sub = self.nested[attr_name]
+            return b"".join(pack_attr(i, sub.encode(item)) for i, item in enumerate(value))
+        encoder, __ = _VALUE_CODECS[definition.kind]
+        try:
+            return encoder(value)
+        except (ValueError, TypeError, AttributeError) as exc:
+            raise CodecError(f"schema {self.name}: bad value for {attr_name}: {exc}") from exc
+
+    def _decode_value(self, attr_name: str, definition: AttrDef, payload: bytes) -> Any:
+        if definition.kind == "nested":
+            return self.nested[attr_name].decode(payload)
+        if definition.kind == "list":
+            sub = self.nested[attr_name]
+            return [sub.decode(p) for __, p in unpack_attrs(payload)]
+        __, decoder = _VALUE_CODECS[definition.kind]
+        return decoder(payload)
+
+
+def schema(name: str, /, **attrs: Any) -> AttrSchema:
+    """Build an :class:`AttrSchema` compactly.
+
+    Each keyword is ``name=(id, kind)`` or ``name=(id, kind, sub_schema)``
+    for nested/list kinds.
+    """
+    defs: Dict[str, AttrDef] = {}
+    nested: Dict[str, AttrSchema] = {}
+    for attr_name, spec in attrs.items():
+        if len(spec) == 3:
+            attr_id, kind, sub = spec
+            nested[attr_name] = sub
+        else:
+            attr_id, kind = spec
+        defs[attr_name] = AttrDef(attr_id, kind)
+    return AttrSchema(name, defs, nested)

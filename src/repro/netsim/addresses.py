@@ -1,0 +1,278 @@
+"""MAC and IPv4 address types used throughout the simulator.
+
+Addresses are small immutable value objects wrapping an integer. They are
+hashable (usable as FIB/FDB keys), render in the conventional textual forms,
+and convert to/from wire bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+class AddressError(ValueError):
+    """Raised for malformed address or prefix input."""
+
+
+@dataclass(frozen=True, order=True)
+class MacAddr:
+    """A 48-bit Ethernet MAC address."""
+
+    value: int
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= self.BROADCAST_VALUE:
+            raise AddressError(f"MAC value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddr":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise AddressError(f"bad MAC address: {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError:
+            raise AddressError(f"bad MAC address: {text!r}") from None
+        if any(not 0 <= o <= 0xFF for o in octets):
+            raise AddressError(f"bad MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddr":
+        if len(data) != 6:
+            raise AddressError(f"MAC needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def broadcast(cls) -> "MacAddr":
+        return cls(cls.BROADCAST_VALUE)
+
+    @classmethod
+    def from_index(cls, index: int, oui: int = 0x02_00_00) -> "MacAddr":
+        """Deterministically derive a locally-administered MAC from an index."""
+        if not 0 <= index <= 0xFFFFFF:
+            raise AddressError(f"MAC index out of range: {index}")
+        return cls((oui << 24) | index)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit of the first octet is set (includes broadcast)."""
+        return bool((self.value >> 40) & 0x01)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.to_bytes())
+
+    def __repr__(self) -> str:
+        return f"MacAddr({str(self)!r})"
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Addr:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"IPv4 value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Addr":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"bad IPv4 address: {text!r}")
+        try:
+            octets = [int(p, 10) for p in parts]
+        except ValueError:
+            raise AddressError(f"bad IPv4 address: {text!r}") from None
+        if any(not 0 <= o <= 255 for o in octets):
+            raise AddressError(f"bad IPv4 address: {text!r}")
+        return cls((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Addr":
+        if len(data) != 4:
+            raise AddressError(f"IPv4 needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == 0xFFFFFFFF
+
+    @property
+    def is_multicast(self) -> bool:
+        return 0xE0000000 <= self.value <= 0xEFFFFFFF
+
+    @property
+    def is_loopback(self) -> bool:
+        return (self.value >> 24) == 127
+
+    def __str__(self) -> str:
+        return ".".join(str(b) for b in self.to_bytes())
+
+    def __repr__(self) -> str:
+        return f"IPv4Addr({str(self)!r})"
+
+
+AddrLike = Union[str, int, IPv4Addr]
+
+
+def ipv4(value: AddrLike) -> IPv4Addr:
+    """Coerce a string, int, or IPv4Addr into an IPv4Addr."""
+    if isinstance(value, IPv4Addr):
+        return value
+    if isinstance(value, int):
+        return IPv4Addr(value)
+    return IPv4Addr.parse(value)
+
+
+def mac(value: Union[str, int, MacAddr]) -> MacAddr:
+    """Coerce a string, int, or MacAddr into a MacAddr."""
+    if isinstance(value, MacAddr):
+        return value
+    if isinstance(value, int):
+        return MacAddr(value)
+    return MacAddr.parse(value)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Prefix:
+    """An IPv4 network prefix (CIDR), normalized to its network address."""
+
+    address: IPv4Addr
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"bad prefix length: {self.length}")
+        masked = self.address.value & self.mask_value()
+        if masked != self.address.value:
+            object.__setattr__(self, "address", IPv4Addr(masked))
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``a.b.c.d/len``; a bare address parses as a /32."""
+        if "/" in text:
+            addr_text, __, len_text = text.partition("/")
+            try:
+                length = int(len_text)
+            except ValueError:
+                raise AddressError(f"bad prefix: {text!r}") from None
+        else:
+            addr_text, length = text, 32
+        return cls(IPv4Addr.parse(addr_text), length)
+
+    def mask_value(self) -> int:
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def netmask(self) -> IPv4Addr:
+        return IPv4Addr(self.mask_value())
+
+    @property
+    def broadcast(self) -> IPv4Addr:
+        return IPv4Addr(self.address.value | (~self.mask_value() & 0xFFFFFFFF))
+
+    def contains(self, addr: AddrLike) -> bool:
+        return (ipv4(addr).value & self.mask_value()) == self.address.value
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        shorter = self if self.length <= other.length else other
+        longer = other if shorter is self else self
+        return shorter.contains(longer.address)
+
+    def hosts(self) -> Iterator[IPv4Addr]:
+        """Iterate usable host addresses (excludes network/broadcast for len<31)."""
+        first = self.address.value
+        last = self.broadcast.value
+        if self.length < 31:
+            first += 1
+            last -= 1
+        for value in range(first, last + 1):
+            yield IPv4Addr(value)
+
+    def host(self, index: int) -> IPv4Addr:
+        """The index-th host address (1-based within the subnet)."""
+        value = self.address.value + index
+        if value > self.broadcast.value:
+            raise AddressError(f"host index {index} outside {self}")
+        return IPv4Addr(value)
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+
+def prefix(value: Union[str, IPv4Prefix]) -> IPv4Prefix:
+    """Coerce a string or IPv4Prefix into an IPv4Prefix."""
+    if isinstance(value, IPv4Prefix):
+        return value
+    return IPv4Prefix.parse(value)
+
+
+@dataclass(frozen=True, order=True)
+class IfAddr:
+    """An interface address: a host address *plus* its prefix length.
+
+    Unlike :class:`IPv4Prefix` this is NOT normalized — ``10.0.0.1/24``
+    keeps the host part (the interface's own address) while ``network``
+    yields the covering ``10.0.0.0/24`` prefix.
+    """
+
+    address: IPv4Addr
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"bad prefix length: {self.length}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IfAddr":
+        if "/" in text:
+            addr_text, __, len_text = text.partition("/")
+            try:
+                length = int(len_text)
+            except ValueError:
+                raise AddressError(f"bad interface address: {text!r}") from None
+        else:
+            addr_text, length = text, 32
+        return cls(IPv4Addr.parse(addr_text), length)
+
+    @property
+    def network(self) -> IPv4Prefix:
+        return IPv4Prefix(self.address, self.length)
+
+    @property
+    def broadcast(self) -> IPv4Addr:
+        return self.network.broadcast
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.length}"
+
+
+def ifaddr(value: Union[str, "IfAddr"]) -> "IfAddr":
+    """Coerce a string or IfAddr into an IfAddr."""
+    if isinstance(value, IfAddr):
+        return value
+    return IfAddr.parse(value)

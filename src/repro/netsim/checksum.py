@@ -1,0 +1,25 @@
+"""Internet checksum (RFC 1071) helpers."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement internet checksum of ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def pseudo_header(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """Build the IPv4 pseudo header used by TCP/UDP checksums."""
+    return src + dst + bytes([0, proto]) + length.to_bytes(2, "big")
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

@@ -1,0 +1,126 @@
+"""Simulated NICs and point-to-point wires.
+
+A :class:`NIC` models a multi-queue network interface card. Frames arriving
+from the wire are hashed onto an RX queue (RSS) and handed to whatever
+*driver handler* is attached — normally the kernel's receive path, or a
+kernel-bypass poller for the VPP baseline. Transmitted frames are forwarded
+over the attached :class:`Wire` to the peer NIC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+# A driver handler receives (frame_bytes, rx_queue_index).
+DriverHandler = Callable[[bytes, int], None]
+
+
+class NIC:
+    """A simulated multi-queue NIC."""
+
+    def __init__(self, name: str, num_queues: int = 1) -> None:
+        if num_queues < 1:
+            raise ValueError("NIC needs at least one queue")
+        self.name = name
+        self.num_queues = num_queues
+        self.wire: Optional["Wire"] = None
+        self._handler: Optional[DriverHandler] = None
+        self.rx_queues: List[Deque[bytes]] = [deque() for _ in range(num_queues)]
+        self.stats = NICStats()
+        # Kernel-bypass mode: frames are queued for polling instead of pushed.
+        self.bypass = False
+        # Frames still to drop because the driver is resetting its rings
+        # (e.g. a native-mode XDP program replacement).
+        self._reset_drops_remaining = 0
+
+    def driver_reset(self, dropped_frames: int) -> None:
+        """Simulate a driver ring reset: the next N arriving frames are lost."""
+        self._reset_drops_remaining += dropped_frames
+
+    def attach(self, handler: DriverHandler) -> None:
+        """Install the driver handler invoked for each received frame."""
+        self._handler = handler
+
+    def set_bypass(self, enabled: bool) -> None:
+        """Toggle kernel-bypass (DPDK-style) mode: frames queue for polling."""
+        self.bypass = enabled
+
+    def rss_queue(self, frame: bytes) -> int:
+        """Pick an RX queue via a toy RSS hash over addressing bytes."""
+        if self.num_queues == 1:
+            return 0
+        key = frame[0:12] + frame[26:38] if len(frame) >= 38 else frame
+        return sum(key) % self.num_queues
+
+    def receive_from_wire(self, frame: bytes) -> None:
+        """Called by the wire when a frame arrives at this NIC."""
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += len(frame)
+        if self._reset_drops_remaining > 0:
+            self._reset_drops_remaining -= 1
+            self.stats.rx_reset_dropped += 1
+            return
+        queue = self.rss_queue(frame)
+        if self.bypass or self._handler is None:
+            self.rx_queues[queue].append(frame)
+        else:
+            self._handler(frame, queue)
+
+    def poll(self, queue: int = 0, budget: int = 64) -> List[bytes]:
+        """Drain up to ``budget`` frames from an RX queue (bypass mode)."""
+        out: List[bytes] = []
+        rx = self.rx_queues[queue]
+        while rx and len(out) < budget:
+            out.append(rx.popleft())
+        return out
+
+    def transmit(self, frame: bytes) -> None:
+        """Send a frame out over the wire (dropped if unplugged)."""
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += len(frame)
+        if self.wire is not None:
+            self.wire.carry(self, frame)
+        else:
+            self.stats.tx_dropped += 1
+
+    def __repr__(self) -> str:
+        return f"NIC({self.name!r}, queues={self.num_queues})"
+
+
+class NICStats:
+    """Simple packet/byte counters for a NIC."""
+
+    def __init__(self) -> None:
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.tx_dropped = 0
+        self.rx_reset_dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"NICStats(rx={self.rx_packets}/{self.rx_bytes}B, "
+            f"tx={self.tx_packets}/{self.tx_bytes}B, drop={self.tx_dropped})"
+        )
+
+
+class Wire:
+    """A full-duplex point-to-point link between two NICs."""
+
+    def __init__(self, a: NIC, b: NIC) -> None:
+        if a.wire is not None or b.wire is not None:
+            raise ValueError("NIC already wired")
+        self.a = a
+        self.b = b
+        a.wire = self
+        b.wire = self
+
+    def carry(self, sender: NIC, frame: bytes) -> None:
+        peer = self.b if sender is self.a else self.a
+        peer.receive_from_wire(frame)
+
+    def unplug(self) -> None:
+        self.a.wire = None
+        self.b.wire = None

@@ -1,0 +1,82 @@
+"""Call-frame profiler for flame graphs (paper Fig 1).
+
+The simulated kernel pipeline wraps each processing stage in
+``profiler.frame(name)``. When enabled, the profiler records one *sample* per
+completed packet: the multiset of stacks that were active while the packet
+was processed, weighted by the simulated nanoseconds spent in each frame.
+``collapsed()`` emits Brendan-Gregg-style collapsed stack lines suitable for
+flame graph rendering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from repro.netsim.clock import Clock
+
+
+class Profiler:
+    """Records weighted call stacks against a simulated clock."""
+
+    def __init__(self, clock: Clock, enabled: bool = False) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self._stack: List[str] = []
+        self._samples: Counter = Counter()  # tuple(stack) -> weight_ns
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        """Push ``name`` for the duration of the block, charging elapsed ns."""
+        if not self.enabled:
+            yield
+            return
+        self._stack.append(name)
+        start = self.clock.now_ns
+        try:
+            yield
+        finally:
+            elapsed = self.clock.now_ns - start
+            if elapsed > 0:
+                self._samples[tuple(self._stack)] += elapsed
+            self._stack.pop()
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._stack.clear()
+
+    @property
+    def samples(self) -> Dict[Tuple[str, ...], int]:
+        return dict(self._samples)
+
+    def self_weights(self) -> Dict[Tuple[str, ...], int]:
+        """Per-stack *self* time: frame time minus time attributed to children."""
+        weights: Dict[Tuple[str, ...], int] = {}
+        for stack, total in self._samples.items():
+            child_total = sum(
+                t for s, t in self._samples.items() if len(s) == len(stack) + 1 and s[: len(stack)] == stack
+            )
+            weights[stack] = max(0, total - child_total)
+        return weights
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines: ``a;b;c <self_ns>`` sorted by weight desc."""
+        lines = [
+            (";".join(stack), weight)
+            for stack, weight in self.self_weights().items()
+            if weight > 0
+        ]
+        lines.sort(key=lambda item: (-item[1], item[0]))
+        return [f"{stack} {weight}" for stack, weight in lines]
+
+    def hottest(self, top: int = 5) -> List[Tuple[str, int]]:
+        """The ``top`` hottest leaf frames by self time."""
+        leaf_weights: Counter = Counter()
+        for stack, weight in self.self_weights().items():
+            leaf_weights[stack[-1]] += weight
+        return leaf_weights.most_common(top)
+
+    def total_ns(self) -> int:
+        """Total self time across all recorded stacks."""
+        return sum(self.self_weights().values())

@@ -1,0 +1,48 @@
+"""The ``sk_buff``-like packet descriptor used by the simulated kernel.
+
+An :class:`SKBuff` wraps a parsed :class:`~repro.netsim.packet.Packet`
+together with the metadata the Linux stack tracks per packet (input
+interface, bridge/VLAN context, conntrack pointer, etc.). XDP programs run
+*before* an SKBuff exists and see only the raw frame bytes; TC programs see
+the SKBuff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class SKBuff:
+    """Kernel packet descriptor."""
+
+    pkt: Packet
+    ifindex: int = 0                  # receiving interface index
+    rx_queue: int = 0
+    vlan_tci: Optional[int] = None    # VLAN tag stripped by the "hardware"
+    bridge_port: Optional[int] = None  # set while traversing a bridge
+    conntrack: Optional[object] = None
+    mark: int = 0
+    priority: int = 0
+    # Free-form scratch space (mirrors skb->cb) used by encapsulation layers.
+    cb: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def frame_len(self) -> int:
+        return self.pkt.frame_len
+
+    def clone(self) -> "SKBuff":
+        return SKBuff(
+            pkt=self.pkt.clone(),
+            ifindex=self.ifindex,
+            rx_queue=self.rx_queue,
+            vlan_tci=self.vlan_tci,
+            bridge_port=self.bridge_port,
+            conntrack=self.conntrack,
+            mark=self.mark,
+            priority=self.priority,
+            cb=dict(self.cb),
+        )

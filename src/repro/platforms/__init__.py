@@ -1,0 +1,18 @@
+"""Baseline packet-processing platforms the paper compares against.
+
+- :mod:`repro.platforms.polycube` — a Polycube-like platform: eBPF data
+  planes with their *own* map-based state and custom CLIs (``pcn-*``),
+  chained with tail calls. It is fast, but opaque to the Linux ecosystem:
+  nothing configured through iproute2/iptables reaches it.
+- :mod:`repro.platforms.vpp` — a VPP-like platform: user-space vector
+  packet processing over kernel-bypass NICs with dedicated busy-polling
+  cores and its own CLI.
+
+Both illustrate the paper's Table II: high performance, no Linux-API
+transparency.
+"""
+
+from repro.platforms.polycube.platform import Polycube
+from repro.platforms.vpp.platform import Vpp
+
+__all__ = ["Polycube", "Vpp"]

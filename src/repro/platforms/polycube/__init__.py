@@ -1,0 +1,5 @@
+"""Polycube-like baseline: eBPF services with custom state and CLIs."""
+
+from repro.platforms.polycube.platform import Polycube
+
+__all__ = ["Polycube"]

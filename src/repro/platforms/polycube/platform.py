@@ -1,0 +1,229 @@
+"""The Polycube-like platform: services, chaining, and the pcn CLI.
+
+Architecture (mirrors the real Polycube):
+
+- each *cube* (service) is an eBPF program with its **own map-based state**
+  maintained by Polycube's control-plane daemon — routes live in an LPM
+  map the daemon fills (including resolved next-hop MACs), the firewall is
+  a compiled classifier, the bridge learns into its own FDB map;
+- cubes on one port are chained with **tail calls** through a prog array
+  (the paper's Fig 10 contrasts this with LinuxFP's inlined calls);
+- configuration happens exclusively through the custom ``pcn-*`` CLIs.
+  Nothing configured via iproute2/iptables reaches a cube, and vice versa —
+  the transparency gap LinuxFP closes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+from repro.ebpf.loader import Loader
+from repro.ebpf.maps import ArrayMap, HashMap, LpmTrieMap, ProgArray
+from repro.ebpf.minic import compile_c
+from repro.netsim.addresses import IPv4Prefix, MacAddr
+from repro.platforms.polycube.classifier import ACCEPT, DROP, ClassifierMap, ClassifierRule
+
+FIREWALL_SLOT = 0
+ROUTER_SLOT = 1
+BRIDGE_SLOT = 2
+
+# Polycube's generic, full-featured datapaths carry more code than a
+# LinuxFP-synthesized minimal path: always-on VLAN handling, per-port
+# counters, ECMP bookkeeping. The counters-map update per packet models the
+# control-plane-visible state its services maintain.
+ROUTER_CUBE_C = """
+extern map rib;
+extern map counters;
+u32 main(u8* pkt, u64 len, u64 ifindex) {
+    if (len < 34) { return 2; }
+    u64 ethertype = ld16(pkt, 12);
+    u64 l3 = 14;
+    if (ethertype == 0x8100) {                  // generic VLAN handling, always compiled in
+        ethertype = ld16(pkt, 16);
+        l3 = 18;
+    }
+    if (ethertype != 0x0800) { return 2; }
+    u64 ttl = ld8(pkt, l3 + 8);
+    if (ttl <= 1) { return 2; }
+    u64 frag = ld16(pkt, l3 + 6) & 0x3fff;
+    if (frag != 0) { return 2; }
+    u64 key[1];
+    st64(key, 0, 0);
+    st8(key, 0, 32);                            // LPM key: prefixlen (LE u32) = 32
+    st32(key, 4, ld32(pkt, l3 + 16));
+    u64 val[2];
+    if (map_read(rib, key, val) == 0) { return 2; }
+    u64 cnt_key[1];
+    st64(cnt_key, 0, 0);
+    u64 cnt[1];
+    map_read(counters, cnt_key, cnt);           // per-port stats, like pcn services keep
+    st64(cnt, 0, ld64(cnt, 0) + 1);
+    map_update(counters, cnt_key, cnt);
+    st48(pkt, 0, ld48(val, 10));                // dmac (resolved by the pcn daemon)
+    st48(pkt, 6, ld48(val, 4));                 // smac
+    st8(pkt, l3 + 8, ttl - 1);
+    u64 csum = ld16(pkt, l3 + 10) + 0x100;
+    csum = (csum & 0xffff) + (csum >> 16);
+    st16(pkt, l3 + 10, csum);
+    return redirect(ld32(val, 0), 0);
+}
+"""
+
+FIREWALL_CUBE_C = """
+extern map acl;
+extern map jmp;
+u32 main(u8* pkt, u64 len, u64 ifindex) {
+    if (len < 34) { return 2; }
+    u64 v = pcn_classify(acl, pkt, len);
+    if (v == 1) { return 1; }
+    tail_call(pkt, jmp, {{ next_slot }});
+    return 2;
+}
+"""
+
+BRIDGE_CUBE_C = """
+extern map fdb;
+u32 main(u8* pkt, u64 len, u64 ifindex) {
+    if (len < 14) { return 2; }
+    u64 dmac = ld48(pkt, 0);
+    u64 smac = ld48(pkt, 6);
+    u64 key[1];
+    u64 val[1];
+    st64(key, 0, 0);
+    st48(key, 0, smac);
+    st64(val, 0, ifindex);
+    map_update(fdb, key, val);                  // Polycube learns in the datapath
+    if (((dmac >> 40) & 1) == 1) { return 2; }  // bcast/mcast: flood in slow path
+    st48(key, 0, dmac);
+    if (map_read(fdb, key, val) == 0) { return 2; }
+    u64 out = ld64(val, 0);
+    if (out == ifindex) { return 1; }
+    return redirect(out, 0);
+}
+"""
+
+
+class PcnError(ValueError):
+    """Bad pcn CLI usage."""
+
+
+class Polycube:
+    """The platform daemon bound to one kernel (deploys on XDP)."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.loader = Loader(kernel)
+        # custom control-plane state (Polycube's own, not the kernel's)
+        self.rib = LpmTrieMap("pcn_rib", value_size=16, max_entries=4096)
+        self.counters = ArrayMap("pcn_counters", value_size=8, max_entries=4)
+        self.fdb = HashMap("pcn_fdb", key_size=8, value_size=8, max_entries=4096)
+        self.acl = ClassifierMap("pcn_acl")
+        self.acl_rules: List[ClassifierRule] = []
+        self.jmp = ProgArray("pcn_chain", max_entries=8)
+        self.ports: List[str] = []
+        self.services: List[str] = []
+
+    # --------------------------------------------------------------- ports
+
+    def attach_port(self, dev_name: str) -> None:
+        if dev_name not in self.ports:
+            self.ports.append(dev_name)
+
+    def _deploy_chain(self) -> None:
+        """(Re)build the tail-call chain and attach its head to every port."""
+        if not self.services:
+            return
+        from repro.core.templates import render
+
+        head: Optional[object] = None
+        programs: Dict[str, object] = {}
+        if "router" in self.services:
+            programs["router"] = compile_c(
+                ROUTER_CUBE_C, name="pcn_router", hook="xdp", maps={"rib": self.rib, "counters": self.counters}
+            )
+            self.jmp.set_prog(ROUTER_SLOT, programs["router"])
+        if "bridge" in self.services:
+            programs["bridge"] = compile_c(BRIDGE_CUBE_C, name="pcn_bridge", hook="xdp", maps={"fdb": self.fdb})
+            self.jmp.set_prog(BRIDGE_SLOT, programs["bridge"])
+        if "firewall" in self.services:
+            next_slot = ROUTER_SLOT if "router" in self.services else BRIDGE_SLOT
+            source = render(FIREWALL_CUBE_C, next_slot=next_slot)
+            programs["firewall"] = compile_c(
+                source, name="pcn_firewall", hook="xdp", maps={"acl": self.acl, "jmp": self.jmp}
+            )
+            self.jmp.set_prog(FIREWALL_SLOT, programs["firewall"])
+            head = programs["firewall"]
+        if head is None:
+            head = programs.get("router") or programs.get("bridge")
+        attachment = self.loader.load(head)
+        for port in self.ports:
+            self.loader.attach_xdp(port, attachment)
+
+    # ------------------------------------------------------------ pcn-router
+
+    def pcn_router(self, command: str) -> None:
+        """``pcn-router add route PREFIX NEXTHOP_IP NEXTHOP_MAC DEV`` /
+        ``pcn-router del route PREFIX``"""
+        args = command.split()
+        if args[:2] == ["add", "route"]:
+            if len(args) != 6:
+                raise PcnError("pcn-router add route PREFIX NH_IP NH_MAC DEV")
+            prefix = IPv4Prefix.parse(args[2])
+            nh_mac = MacAddr.parse(args[4])
+            dev = self.kernel.devices.by_name(args[5])
+            value = dev.ifindex.to_bytes(4, "big") + dev.mac.to_bytes() + nh_mac.to_bytes()
+            self.rib.update(LpmTrieMap.make_key(prefix.length, prefix.address), value)
+        elif args[:2] == ["del", "route"]:
+            prefix = IPv4Prefix.parse(args[2])
+            self.rib.delete(LpmTrieMap.make_key(prefix.length, prefix.address))
+        else:
+            raise PcnError(f"unknown pcn-router command {command!r}")
+        # routes are map state: only a *new service* needs a chain deploy
+        if "router" not in self.services:
+            self.services.append("router")
+            self._deploy_chain()
+
+    # --------------------------------------------------------- pcn-iptables
+
+    def pcn_iptables(self, command: str) -> None:
+        """``pcn-iptables -A FORWARD [-s CIDR] [-d CIDR] [-p tcp|udp]
+        [--dport N] -j ACCEPT|DROP`` (plus ``-F``)."""
+        args = command.split()
+        if args[:1] == ["-F"]:
+            self.acl_rules.clear()
+            self.acl.recompile(self.acl_rules)
+            return
+        if args[:2] != ["-A", "FORWARD"]:
+            raise PcnError("pcn-iptables -A FORWARD ... -j TARGET")
+        rule = ClassifierRule(action=ACCEPT)
+        i = 2
+        proto_ids = {"tcp": 6, "udp": 17, "icmp": 1}
+        while i < len(args):
+            word = args[i]
+            if word == "-s":
+                rule.src = IPv4Prefix.parse(args[i + 1])
+            elif word == "-d":
+                rule.dst = IPv4Prefix.parse(args[i + 1])
+            elif word == "-p":
+                rule.proto = proto_ids[args[i + 1]]
+            elif word == "--dport":
+                rule.dport = int(args[i + 1])
+            elif word == "-j":
+                rule.action = DROP if args[i + 1] == "DROP" else ACCEPT
+            else:
+                raise PcnError(f"unknown pcn-iptables option {word!r}")
+            i += 2
+        self.acl_rules.append(rule)
+        self.acl.recompile(self.acl_rules)  # classifier state, not a redeploy
+        if "firewall" not in self.services:
+            self.services.append("firewall")
+            self._deploy_chain()
+
+    # ------------------------------------------------------------ pcn-bridge
+
+    def pcn_bridge(self, command: str) -> None:
+        """``pcn-bridge enable``"""
+        if command.strip() != "enable":
+            raise PcnError(f"unknown pcn-bridge command {command!r}")
+        if "bridge" not in self.services:
+            self.services.append("bridge")
+            self._deploy_chain()

@@ -1,0 +1,5 @@
+"""VPP-like baseline: user-space vector packet processing."""
+
+from repro.platforms.vpp.platform import Vpp
+
+__all__ = ["Vpp"]

@@ -1,0 +1,27 @@
+"""Standard Linux management tools, implemented over netlink only.
+
+These are the unmodified interfaces the paper's transparency claim is
+about: iproute2 (``ip``/``bridge``), ``brctl``, ``iptables``, ``ipset``,
+``sysctl``, ``ipvsadm``, plus an FRR-like routing daemon. None of them know
+LinuxFP exists — they configure the kernel through the same netlink
+messages real tools emit, and the LinuxFP controller reacts to the
+resulting kernel state changes.
+
+Usage::
+
+    from repro.tools import ip, brctl, iptables
+    ip(kernel, "link add br0 type bridge")
+    ip(kernel, "addr add 10.0.0.1/24 dev br0")
+    brctl(kernel, "addif br0 veth0")
+    iptables(kernel, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+"""
+
+from repro.tools.iproute2 import IpTool, ip, bridge_tool
+from repro.tools.brctl import brctl
+from repro.tools.iptables import iptables
+from repro.tools.ipset_tool import ipset
+from repro.tools.sysctl_tool import sysctl
+from repro.tools.ipvsadm import ipvsadm
+from repro.tools.frr import FrrDaemon
+
+__all__ = ["IpTool", "ip", "bridge_tool", "brctl", "iptables", "ipset", "sysctl", "ipvsadm", "FrrDaemon"]

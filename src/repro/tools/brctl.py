@@ -1,0 +1,60 @@
+"""brctl: the legacy bridge administration tool.
+
+Supported: ``addbr``, ``delbr``, ``addif``, ``delif``, ``stp BR on|off``,
+``show``. Exactly the commands the paper's Table VI times.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlink import messages as m
+from repro.tools.common import NetlinkTool, ToolError, split_args
+
+
+class BrctlTool(NetlinkTool):
+    def run(self, command: str) -> List[str]:
+        args = split_args(command)
+        if not args:
+            raise ToolError("usage: brctl COMMAND [args]")
+        action = args[0]
+        if action == "addbr":
+            self.request(m.RTM_NEWLINK, {"ifname": args[1], "kind": "bridge"})
+            return []
+        if action == "delbr":
+            self.request(m.RTM_DELLINK, {"ifname": args[1]})
+            return []
+        if action == "addif":
+            if len(args) != 3:
+                raise ToolError("brctl addif BRIDGE IFACE")
+            master = self.resolve_ifindex(args[1])
+            self.request(m.RTM_SETLINK, {"ifname": args[2], "master": master})
+            return []
+        if action == "delif":
+            if len(args) != 3:
+                raise ToolError("brctl delif BRIDGE IFACE")
+            self.request(m.RTM_SETLINK, {"ifname": args[2], "master": 0})
+            return []
+        if action == "stp":
+            if len(args) != 3 or args[2] not in ("on", "off"):
+                raise ToolError("brctl stp BRIDGE on|off")
+            self.request(m.RTM_SETLINK, {"ifname": args[1], "bridge": {"stp_state": 1 if args[2] == "on" else 0}})
+            return []
+        if action == "show":
+            out = []
+            for reply in self.request(m.RTM_GETLINK, dump=True):
+                a = reply.attrs
+                if a.get("kind") == "bridge":
+                    info = a.get("bridge", {})
+                    out.append(f"{a['ifname']}\tstp {'yes' if info.get('stp_state') else 'no'}")
+            return out
+        raise ToolError(f"unknown brctl command {action!r}")
+
+
+def brctl(kernel, command: str) -> List[str]:
+    """One-shot ``brctl`` invocation."""
+    tool = BrctlTool(kernel)
+    try:
+        return tool.run(command)
+    finally:
+        tool.socket.close()

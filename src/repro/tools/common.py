@@ -1,0 +1,58 @@
+"""Shared plumbing for the command-line-style tools."""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, List, Optional
+
+from repro.netlink.bus import NetlinkSocket
+from repro.netlink.messages import NLM_F_DUMP, NLM_F_REQUEST, NetlinkMsg
+
+
+class ToolError(ValueError):
+    """Bad command-line usage (what the real tool would print to stderr)."""
+
+
+class NetlinkTool:
+    """Base: owns a netlink socket on the kernel's bus."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.socket: NetlinkSocket = kernel.bus.open_socket()
+
+    def request(self, msg_type: int, attrs: Optional[dict] = None, dump: bool = False) -> List[NetlinkMsg]:
+        flags = NLM_F_REQUEST | (NLM_F_DUMP if dump else 0)
+        return self.socket.request(NetlinkMsg(msg_type, attrs or {}, flags=flags))
+
+    def resolve_ifindex(self, name: str) -> int:
+        from repro.netlink.messages import RTM_GETLINK, RTM_NEWLINK
+
+        replies = self.request(RTM_GETLINK, {"ifname": name})
+        for reply in replies:
+            if reply.msg_type == RTM_NEWLINK:
+                return reply.attrs["ifindex"]
+        raise ToolError(f"Cannot find device \"{name}\"")
+
+
+def split_args(command: str) -> List[str]:
+    return shlex.split(command)
+
+
+def take_pairs(args: List[str], keywords: Dict[str, str]) -> Dict[str, str]:
+    """Parse iproute2-style ``keyword value`` pairs; flags map to 'true'."""
+    out: Dict[str, str] = {}
+    i = 0
+    while i < len(args):
+        word = args[i]
+        if word not in keywords:
+            raise ToolError(f"unknown argument {word!r}")
+        kind = keywords[word]
+        if kind == "flag":
+            out[word] = "true"
+            i += 1
+        else:
+            if i + 1 >= len(args):
+                raise ToolError(f"{word!r} requires a value")
+            out[word] = args[i + 1]
+            i += 2
+    return out

@@ -1,0 +1,152 @@
+"""An FRR-like routing daemon.
+
+Demonstrates the paper's "control-plane software works unmodified" claim: a
+RIP-style distance-vector daemon that learns connected networks through
+netlink dumps, exchanges advertisements with peers, and installs learned
+routes back through netlink (``RTM_NEWROUTE``) — whereupon the LinuxFP
+controller picks them up and re-synthesizes the fast path, with the daemon
+none the wiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlink import messages as m
+from repro.netsim.addresses import IPv4Addr, IPv4Prefix
+from repro.tools.common import NetlinkTool
+
+INFINITY_METRIC = 16
+
+
+@dataclass
+class RibEntry:
+    prefix: IPv4Prefix
+    metric: int
+    next_hop: Optional[IPv4Addr]  # None for connected/originated routes
+    learned_from: Optional[str] = None  # peer router-id
+
+
+@dataclass
+class Advertisement:
+    origin: str
+    prefix: IPv4Prefix
+    metric: int
+    next_hop: IPv4Addr
+
+
+class FrrDaemon(NetlinkTool):
+    """One routing daemon instance bound to a kernel."""
+
+    def __init__(self, kernel, router_id: str) -> None:
+        super().__init__(kernel)
+        self.router_id = router_id
+        self.rib: Dict[IPv4Prefix, RibEntry] = {}
+        # peer daemon -> the address *we* are reachable at on the shared link
+        self.peers: List[Tuple["FrrDaemon", IPv4Addr]] = []
+        self.installed: Dict[IPv4Prefix, IPv4Addr] = {}
+
+    # ------------------------------------------------------------- topology
+
+    def add_peer(self, peer: "FrrDaemon", local_address: IPv4Addr) -> None:
+        """Open a session; ``local_address`` is our IP on the shared subnet
+        (what the peer will use as next hop for routes we advertise)."""
+        self.peers.append((peer, local_address))
+
+    def learn_connected(self) -> List[IPv4Prefix]:
+        """Originate every connected network found via netlink."""
+        originated = []
+        for reply in self.request(m.RTM_GETADDR, dump=True):
+            attrs = reply.attrs
+            if attrs.get("prefixlen", 32) >= 32:
+                continue
+            prefix = IPv4Prefix(attrs["address"], attrs["prefixlen"])
+            if str(prefix).startswith("127."):
+                continue
+            self.rib[prefix] = RibEntry(prefix=prefix, metric=0, next_hop=None)
+            originated.append(prefix)
+        return originated
+
+    def originate(self, prefix: IPv4Prefix, metric: int = 0) -> None:
+        """Manually originate a prefix (e.g. a static redistributed route)."""
+        self.rib[prefix] = RibEntry(prefix=prefix, metric=metric, next_hop=None)
+
+    # ------------------------------------------------------------- protocol
+
+    def advertisements_for(self, peer_id: str) -> List[Advertisement]:
+        """Split-horizon: never advertise back to the peer we learned from."""
+        out = []
+        for entry in self.rib.values():
+            if entry.learned_from == peer_id:
+                continue
+            out.append(
+                Advertisement(
+                    origin=self.router_id,
+                    prefix=entry.prefix,
+                    metric=min(entry.metric + 1, INFINITY_METRIC),
+                    next_hop=IPv4Addr(0),  # filled by the sender per-session
+                )
+            )
+        return out
+
+    def receive(self, adv: Advertisement) -> bool:
+        """Process one advertisement; returns True when the RIB changed."""
+        if adv.metric >= INFINITY_METRIC:
+            existing = self.rib.get(adv.prefix)
+            if existing is not None and existing.learned_from == adv.origin:
+                del self.rib[adv.prefix]
+                self._uninstall(adv.prefix)
+                return True
+            return False
+        existing = self.rib.get(adv.prefix)
+        if existing is not None:
+            if existing.learned_from != adv.origin and existing.metric <= adv.metric:
+                return False  # we already have a route at least as good
+            if (
+                existing.learned_from == adv.origin
+                and existing.metric == adv.metric
+                and existing.next_hop == adv.next_hop
+            ):
+                return False  # periodic re-advertisement: nothing new
+        self.rib[adv.prefix] = RibEntry(
+            prefix=adv.prefix, metric=adv.metric, next_hop=adv.next_hop, learned_from=adv.origin
+        )
+        self._install(adv.prefix, adv.next_hop)
+        return True
+
+    def exchange_round(self) -> bool:
+        """Send our advertisements to every peer; returns True on any change."""
+        changed = False
+        for peer, local_address in self.peers:
+            for adv in self.advertisements_for(peer.router_id):
+                adv.next_hop = local_address
+                changed |= peer.receive(adv)
+        return changed
+
+    # --------------------------------------------------------- FIB download
+
+    def _install(self, prefix: IPv4Prefix, next_hop: IPv4Addr) -> None:
+        if self.installed.get(prefix) == next_hop:
+            return
+        self.request(
+            m.RTM_NEWROUTE,
+            {"dst": prefix.address, "dst_len": prefix.length, "gateway": next_hop, "metric": 20},
+        )
+        self.installed[prefix] = next_hop
+
+    def _uninstall(self, prefix: IPv4Prefix) -> None:
+        if prefix in self.installed:
+            self.request(m.RTM_DELROUTE, {"dst": prefix.address, "dst_len": prefix.length, "metric": 20})
+            del self.installed[prefix]
+
+
+def converge(daemons: List[FrrDaemon], max_rounds: int = 16) -> int:
+    """Run exchange rounds until quiescent; returns rounds used."""
+    for round_number in range(1, max_rounds + 1):
+        changed = False
+        for daemon in daemons:
+            changed |= daemon.exchange_round()
+        if not changed:
+            return round_number
+    return max_rounds

@@ -1,0 +1,52 @@
+"""ipset: set administration (``create``, ``destroy``, ``add``, ``del``,
+``list``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlink import messages as m
+from repro.netsim.addresses import IPv4Prefix
+from repro.tools.common import NetlinkTool, ToolError, split_args
+
+
+class IpsetTool(NetlinkTool):
+    def run(self, command: str) -> List[str]:
+        args = split_args(command)
+        if not args:
+            raise ToolError("usage: ipset COMMAND ...")
+        action = args[0]
+        if action == "create":
+            if len(args) != 3:
+                raise ToolError("ipset create NAME TYPE")
+            self.request(m.IPSET_NEWSET, {"name": args[1], "set_type": args[2]})
+            return []
+        if action == "destroy":
+            self.request(m.IPSET_DELSET, {"name": args[1]})
+            return []
+        if action in ("add", "del"):
+            if len(args) != 3:
+                raise ToolError(f"ipset {action} NAME ENTRY")
+            prefix = IPv4Prefix.parse(args[2])
+            msg_type = m.IPSET_ADDENTRY if action == "add" else m.IPSET_DELENTRY
+            self.request(
+                msg_type,
+                {"name": args[1], "entries": [{"ip": prefix.address, "prefixlen": prefix.length}]},
+            )
+            return []
+        if action == "list":
+            out = []
+            for reply in self.request(m.IPSET_GETSET, dump=True):
+                a = reply.attrs
+                out.append(f"Name: {a['name']}  Type: {a['set_type']}  Entries: {len(a.get('entries', []))}")
+            return out
+        raise ToolError(f"unknown ipset command {action!r}")
+
+
+def ipset(kernel, command: str) -> List[str]:
+    """One-shot ``ipset`` invocation."""
+    tool = IpsetTool(kernel)
+    try:
+        return tool.run(command)
+    finally:
+        tool.socket.close()

@@ -1,0 +1,95 @@
+"""ipvsadm: IPVS service administration.
+
+Supported: ``-A -t VIP:PORT [-s SCHED]``, ``-D -t VIP:PORT``,
+``-a -t VIP:PORT -r RS:PORT [-w WEIGHT]``, ``-d -t VIP:PORT -r RS:PORT``,
+``-L``. TCP (-t) and UDP (-u) services.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netlink import messages as m
+from repro.netsim.addresses import IPv4Addr
+from repro.tools.common import NetlinkTool, ToolError, split_args
+
+TCP, UDP = 6, 17
+
+
+def _endpoint(text: str) -> Tuple[IPv4Addr, int]:
+    host, __, port = text.partition(":")
+    if not port:
+        raise ToolError(f"expected IP:PORT, got {text!r}")
+    return IPv4Addr.parse(host), int(port)
+
+
+class IpvsadmTool(NetlinkTool):
+    def run(self, command: str) -> List[str]:
+        args = split_args(command)
+        if not args:
+            raise ToolError("usage: ipvsadm -A|-D|-a|-d|-L ...")
+        flag = args[0]
+        if flag == "-L":
+            out = []
+            for reply in self.request(m.IPVS_GETSERVICE, dump=True):
+                a = reply.attrs
+                if reply.msg_type == m.IPVS_NEWSERVICE:
+                    out.append(f"TCP {a['vip']}:{a['vport']} {a['scheduler']}")
+                else:
+                    out.append(f"  -> {a['rs']}:{a['rport']} weight {a.get('weight', 1)}")
+            return out
+
+        proto, vip, vport, rs, rport, weight, sched = TCP, None, None, None, None, 1, "rr"
+        i = 1
+        while i < len(args):
+            word = args[i]
+            if word == "-t":
+                proto = TCP
+                vip, vport = _endpoint(args[i + 1])
+                i += 2
+            elif word == "-u":
+                proto = UDP
+                vip, vport = _endpoint(args[i + 1])
+                i += 2
+            elif word == "-r":
+                rs, rport = _endpoint(args[i + 1])
+                i += 2
+            elif word == "-s":
+                sched = args[i + 1]
+                i += 2
+            elif word == "-w":
+                weight = int(args[i + 1])
+                i += 2
+            elif word == "-m":
+                i += 1  # NAT mode: the only mode we model
+            else:
+                raise ToolError(f"unknown ipvsadm option {word!r}")
+        if vip is None:
+            raise ToolError("missing -t/-u VIP:PORT")
+        if flag == "-A":
+            self.request(m.IPVS_NEWSERVICE, {"vip": vip, "vport": vport, "proto": proto, "scheduler": sched})
+        elif flag == "-D":
+            self.request(m.IPVS_DELSERVICE, {"vip": vip, "vport": vport, "proto": proto})
+        elif flag == "-a":
+            if rs is None:
+                raise ToolError("missing -r RS:PORT")
+            self.request(
+                m.IPVS_NEWDEST,
+                {"vip": vip, "vport": vport, "proto": proto, "rs": rs, "rport": rport, "weight": weight},
+            )
+        elif flag == "-d":
+            if rs is None:
+                raise ToolError("missing -r RS:PORT")
+            self.request(m.IPVS_DELDEST, {"vip": vip, "vport": vport, "proto": proto, "rs": rs, "rport": rport})
+        else:
+            raise ToolError(f"unknown ipvsadm flag {flag!r}")
+        return []
+
+
+def ipvsadm(kernel, command: str) -> List[str]:
+    """One-shot ``ipvsadm`` invocation."""
+    tool = IpvsadmTool(kernel)
+    try:
+        return tool.run(command)
+    finally:
+        tool.socket.close()

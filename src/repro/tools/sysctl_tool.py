@@ -1,0 +1,33 @@
+"""sysctl: kernel tunables (``sysctl -w key=value``, ``sysctl key``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlink import messages as m
+from repro.tools.common import NetlinkTool, ToolError, split_args
+
+
+class SysctlTool(NetlinkTool):
+    def run(self, command: str) -> List[str]:
+        args = split_args(command)
+        if not args:
+            raise ToolError("usage: sysctl [-w] KEY[=VALUE]")
+        if args[0] == "-w":
+            if len(args) != 2 or "=" not in args[1]:
+                raise ToolError("sysctl -w KEY=VALUE")
+            key, __, value = args[1].partition("=")
+            self.request(m.SYSCTL_SET, {"name": key.strip(), "value": value.strip()})
+            return []
+        key = args[0]
+        replies = self.request(m.SYSCTL_GET, {"name": key})
+        return [f"{r.attrs['name']} = {r.attrs['value']}" for r in replies]
+
+
+def sysctl(kernel, command: str) -> List[str]:
+    """One-shot ``sysctl`` invocation."""
+    tool = SysctlTool(kernel)
+    try:
+        return tool.run(command)
+    finally:
+        tool.socket.close()

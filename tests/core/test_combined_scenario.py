@@ -1,0 +1,141 @@
+"""Combined-subsystem scenario: bridge + filter + router on one DUT.
+
+The paper evaluates subsystems "individually and in combinations" (§VII).
+Here the DUT bridges a LAN segment AND routes/filters it to an uplink —
+a home-gateway-like composition — and LinuxFP must synthesize the full
+bridge → filter → router chain while staying packet-for-packet equivalent
+to the slow path.
+"""
+
+import pytest
+
+from repro.core import Controller
+from repro.kernel import Kernel
+from repro.netsim.clock import Clock
+from repro.netsim.nic import Wire
+from repro.netsim.packet import Packet, make_udp
+from repro.tools import brctl, ip, iptables, sysctl
+
+
+def build_gateway(accelerated):
+    """Two LAN hosts bridged on the DUT (br0 owns 10.1.0.1/24), uplink eth2."""
+    clock = Clock()
+    dut = Kernel("homegw", clock=clock)
+    host_a = Kernel("hostA", clock=clock)
+    host_b = Kernel("hostB", clock=clock)
+    uplink = Kernel("isp", clock=clock)
+
+    for peer, dut_if in ((host_a, "eth0"), (host_b, "eth1"), (uplink, "eth2")):
+        dut.add_physical(dut_if)
+        ip(dut, f"link set {dut_if} up")
+        peer.add_physical("eth0")
+        ip(peer, "link set eth0 up")
+        Wire(dut.devices.by_name(dut_if).nic, peer.devices.by_name("eth0").nic)
+
+    brctl(dut, "addbr br0")
+    brctl(dut, "addif br0 eth0")
+    brctl(dut, "addif br0 eth1")
+    ip(dut, "addr add 10.1.0.1/24 dev br0")
+    ip(dut, "link set br0 up")
+    ip(dut, "addr add 203.0.113.2/30 dev eth2")
+    ip(dut, "route add default via 203.0.113.1")
+    sysctl(dut, "-w net.ipv4.ip_forward=1")
+    iptables(dut, "-A FORWARD -s 10.1.0.66/32 -j DROP")  # a misbehaving host
+
+    host_a.add_address("eth0", "10.1.0.10/24")
+    host_a.route_add("0.0.0.0/0", via="10.1.0.1")
+    host_b.add_address("eth0", "10.1.0.11/24")
+    host_b.route_add("0.0.0.0/0", via="10.1.0.1")
+    uplink.add_address("eth0", "203.0.113.1/30")
+
+    controller = None
+    if accelerated:
+        controller = Controller(dut, hook="xdp")
+        controller.start()
+
+    # warm: DUT knows the uplink and LAN MACs; bridge learned both hosts
+    dut.neigh_add("eth2", "203.0.113.1", uplink.devices.by_name("eth0").mac)
+    bridge = dut.devices.by_name("br0").bridge
+    dut.fdb_add("eth0", host_a.devices.by_name("eth0").mac)
+    dut.fdb_add("eth1", host_b.devices.by_name("eth0").mac)
+    dut.neigh_add("br0", "10.1.0.10", host_a.devices.by_name("eth0").mac)
+    dut.neigh_add("br0", "10.1.0.11", host_b.devices.by_name("eth0").mac)
+    return dut, host_a, host_b, uplink, controller
+
+
+class TestCombinedChain:
+    def test_synthesized_chain_is_bridge_filter_router(self):
+        dut, *_rest, controller = build_gateway(accelerated=True)
+        summary = controller.deployed_summary()
+        assert summary["eth0"] == "bridge -> filter -> router"
+        assert summary["eth1"] == "bridge -> filter -> router"
+        assert summary["eth2"] == "filter -> router"
+        source = controller.deployer.deployed["eth0"].current.source
+        for fn in ("fdb_lookup", "ipt_lookup", "fib_lookup"):
+            assert fn in source
+
+    def test_lan_to_lan_bridged(self):
+        dut, host_a, host_b, uplink, controller = build_gateway(accelerated=True)
+        got = []
+        host_b.devices.by_name("eth0").nic.attach(lambda f, q: got.append(Packet.from_bytes(f)))
+        frame = make_udp(
+            host_a.devices.by_name("eth0").mac, host_b.devices.by_name("eth0").mac,
+            "10.1.0.10", "10.1.0.11",
+        ).to_bytes()
+        host_a.devices.by_name("eth0").nic.transmit(frame)
+        assert len(got) == 1 and got[0].ip.ttl == 64  # pure L2: TTL untouched
+
+    def test_lan_to_wan_routed_and_filtered(self):
+        dut, host_a, host_b, uplink, controller = build_gateway(accelerated=True)
+        got = []
+        uplink.devices.by_name("eth0").nic.attach(lambda f, q: got.append(Packet.from_bytes(f)))
+        bridge_mac = dut.devices.by_name("br0").mac
+        ok = make_udp(host_a.devices.by_name("eth0").mac, bridge_mac, "10.1.0.10", "8.8.8.8").to_bytes()
+        bad = make_udp(host_a.devices.by_name("eth0").mac, bridge_mac, "10.1.0.66", "8.8.8.8").to_bytes()
+        host_a.devices.by_name("eth0").nic.transmit(ok)
+        host_a.devices.by_name("eth0").nic.transmit(bad)
+        assert len(got) == 1  # blacklisted host filtered
+        assert got[0].ip.ttl == 63  # routed: TTL decremented
+        assert got[0].eth.src == dut.devices.by_name("eth2").mac
+
+    def test_equivalence_with_slow_path(self):
+        """Identical outcomes accelerated vs not, across all three paths."""
+        def run(accelerated):
+            dut, host_a, host_b, uplink, __ = build_gateway(accelerated)
+            wan, lan = [], []
+            uplink.devices.by_name("eth0").nic.attach(lambda f, q: wan.append(f))
+            host_b.devices.by_name("eth0").nic.attach(lambda f, q: lan.append(f))
+            a_mac = host_a.devices.by_name("eth0").mac
+            b_mac = host_b.devices.by_name("eth0").mac
+            bridge_mac = dut.devices.by_name("br0").mac
+            frames = [
+                make_udp(a_mac, b_mac, "10.1.0.10", "10.1.0.11").to_bytes(),     # L2
+                make_udp(a_mac, bridge_mac, "10.1.0.10", "8.8.8.8").to_bytes(),  # L3 ok
+                make_udp(a_mac, bridge_mac, "10.1.0.66", "8.8.8.8").to_bytes(),  # filtered
+                make_udp(a_mac, bridge_mac, "10.1.0.10", "8.8.4.4", ttl=1).to_bytes(),  # ttl
+            ]
+            for frame in frames:
+                host_a.devices.by_name("eth0").nic.transmit(frame)
+            return len(wan), len(lan)
+
+        assert run(False) == run(True) == (1, 1)
+
+    def test_combined_fast_path_still_faster(self):
+        def per_packet(accelerated):
+            dut, host_a, host_b, uplink, __ = build_gateway(accelerated)
+            uplink.devices.by_name("eth0").nic.attach(lambda f, q: None)
+            bridge_mac = dut.devices.by_name("br0").mac
+            frame = make_udp(
+                host_a.devices.by_name("eth0").mac, bridge_mac, "10.1.0.10", "8.8.8.8"
+            ).to_bytes()
+            nic = dut.devices.by_name("eth0").nic
+            for __w in range(50):
+                nic.receive_from_wire(frame)
+            t0 = dut.clock.now_ns
+            for __m in range(300):
+                nic.receive_from_wire(frame)
+            return (dut.clock.now_ns - t0) / 300
+
+        slow = per_packet(False)
+        fast = per_packet(True)
+        assert fast < slow

@@ -1,0 +1,139 @@
+"""Controller lifecycle and deployment-policy tests."""
+
+import pytest
+
+from repro.core import Controller
+from repro.core.capability import CapabilityManager
+from repro.measure.pktgen import Pktgen
+from repro.measure.topology import LineTopology
+from repro.netsim.packet import make_udp
+from repro.tools import ip, iptables, sysctl
+
+
+def router_topo(prefixes=5):
+    topo = LineTopology()
+    topo.install_prefixes(prefixes)
+    topo.prewarm_neighbors()
+    return topo
+
+
+class TestLifecycle:
+    def test_restart_after_stop(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        controller.stop()
+        second = Controller(topo.dut, hook="xdp")
+        second.start()
+        assert second.deployed_summary()["eth0"] == "router"
+        result = Pktgen(topo, num_prefixes=5).throughput(packets=200)
+        assert result.delivery_ratio == 1.0
+
+    def test_start_on_preconfigured_system(self):
+        """Starting late must produce the same deployment as starting early."""
+        topo = router_topo()
+        iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        assert controller.deployed_summary()["eth0"] == "filter -> router"
+
+    def test_traffic_correct_after_stop(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        controller.stop()
+        delivered = []
+        topo.sink_eth.nic.attach(lambda f, q: delivered.append(f))
+        frame = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+        topo.dut_in.nic.receive_from_wire(frame)
+        assert len(delivered) == 1  # Linux slow path took over seamlessly
+
+    def test_interface_scoping(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp", interfaces=["eth0"])
+        controller.start()
+        assert topo.dut.devices.by_name("eth0").xdp_prog is not None
+        assert topo.dut.devices.by_name("eth1").xdp_prog is None
+
+    def test_new_interface_picked_up(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        topo.dut.add_physical("eth2")
+        ip(topo.dut, "link set eth2 up")
+        assert "eth2" in controller.deployed_summary()
+
+    def test_interface_removal_cleans_up(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        topo.dut.add_physical("eth2")
+        ip(topo.dut, "link set eth2 up")
+        assert "eth2" in controller.deployer.deployed
+        ip(topo.dut, "link del eth2")
+        assert "eth2" not in controller.current_graph.interfaces
+
+
+class TestCapabilityPolicy:
+    def test_mainline_kernel_gateway_stays_slow_but_correct(self):
+        """On a kernel without bpf_ipt_lookup, the gateway cannot be
+        accelerated — and must NOT be mis-accelerated (forwarding without
+        filtering would change semantics)."""
+        topo = router_topo()
+        iptables(topo.dut, "-A FORWARD -s 10.0.1.66/32 -j DROP")
+        controller = Controller(topo.dut, hook="xdp", capabilities=CapabilityManager.mainline())
+        controller.start()
+        entry = controller.deployer.deployed.get("eth0")
+        assert entry is None or entry.current is None
+        delivered = []
+        topo.sink_eth.nic.attach(lambda f, q: delivered.append(f))
+        blocked = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.66", topo.flow_destination(0, 5)).to_bytes()
+        allowed = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+        topo.dut_in.nic.receive_from_wire(blocked)
+        topo.dut_in.nic.receive_from_wire(allowed)
+        assert len(delivered) == 1  # slow path filtered correctly
+
+    def test_mainline_kernel_router_still_accelerated(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp", capabilities=CapabilityManager.mainline())
+        controller.start()
+        assert controller.deployed_summary()["eth0"] == "router"
+
+    def test_flush_restores_acceleration(self):
+        """Rules gone ⇒ the filter FPM is synthesized away again."""
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        assert controller.deployed_summary()["eth0"] == "filter -> router"
+        iptables(topo.dut, "-F FORWARD")
+        assert controller.deployed_summary()["eth0"] == "router"
+
+    def test_forwarding_toggle(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        sysctl(topo.dut, "-w net.ipv4.ip_forward=0")
+        assert controller.deployer.deployed["eth0"].current is None
+        sysctl(topo.dut, "-w net.ipv4.ip_forward=1")
+        assert controller.deployer.deployed["eth0"].current is not None
+
+
+class TestDeploymentStats:
+    def test_swap_counter_tracks_changes(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        entry = controller.deployer.deployed["eth0"]
+        baseline = entry.swaps
+        iptables(topo.dut, "-A FORWARD -j ACCEPT")  # structural change
+        iptables(topo.dut, "-A FORWARD -j ACCEPT")  # rule-only change
+        assert entry.swaps == baseline + 1  # second rule did not resynthesize
+
+    def test_synthesized_source_recorded(self):
+        topo = router_topo()
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        path = controller.deployer.deployed["eth0"].current
+        assert path.source is not None
+        assert path.program.source == path.source

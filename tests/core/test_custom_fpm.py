@@ -1,0 +1,109 @@
+"""Tests for custom FPM injection (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core import Controller
+from repro.core.custom import (
+    CustomFpm,
+    CustomFpmError,
+    make_protocol_counter,
+    read_protocol_counter,
+)
+from repro.measure.topology import LineTopology
+from repro.measure.pktgen import Pktgen
+from repro.netsim.packet import IPPROTO_TCP, IPPROTO_UDP, make_tcp, make_udp
+
+
+def accelerated_topo(customs):
+    topo = LineTopology()
+    topo.install_prefixes(5)
+    controller = Controller(topo.dut, hook="xdp", custom_fpms=customs)
+    controller.start()
+    topo.prewarm_neighbors()
+    return topo, controller
+
+
+class TestCustomFpmSpec:
+    def test_bad_name_rejected(self):
+        with pytest.raises(CustomFpmError):
+            CustomFpm(name="Bad Name", fn_source="static u64 fpm_x() { return 0; }")
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(CustomFpmError):
+            CustomFpm(name="x", fn_source="static u64 fpm_x() { return 0; }", point="egress")
+
+    def test_fn_name_mismatch_rejected(self):
+        with pytest.raises(CustomFpmError):
+            CustomFpm(name="x", fn_source="static u64 fpm_y() { return 0; }")
+
+    def test_decls_from_maps(self):
+        custom = make_protocol_counter("mon")
+        assert custom.decls == ["extern map mon_counters;"]
+
+
+class TestMonitoringModule:
+    def test_counters_count_per_protocol(self):
+        counter = make_protocol_counter("mon")
+        topo, controller = accelerated_topo([counter])
+        assert "fpm_mon" in controller.deployer.deployed["eth0"].current.source
+        for __ in range(3):
+            topo.dut_in.nic.receive_from_wire(
+                make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+            )
+        for __ in range(2):
+            topo.dut_in.nic.receive_from_wire(
+                make_tcp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+            )
+        assert read_protocol_counter(counter, IPPROTO_UDP) == 3
+        assert read_protocol_counter(counter, IPPROTO_TCP) == 2
+
+    def test_monitoring_does_not_change_forwarding(self):
+        plain_topo, __ = accelerated_topo([])
+        mon_topo, __c = accelerated_topo([make_protocol_counter("mon")])
+        plain = Pktgen(plain_topo, num_prefixes=5).throughput(packets=300)
+        monitored = Pktgen(mon_topo, num_prefixes=5).throughput(packets=300)
+        assert plain.delivery_ratio == monitored.delivery_ratio == 1.0
+        # monitoring costs something, but not much
+        assert monitored.per_packet_ns > plain.per_packet_ns
+        assert monitored.per_packet_ns < plain.per_packet_ns * 1.5
+
+    def test_deployed_even_with_empty_graph(self):
+        """Monitoring runs on interfaces with no configured function."""
+        topo = LineTopology(dut_forwarding=False)
+        controller = Controller(topo.dut, hook="xdp", custom_fpms=[make_protocol_counter("mon")])
+        controller.start()
+        assert controller.deployer.deployed["eth0"].current is not None
+
+    def test_add_custom_fpm_at_runtime(self):
+        topo, controller = accelerated_topo([])
+        before = controller.deployer.deployed["eth0"].current.source
+        assert "fpm_mon" not in before
+        counter = make_protocol_counter("mon")
+        controller.add_custom_fpm(counter)
+        after = controller.deployer.deployed["eth0"].current.source
+        assert "fpm_mon" in after
+
+    def test_custom_drop_module(self):
+        """A custom module may also enforce verdicts (e.g. rate limiting)."""
+        dropper = CustomFpm(
+            name="droptcp",
+            fn_source="""
+static u64 fpm_droptcp(u8* pkt, u64 len, u64 ifindex) {
+    if (ld16(pkt, 12) == 0x0800) {
+        if (ld8(pkt, 23) == 6) { return {{ DROP }}; }
+    }
+    return {{ CONTINUE }};
+}
+""",
+            point="pre_forward",
+        )
+        topo, controller = accelerated_topo([dropper])
+        delivered = []
+        topo.sink_eth.nic.attach(lambda frame, q: delivered.append(frame))
+        topo.dut_in.nic.receive_from_wire(
+            make_tcp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+        )
+        topo.dut_in.nic.receive_from_wire(
+            make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0, 5)).to_bytes()
+        )
+        assert len(delivered) == 1  # TCP dropped, UDP forwarded

@@ -1,0 +1,108 @@
+"""Tests for the FPM template library: minimality and hook specialization."""
+
+import pytest
+
+from repro.core.fpm.library import render_dispatcher, render_fast_path
+from repro.ebpf.minic import compile_c
+from repro.ebpf.verifier import verify
+
+
+def router_nodes():
+    return {"router": {"conf": {"decrement_ttl": True}, "next_nf": None}}
+
+def gateway_nodes():
+    return {
+        "filter": {"conf": {"chain": "FORWARD"}, "next_nf": "router"},
+        "router": {"conf": {"decrement_ttl": True}, "next_nf": None},
+    }
+
+def bridge_nodes(vlan=False, chain_l3=False):
+    conf = {"bridge_ifindex": 7, "STP_enabled": False, "VLAN_enabled": vlan, "ports": ["v0", "v1"]}
+    if chain_l3:
+        conf["bridge_mac"] = "02:00:00:00:00:07"
+    return {"bridge": {"conf": conf, "next_nf": "router" if chain_l3 else None}}
+
+
+class TestMinimality:
+    """'Less code leads to more efficient code paths': unconfigured features
+    must contribute nothing to the synthesized program."""
+
+    def test_pure_router_has_no_other_helpers(self):
+        source = render_fast_path("eth0", "xdp", router_nodes())
+        assert "fib_lookup" in source
+        for absent in ("fdb_lookup", "ipt_lookup", "conntrack_lookup"):
+            assert absent not in source
+
+    def test_pure_bridge_has_no_l3_code(self):
+        source = render_fast_path("eth0", "xdp", bridge_nodes())
+        assert "fdb_lookup" in source
+        assert "fib_lookup" not in source
+        assert "ipt_lookup" not in source
+
+    def test_vlan_code_only_when_enabled(self):
+        without = render_fast_path("eth0", "xdp", bridge_nodes(vlan=False))
+        with_vlan = render_fast_path("eth0", "xdp", bridge_nodes(vlan=True))
+        assert "vid = ld16" not in without
+        assert "vid = ld16" in with_vlan
+        # untagged-only fast path punts tagged frames to the slow path
+        assert "0x8100" in without
+
+    def test_gateway_is_strictly_bigger_than_router(self):
+        router = compile_c(render_fast_path("eth0", "xdp", router_nodes()))
+        gateway = compile_c(render_fast_path("eth0", "xdp", gateway_nodes()))
+        assert len(gateway) > len(router)
+
+    def test_all_rendered_sources_compile_and_verify(self):
+        for nodes in (router_nodes(), gateway_nodes(), bridge_nodes(),
+                      bridge_nodes(vlan=True), bridge_nodes(chain_l3=True)):
+            for hook in ("xdp", "tc"):
+                program = compile_c(render_fast_path("eth0", hook, nodes), hook=hook)
+                verify(program)
+
+
+class TestHookSpecialization:
+    def test_xdp_verdicts(self):
+        source = render_fast_path("eth0", "xdp", router_nodes())
+        assert "return 2; }" in source  # XDP_PASS
+
+    def test_tc_verdicts(self):
+        source = render_fast_path("eth0", "tc", router_nodes())
+        assert "return 0; }" in source  # TC_ACT_OK
+
+    def test_filter_drop_verdicts_differ(self):
+        xdp = render_fast_path("eth0", "xdp", gateway_nodes())
+        tc = render_fast_path("eth0", "tc", gateway_nodes())
+        assert "if (v == 1) { return 1; }" in xdp  # XDP_DROP
+        assert "if (v == 1) { return 2; }" in tc  # TC_ACT_SHOT
+
+
+class TestChaining:
+    def test_bridge_chains_to_router_via_bridge_mac(self):
+        source = render_fast_path("eth0", "xdp", bridge_nodes(chain_l3=True))
+        assert "goto_l3" in source
+        assert "fpm_router" in source
+        assert hex(0x020000000007) in source or "2199023255559" in source
+
+    def test_filter_continue_sentinel_threads_to_router(self):
+        source = render_fast_path("eth0", "xdp", gateway_nodes())
+        assert "fpm_filter(pkt, len, ifindex)" in source
+        assert "999" in source  # CONTINUE
+
+    def test_fpm_comments_cite_table1_split(self):
+        """Each FPM documents its slow-path delegation (Table I)."""
+        source = render_fast_path("eth0", "xdp", gateway_nodes())
+        assert "slow path" in source
+
+
+class TestDispatcher:
+    def test_dispatcher_renders_and_compiles(self):
+        from repro.ebpf.maps import ProgArray
+
+        source = render_dispatcher("eth0", "xdp")
+        assert "tail_call" in source
+        program = compile_c(source, hook="xdp", maps={"jmp": ProgArray("jmp")})
+        verify(program)
+
+    def test_dispatcher_pass_verdict_per_hook(self):
+        assert "return 2;" in render_dispatcher("eth0", "xdp")
+        assert "return 0;" in render_dispatcher("eth0", "tc")

@@ -1,0 +1,220 @@
+"""Tests for Service Introspection and the Topology Manager."""
+
+import json
+
+import pytest
+
+from repro.core.graph import TopologyManager
+from repro.core.introspection import ServiceIntrospection
+from repro.kernel import Kernel
+from repro.tools import brctl, ip, ipset, iptables, ipvsadm, sysctl
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel("intro-test")
+    k.add_physical("eth0")
+    k.add_physical("eth1")
+    k.set_link("eth0", True)
+    k.set_link("eth1", True)
+    return k
+
+
+def start_introspection(kernel):
+    intro = ServiceIntrospection(kernel.bus.open_socket())
+    intro.start()
+    return intro
+
+
+class TestIntrospection:
+    def test_initial_dump_sees_interfaces(self, kernel):
+        intro = start_introspection(kernel)
+        names = sorted(i.name for i in intro.view.interfaces.values())
+        assert names == ["eth0", "eth1", "lo"]
+
+    def test_initial_dump_sees_addresses_and_routes(self, kernel):
+        ip(kernel, "addr add 10.0.1.1/24 dev eth0")
+        intro = start_introspection(kernel)
+        eth0 = intro.view.interface_by_name("eth0")
+        assert eth0.has_l3
+        assert len(intro.view.routes) == 1  # the connected route
+
+    def test_notifications_update_view(self, kernel):
+        intro = start_introspection(kernel)
+        ip(kernel, "addr add 10.0.1.1/24 dev eth0")
+        sysctl(kernel, "-w net.ipv4.ip_forward=1")
+        assert intro.view.interface_by_name("eth0").has_l3
+        assert intro.view.ip_forward
+        assert intro.events_seen >= 2
+
+    def test_link_deletion(self, kernel):
+        intro = start_introspection(kernel)
+        brctl(kernel, "addbr br0")
+        assert intro.view.interface_by_name("br0") is not None
+        brctl(kernel, "delbr br0")
+        assert intro.view.interface_by_name("br0") is None
+
+    def test_bridge_attrs_tracked(self, kernel):
+        intro = start_introspection(kernel)
+        brctl(kernel, "addbr br0")
+        brctl(kernel, "stp br0 on")
+        assert intro.view.interface_by_name("br0").stp_enabled
+
+    def test_enslavement_tracked(self, kernel):
+        intro = start_introspection(kernel)
+        brctl(kernel, "addbr br0")
+        ip(kernel, "link set eth0 master br0")
+        br_ifindex = intro.view.interface_by_name("br0").ifindex
+        assert intro.view.interface_by_name("eth0").master == br_ifindex
+        ip(kernel, "link set eth0 nomaster")
+        assert intro.view.interface_by_name("eth0").master is None
+
+    def test_filter_rules_tracked(self, kernel):
+        intro = start_introspection(kernel)
+        iptables(kernel, "-A FORWARD -s 1.2.3.0/24 -j DROP")
+        assert len(intro.view.filter.rules["FORWARD"]) == 1
+        iptables(kernel, "-F FORWARD")
+        assert len(intro.view.filter.rules["FORWARD"]) == 0
+
+    def test_rule_deletion_by_handle(self, kernel):
+        intro = start_introspection(kernel)
+        iptables(kernel, "-A FORWARD -s 1.2.3.0/24 -j DROP")
+        handle = kernel.netfilter.chain("FORWARD").rules[0].handle
+        iptables(kernel, f"-D FORWARD {handle}")
+        assert len(intro.view.filter.rules["FORWARD"]) == 0
+
+    def test_ipset_and_policy_tracked(self, kernel):
+        intro = start_introspection(kernel)
+        ipset(kernel, "create bl hash:ip")
+        iptables(kernel, "-P FORWARD DROP")
+        assert "bl" in intro.view.ipsets
+        assert intro.view.filter.policies["FORWARD"] == "DROP"
+
+    def test_ipvs_tracked(self, kernel):
+        intro = start_introspection(kernel)
+        ipvsadm(kernel, "-A -t 10.96.0.1:80 -s rr")
+        ipvsadm(kernel, "-a -t 10.96.0.1:80 -r 10.244.1.10:8080")
+        assert len(intro.view.ipvs_services) == 1
+        assert intro.view.ipvs_services[0].dest_count == 1
+
+    def test_route_removal_on_link_down(self, kernel):
+        intro = start_introspection(kernel)
+        ip(kernel, "addr add 10.0.1.1/24 dev eth0")
+        assert len(intro.view.routes) == 1
+        ip(kernel, "link set eth0 down")
+        assert len(intro.view.routes) == 0
+
+    def test_existing_state_before_start(self, kernel):
+        """The controller can start on an already-configured system."""
+        ip(kernel, "addr add 10.0.1.1/24 dev eth0")
+        iptables(kernel, "-A FORWARD -j ACCEPT")
+        sysctl(kernel, "-w net.ipv4.ip_forward=1")
+        intro = start_introspection(kernel)
+        assert intro.view.ip_forward
+        assert len(intro.view.filter.rules["FORWARD"]) == 1
+
+
+class TestTopologyManager:
+    def configure_router(self, kernel):
+        ip(kernel, "addr add 10.0.1.1/24 dev eth0")
+        ip(kernel, "addr add 10.0.2.1/24 dev eth1")
+        ip(kernel, "route add 10.99.0.0/16 via 10.0.2.2")
+        sysctl(kernel, "-w net.ipv4.ip_forward=1")
+
+    def test_empty_config_empty_graph(self, kernel):
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        assert all(g.empty for g in graph.interfaces.values())
+
+    def test_router_graph(self, kernel):
+        self.configure_router(kernel)
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        for name in ("eth0", "eth1"):
+            nodes = graph.interfaces[name].nodes
+            assert [n.nf for n in nodes] == ["router"]
+
+    def test_ip_forward_off_means_no_router(self, kernel):
+        self.configure_router(kernel)
+        sysctl(kernel, "-w net.ipv4.ip_forward=0")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        assert all(g.empty for g in graph.interfaces.values())
+
+    def test_gateway_graph_filter_before_router(self, kernel):
+        self.configure_router(kernel)
+        iptables(kernel, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        nodes = graph.interfaces["eth0"].nodes
+        assert [n.nf for n in nodes] == ["filter", "router"]
+        assert nodes[0].next_nf == "router"
+        assert nodes[0].conf["chain"] == "FORWARD"
+
+    def test_bridge_graph(self, kernel):
+        brctl(kernel, "addbr br0")
+        ip(kernel, "link set br0 up")
+        ip(kernel, "link set eth0 master br0")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        nodes = graph.interfaces["eth0"].nodes
+        assert [n.nf for n in nodes] == ["bridge"]
+        assert nodes[0].next_nf is None  # pure L2
+
+    def test_bridge_with_l3_chains_router(self, kernel):
+        brctl(kernel, "addbr br0")
+        ip(kernel, "link set br0 up")
+        ip(kernel, "link set eth0 master br0")
+        ip(kernel, "addr add 10.0.5.1/24 dev br0")
+        ip(kernel, "addr add 10.0.2.1/24 dev eth1")
+        ip(kernel, "route add 10.99.0.0/16 via 10.0.2.2")
+        sysctl(kernel, "-w net.ipv4.ip_forward=1")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        bridge_node = graph.interfaces["eth0"].node("bridge")
+        assert bridge_node.next_nf == "router"
+        assert bridge_node.conf["bridge_mac"] is not None
+
+    def test_bridge_conf_subkeys(self, kernel):
+        brctl(kernel, "addbr br0")
+        brctl(kernel, "stp br0 on")
+        ip(kernel, "link set br0 up")
+        ip(kernel, "link set eth0 master br0")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        conf = graph.interfaces["eth0"].node("bridge").conf
+        assert conf["STP_enabled"] is True
+        assert conf["VLAN_enabled"] is False
+
+    def test_ipvs_node_behind_flag(self, kernel):
+        self.configure_router(kernel)
+        ipvsadm(kernel, "-A -t 10.96.0.1:80")
+        intro = start_introspection(kernel)
+        graph_off = TopologyManager(enable_ipvs=False).build(intro.view)
+        assert graph_off.interfaces["eth0"].node("ipvs") is None
+        graph_on = TopologyManager(enable_ipvs=True).build(intro.view)
+        node = graph_on.interfaces["eth0"].node("ipvs")
+        assert node is not None and node.conf["services"][0]["port"] == 80
+
+    def test_target_interface_restriction(self, kernel):
+        self.configure_router(kernel)
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view, target_interfaces=["eth0"])
+        assert "eth1" not in graph.interfaces
+
+    def test_json_model_shape(self, kernel):
+        """The Fig 3 JSON model: keys = FPMs, sub-keys = conf + next_nf."""
+        self.configure_router(kernel)
+        iptables(kernel, "-A FORWARD -j ACCEPT")
+        intro = start_introspection(kernel)
+        graph = TopologyManager().build(intro.view)
+        model = json.loads(graph.to_json())
+        assert set(model["eth0"].keys()) == {"filter", "router"}
+        assert model["eth0"]["filter"]["next_nf"] == "router"
+        assert "conf" in model["eth0"]["router"]
+
+    def test_signature_stability(self, kernel):
+        self.configure_router(kernel)
+        intro = start_introspection(kernel)
+        manager = TopologyManager()
+        assert manager.build(intro.view).signature() == manager.build(intro.view).signature()

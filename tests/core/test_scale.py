@@ -1,0 +1,85 @@
+"""Scale tests: large configurations must synthesize, deploy, and forward."""
+
+import pytest
+
+from repro.core import Controller
+from repro.k8s import Cluster
+from repro.kernel import Kernel
+from repro.kernel.netfilter import Rule
+from repro.measure.pktgen import Pktgen
+from repro.measure.topology import LineTopology
+from repro.netsim.addresses import IPv4Prefix
+from repro.tools import ip
+
+
+class TestScale:
+    def test_thousand_routes(self):
+        topo = LineTopology()
+        for i in range(1000):
+            topo.dut.route_add(f"10.{100 + i // 250}.{i % 250}.0/24", via="10.0.2.2")
+        Controller(topo.dut, hook="xdp").start()
+        topo.prewarm_neighbors()
+        assert len(topo.dut.fib) >= 1000
+        result = Pktgen(topo, num_prefixes=4).throughput(packets=300)
+        assert result.delivery_ratio == 1.0
+        # LPM cost is flat in our FIB: same fast-path cost as 50 routes
+        assert result.per_packet_ns < 600
+
+    def test_thousand_rules_deploys_once(self):
+        topo = LineTopology()
+        topo.install_prefixes(4)
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        swaps_before = controller.deployer.deployed["eth0"].swaps
+        for i in range(1000):
+            topo.dut.ipt_append(
+                "FORWARD", Rule(target="DROP", src=IPv4Prefix.parse(f"172.{i % 200 + 1}.{i // 200}.0/24"))
+            )
+        # rules flow through the helper: exactly one structural redeploy
+        assert controller.deployer.deployed["eth0"].swaps == swaps_before + 1
+
+    def test_many_interfaces(self):
+        kernel = Kernel("many")
+        kernel.sysctl_set("net.ipv4.ip_forward", "1")
+        for i in range(32):
+            kernel.add_physical(f"eth{i}")
+            ip(kernel, f"link set eth{i} up")
+            kernel.add_address(f"eth{i}", f"10.{i}.0.1/24")
+        kernel.route_add("10.200.0.0/16", via="10.0.0.2")
+        controller = Controller(kernel, hook="xdp")
+        controller.start()
+        assert len(controller.deployer.deployed) == 32
+        assert all(e.current is not None for e in controller.deployer.deployed.values())
+
+    def test_ten_pods_per_node(self):
+        cluster = Cluster(workers=2)
+        node = cluster.workers[0]
+        pods = [cluster.create_pod(node) for __ in range(10)]
+        cluster.accelerate()
+        assert len(node.host_veth_names()) == 10
+        summary = node.controller.deployed_summary()
+        assert sum(1 for chain in summary.values() if "bridge" in chain) == 10
+
+    def test_deep_prefix_nesting(self):
+        """Every prefix length 8..32 nested around one address."""
+        topo = LineTopology()
+        for length in range(8, 33):
+            topo.dut.route_add(IPv4Prefix.parse(f"10.128.64.32/{length}"), via="10.0.2.2")
+        Controller(topo.dut, hook="xdp").start()
+        topo.prewarm_neighbors()
+        route = topo.dut.fib.lookup("10.128.64.32")
+        assert route.prefix.length == 32
+
+    def test_rapid_reconfiguration_storm(self):
+        """1000 add/del route cycles: no redeploys, no leaks, still correct."""
+        topo = LineTopology()
+        topo.install_prefixes(4)
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        swaps = controller.deployer.deployed["eth0"].swaps
+        for i in range(500):
+            topo.dut.route_add("10.250.0.0/16", via="10.0.2.2")
+            topo.dut.route_del("10.250.0.0/16")
+        assert controller.deployer.deployed["eth0"].swaps == swaps
+        topo.prewarm_neighbors()
+        assert Pktgen(topo, num_prefixes=4).throughput(packets=200).delivery_ratio == 1.0

@@ -1,0 +1,226 @@
+"""Tests for the synthesizer, capability manager, deployer, and controller."""
+
+import pytest
+
+from repro.core import Controller
+from repro.core.capability import CapabilityManager
+from repro.core.graph import TopologyManager
+from repro.core.introspection import ServiceIntrospection
+from repro.core.synthesizer import Synthesizer
+from repro.kernel import Kernel
+from repro.measure import LineTopology, Pktgen
+from repro.netsim.packet import make_udp
+from repro.tools import brctl, ip, ipset, iptables, sysctl
+
+
+def router_topo():
+    topo = LineTopology()
+    topo.install_prefixes(50)
+    topo.prewarm_neighbors()
+    return topo
+
+
+def build_graph(kernel, **manager_kwargs):
+    intro = ServiceIntrospection(kernel.bus.open_socket())
+    intro.start()
+    return TopologyManager(**manager_kwargs).build(intro.view)
+
+
+class TestCapabilityManager:
+    def test_full_kernel_supports_everything(self):
+        caps = CapabilityManager.linuxfp()
+        for nf in ("router", "bridge", "filter", "ipvs"):
+            assert caps.supports(nf)
+
+    def test_mainline_kernel_only_routes(self):
+        caps = CapabilityManager.mainline()
+        assert caps.supports("router")
+        assert not caps.supports("bridge")
+        assert not caps.supports("filter")
+        assert caps.missing_for("bridge") == {"fdb_lookup"}
+
+    def test_unknown_helper_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityManager({"warp_speed"})
+
+    def test_filter_nodes_preserves_order(self):
+        caps = CapabilityManager.mainline()
+        assert caps.filter_nodes(["filter", "router"]) == ["router"]
+
+
+class TestSynthesizer:
+    def test_router_only_graph_synthesizes_router(self):
+        topo = router_topo()
+        graph = build_graph(topo.dut)
+        paths = Synthesizer().synthesize(graph, hook="xdp")
+        assert set(paths) == {"eth0", "eth1"}
+        source = paths["eth0"].source
+        assert "fpm_router" in source
+        assert "fpm_filter" not in source  # minimality: no filtering configured
+        assert "fdb_lookup" not in source
+
+    def test_gateway_graph_adds_filter(self):
+        topo = router_topo()
+        iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        graph = build_graph(topo.dut)
+        paths = Synthesizer().synthesize(graph, hook="xdp")
+        source = paths["eth0"].source
+        assert "fpm_filter" in source and "fpm_router" in source
+        assert source.index("fpm_filter(") < source.index("fpm_router(pkt")
+
+    def test_programs_verify_and_have_distinct_hook_verdicts(self):
+        topo = router_topo()
+        graph = build_graph(topo.dut)
+        xdp = Synthesizer().synthesize(graph, hook="xdp")["eth0"]
+        tc = Synthesizer().synthesize(graph, hook="tc")["eth0"]
+        assert "return 2" in xdp.source  # XDP_PASS
+        assert "return 0" in tc.source  # TC_ACT_OK
+        assert xdp.program.hook == "xdp" and tc.program.hook == "tc"
+
+    def test_mainline_capabilities_prune_filter_and_router(self):
+        """Correctness rule: no filter helper ⇒ no fast-path forwarding."""
+        topo = router_topo()
+        iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        graph = build_graph(topo.dut)
+        paths = Synthesizer(CapabilityManager.mainline()).synthesize(graph, hook="xdp")
+        assert paths == {}  # filter unpruned would change semantics
+
+    def test_mainline_capabilities_keep_pure_router(self):
+        topo = router_topo()
+        graph = build_graph(topo.dut)
+        paths = Synthesizer(CapabilityManager.mainline()).synthesize(graph, hook="xdp")
+        assert set(paths) == {"eth0", "eth1"}
+
+    def test_vlan_enabled_changes_source(self):
+        kernel = Kernel("s")
+        kernel.add_physical("eth0")
+        kernel.set_link("eth0", True)
+        brctl(kernel, "addbr br0")
+        ip(kernel, "link set br0 up")
+        ip(kernel, "link set eth0 master br0")
+        graph = build_graph(kernel)
+        plain = Synthesizer().synthesize(graph, hook="xdp")["eth0"].source
+        assert "0x8100) { return 2; }" in plain.replace("ethertype == ", "")
+        kernel.set_bridge_attrs("br0", vlan_filtering=True)
+        graph = build_graph(kernel)
+        tagged = Synthesizer().synthesize(graph, hook="xdp")["eth0"].source
+        assert "vid = ld16(pkt, 14) & 0xfff" in tagged
+
+
+class TestDeployerAtomicSwap:
+    def test_swap_without_loss(self):
+        """Traffic keeps flowing across a fast-path regeneration (Fig 4)."""
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        generator = Pktgen(topo)
+        generator.blackhole_sink()
+        frame = make_udp(
+            topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", topo.flow_destination(0)
+        ).to_bytes()
+        nic = topo.dut_in.nic
+        lost_before = topo.dut.stack.drops["xdp_drop"] + topo.dut.stack.drops["xdp_aborted"]
+        for i in range(50):
+            nic.receive_from_wire(frame)
+            if i % 10 == 0:  # reconfigure mid-traffic
+                iptables(topo.dut, f"-A FORWARD -s 172.16.{i}.0/24 -j DROP")
+        lost_after = topo.dut.stack.drops["xdp_drop"] + topo.dut.stack.drops["xdp_aborted"]
+        assert lost_after == lost_before
+        assert generator.delivered == 50
+
+    def test_dispatcher_attached_once_swaps_counted(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        entry = ctl.deployer.deployed["eth0"]
+        swaps_before = entry.swaps
+        iptables(topo.dut, "-A FORWARD -j ACCEPT")
+        assert ctl.deployer.deployed["eth0"] is entry  # same dispatcher
+        assert entry.swaps > swaps_before
+
+    def test_withdraw_falls_back_to_linux(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        sysctl(topo.dut, "-w net.ipv4.ip_forward=0")
+        # fast path withdrawn; dispatcher remains but slot is empty
+        entry = ctl.deployer.deployed["eth0"]
+        assert entry.current is None
+        # forwarding disabled in Linux too: packets are dropped by the stack
+        frame = make_udp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", "10.100.0.1").to_bytes()
+        topo.dut_in.nic.receive_from_wire(frame)
+        assert topo.dut.stack.drops["not_forwarding"] == 1
+
+
+class TestControllerTransparency:
+    def test_transparent_acceleration_end_to_end(self):
+        """The paper's headline flow: plain tools, faster data plane."""
+        topo = LineTopology()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        # configure the DUT purely with standard tools, *after* start
+        ip(topo.dut, "route add 10.100.0.0/16 via 10.0.2.2")
+        topo.prewarm_neighbors()
+        generator = Pktgen(topo, num_prefixes=1)
+        result = generator.throughput(cores=1, packets=500)
+        assert result.delivery_ratio == 1.0
+        # the fast path (not Linux) carried the traffic
+        assert result.per_packet_ns < 700
+        assert ctl.deployed_summary()["eth0"] == "router"
+
+    def test_reaction_records(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        iptables(topo.dut, "-A FORWARD -j ACCEPT")
+        assert ctl.reactions
+        last = ctl.reactions[-1]
+        assert last.trigger == "NFT_NEWRULE"
+        assert last.seconds > 0
+        assert "eth0" in last.redeployed
+
+    def test_unrelated_change_no_redeploy(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        rebuilds = ctl.rebuilds
+        ip(topo.dut, "neigh add 10.0.1.77 lladdr 02:aa:00:00:00:77 dev eth0")
+        assert ctl.rebuilds == rebuilds  # graph signature unchanged
+
+    def test_stop_detaches_everything(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="xdp")
+        ctl.start()
+        ctl.stop()
+        assert topo.dut.devices.by_name("eth0").xdp_prog is None
+        # changes after stop are ignored
+        iptables(topo.dut, "-A FORWARD -j ACCEPT")
+        assert ctl.deployer.deployed == {}
+
+    def test_tc_hook_controller(self):
+        topo = router_topo()
+        ctl = Controller(topo.dut, hook="tc")
+        ctl.start()
+        dev = topo.dut.devices.by_name("eth0")
+        assert dev.tc_ingress_prog is not None and dev.xdp_prog is None
+        generator = Pktgen(topo)
+        result = generator.throughput(cores=1, packets=300)
+        assert result.delivery_ratio == 1.0
+
+    def test_correctness_fast_vs_slow_same_result(self):
+        """The same packet stream yields identical outcomes on both paths."""
+        def run(accelerated):
+            topo = LineTopology()
+            topo.install_prefixes(4)
+            iptables(topo.dut, "-A FORWARD -s 10.0.1.66/32 -j DROP")
+            if accelerated:
+                Controller(topo.dut, hook="xdp").start()
+            topo.prewarm_neighbors()
+            delivered = []
+            topo.sink_eth.nic.attach(lambda frame, q: delivered.append(frame))
+            for i, src in enumerate(["10.0.1.2", "10.0.1.66", "10.0.1.2"]):
+                frame = make_udp(topo.src_eth.mac, topo.dut_in.mac, src, topo.flow_destination(i, 4)).to_bytes()
+                topo.dut_in.nic.receive_from_wire(frame)
+            return len(delivered)
+
+        assert run(accelerated=False) == run(accelerated=True) == 2

@@ -1,0 +1,98 @@
+"""Tests for the template engine and LinuxFP object model."""
+
+import pytest
+
+from repro.core.objects import FilterState, InterfaceObject, KernelView, RouteObject, RuleObject
+from repro.core.templates import Template, TemplateError, render
+from repro.netsim.addresses import IPv4Addr
+
+
+class TestTemplateEngine:
+    def test_substitution(self):
+        assert render("hello {{ name }}!", name="world") == "hello world!"
+
+    def test_expressions(self):
+        assert render("{{ a + b }}", a=2, b=3) == "5"
+        assert render("{{ items[1] }}", items=["x", "y"]) == "y"
+        assert render("{{ conf['key'] }}", conf={"key": 7}) == "7"
+
+    def test_if_true_false(self):
+        template = "{% if flag %}ON{% else %}OFF{% endif %}"
+        assert render(template, flag=True) == "ON"
+        assert render(template, flag=False) == "OFF"
+
+    def test_elif(self):
+        template = "{% if x == 1 %}one{% elif x == 2 %}two{% else %}many{% endif %}"
+        assert render(template, x=1) == "one"
+        assert render(template, x=2) == "two"
+        assert render(template, x=9) == "many"
+
+    def test_for_loop(self):
+        assert render("{% for i in items %}[{{ i }}]{% endfor %}", items=[1, 2, 3]) == "[1][2][3]"
+
+    def test_loop_index(self):
+        assert render("{% for x in items %}{{ loop_index }}{% endfor %}", items="ab") == "01"
+
+    def test_nested_blocks(self):
+        template = "{% for i in items %}{% if i > 1 %}{{ i }}{% endif %}{% endfor %}"
+        assert render(template, items=[1, 2, 3]) == "23"
+
+    def test_comments_stripped(self):
+        assert render("a{# not shown #}b") == "ab"
+
+    def test_unclosed_block_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("{% if x %}oops")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("{% include foo %}")
+
+    def test_bad_expression_reported(self):
+        with pytest.raises(TemplateError, match="nope"):
+            render("{{ nope }}")
+
+    def test_builtin_functions(self):
+        assert render("{{ len(items) }}", items=[1, 2]) == "2"
+        assert render("{{ hex(255) }}") == "0xff"
+
+
+class TestKernelView:
+    def make_view(self):
+        view = KernelView()
+        view.interfaces[1] = InterfaceObject(ifindex=1, name="eth0", kind="physical", up=True)
+        view.interfaces[2] = InterfaceObject(ifindex=2, name="br0", kind="bridge", up=True)
+        view.interfaces[3] = InterfaceObject(ifindex=3, name="veth0", kind="veth", up=True, master=2)
+        return view
+
+    def test_interface_by_name(self):
+        view = self.make_view()
+        assert view.interface_by_name("br0").ifindex == 2
+        assert view.interface_by_name("ghost") is None
+
+    def test_bridge_ports(self):
+        view = self.make_view()
+        assert [p.name for p in view.bridge_ports(2)] == ["veth0"]
+
+    def test_routing_configured_needs_both(self):
+        view = self.make_view()
+        assert not view.routing_configured()
+        view.ip_forward = True
+        assert not view.routing_configured()  # no routes yet
+        route = RouteObject(dst=IPv4Addr.parse("10.0.0.0"), dst_len=24, oif=1)
+        view.routes[route.key()] = route
+        assert view.routing_configured()
+
+    def test_filter_forward_configured(self):
+        state = FilterState()
+        assert not state.forward_configured()
+        state.rules["FORWARD"].append(RuleObject(chain="FORWARD", handle=1, target="DROP"))
+        assert state.forward_configured()
+        state = FilterState()
+        state.policies["FORWARD"] = "DROP"
+        assert state.forward_configured()
+
+    def test_summary(self):
+        summary = self.make_view().summary()
+        assert summary["bridges"] == ["br0"]
+        assert summary["routes"] == 0

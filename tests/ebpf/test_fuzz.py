@@ -1,0 +1,126 @@
+"""Fuzz-style robustness tests: hostile inputs must fail *cleanly*.
+
+The safety story of the eBPF substrate is that nothing a program (or a
+malformed message) does can crash the host — errors surface as typed
+exceptions (VerifierError/VMError/CodecError/PacketError), never as
+arbitrary Python faults.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf.isa import MEM_SIZES, NUM_REGS, Insn, Op
+from repro.ebpf.program import Program, ProgramError
+from repro.ebpf.verifier import VerifierError, verify
+from repro.ebpf.vm import VM, Env, VMError
+from repro.kernel import Kernel
+from repro.netlink.codec import CodecError, unpack_attrs
+from repro.netlink.messages import NetlinkMsg
+from repro.netsim.packet import Packet, PacketError
+
+SIMPLE_OPS = [
+    Op.MOV_IMM, Op.MOV_REG, Op.ADD_IMM, Op.ADD_REG, Op.SUB_IMM, Op.MUL_REG,
+    Op.DIV_REG, Op.AND_IMM, Op.OR_REG, Op.LSH_IMM, Op.RSH_IMM, Op.NEG,
+    Op.LDX, Op.STX, Op.ST_IMM, Op.JA, Op.JEQ_IMM, Op.JNE_REG, Op.JGT_IMM,
+    Op.JSET_IMM, Op.CALL, Op.EXIT,
+]
+
+random_insns = st.lists(
+    st.builds(
+        Insn,
+        op=st.sampled_from(SIMPLE_OPS),
+        dst=st.integers(min_value=0, max_value=NUM_REGS - 1),
+        src=st.integers(min_value=0, max_value=NUM_REGS - 1),
+        off=st.integers(min_value=-16, max_value=16),
+        imm=st.integers(min_value=-256, max_value=256),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestVerifierVmFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(insns=random_insns)
+    def test_verifier_never_crashes(self, insns):
+        program = Program("fuzz", insns, hook="xdp")
+        try:
+            verify(program)
+        except VerifierError:
+            pass  # rejection is the expected outcome for garbage
+
+    @settings(max_examples=150, deadline=None)
+    @given(insns=random_insns)
+    def test_verified_programs_execute_safely(self, insns):
+        """Anything the verifier accepts must run to completion or abort
+        with VMError — no other exception, no hang."""
+        program = Program("fuzz", insns, hook="xdp")
+        try:
+            verify(program)
+        except VerifierError:
+            return
+        kernel = Kernel("fuzz")
+        vm = VM(kernel, insn_limit=10_000)
+        try:
+            result = vm.run(program, [0, 0, 0], Env(kernel, 4))
+            assert isinstance(result, int)
+        except VMError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(insns=random_insns)
+    def test_unverified_execution_only_raises_vmerror(self, insns):
+        """Even bypassing the verifier (as baselines may), the VM defends
+        itself: VMError is the only failure mode."""
+        program = Program("fuzz", insns, hook="xdp")
+        kernel = Kernel("fuzz")
+        vm = VM(kernel, insn_limit=10_000)
+        try:
+            vm.run(program, [0, 0, 0], Env(kernel, 4))
+        except VMError:
+            pass
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=120))
+    def test_attr_decoder_never_crashes(self, data):
+        try:
+            unpack_attrs(data)
+        except CodecError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=120))
+    def test_netlink_parse_never_crashes(self, data):
+        try:
+            NetlinkMsg.parse_stream(data)
+        except CodecError:
+            pass
+
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.binary(max_size=120))
+    def test_packet_parse_never_crashes(self, data):
+        try:
+            Packet.from_bytes(data)
+        except PacketError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(min_size=14, max_size=200))
+    def test_stack_survives_arbitrary_frames(self, data):
+        """Garbage off the wire must never take the kernel down."""
+        kernel = Kernel("fuzz")
+        dev = kernel.add_physical("eth0")
+        kernel.set_link("eth0", True)
+        kernel.add_address("eth0", "10.0.0.1/24")
+        dev.nic.receive_from_wire(bytes(data))  # must not raise
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("empty", [], hook="xdp")
+
+    def test_bad_hook_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("x", [Insn(Op.EXIT)], hook="socket")

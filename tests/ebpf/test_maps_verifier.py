@@ -1,0 +1,230 @@
+"""Tests for eBPF maps and the static verifier."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ebpf.isa import Insn, Op, call, exit_, ldx, mov_imm, mov_reg, stx
+from repro.ebpf.maps import ArrayMap, DevMap, HashMap, LpmTrieMap, MapError, ProgArray
+from repro.ebpf.program import Program, ProgramError
+from repro.ebpf.verifier import MAX_INSNS, VerifierError, verify
+from repro.netsim.addresses import IPv4Addr
+
+
+class TestHashMap:
+    def test_lookup_update_delete(self):
+        m = HashMap("h", 4, 8)
+        key, value = b"\x01\x02\x03\x04", b"\x00" * 7 + b"\x2a"
+        assert m.lookup(key) is None
+        m.update(key, value)
+        assert m.lookup(key) == value
+        m.delete(key)
+        assert m.lookup(key) is None
+
+    def test_key_size_enforced(self):
+        m = HashMap("h", 4, 8)
+        with pytest.raises(MapError):
+            m.lookup(b"\x01")
+
+    def test_value_size_enforced(self):
+        m = HashMap("h", 4, 8)
+        with pytest.raises(MapError):
+            m.update(b"\x01\x02\x03\x04", b"short")
+
+    def test_capacity_enforced(self):
+        m = HashMap("h", 1, 1, max_entries=2)
+        m.update(b"a", b"x")
+        m.update(b"b", b"x")
+        with pytest.raises(MapError):
+            m.update(b"c", b"x")
+        m.update(b"a", b"y")  # replacing existing is fine
+
+    @given(st.binary(min_size=4, max_size=4), st.binary(min_size=8, max_size=8))
+    def test_round_trip_property(self, key, value):
+        m = HashMap("h", 4, 8)
+        m.update(key, value)
+        assert m.lookup(key) == value
+
+
+class TestArrayMap:
+    def test_preinitialized_zero(self):
+        m = ArrayMap("a", 4, 8)
+        assert m.lookup((3).to_bytes(4, "little")) == b"\x00" * 4
+
+    def test_update_and_delete(self):
+        m = ArrayMap("a", 4, 8)
+        key = (2).to_bytes(4, "little")
+        m.update(key, b"\x01\x02\x03\x04")
+        assert m.lookup(key) == b"\x01\x02\x03\x04"
+        m.delete(key)
+        assert m.lookup(key) == b"\x00" * 4
+
+    def test_out_of_range(self):
+        m = ArrayMap("a", 4, 2)
+        with pytest.raises(MapError):
+            m.lookup((5).to_bytes(4, "little"))
+
+
+class TestLpmTrie:
+    def test_longest_prefix_wins(self):
+        m = LpmTrieMap("lpm", value_size=4)
+        m.update(LpmTrieMap.make_key(8, IPv4Addr.parse("10.0.0.0")), b"aaaa")
+        m.update(LpmTrieMap.make_key(24, IPv4Addr.parse("10.1.2.0")), b"bbbb")
+        assert m.lookup(LpmTrieMap.make_key(32, IPv4Addr.parse("10.1.2.9"))) == b"bbbb"
+        assert m.lookup(LpmTrieMap.make_key(32, IPv4Addr.parse("10.9.9.9"))) == b"aaaa"
+        assert m.lookup(LpmTrieMap.make_key(32, IPv4Addr.parse("11.0.0.1"))) is None
+
+    def test_delete(self):
+        m = LpmTrieMap("lpm", value_size=4)
+        m.update(LpmTrieMap.make_key(16, IPv4Addr.parse("10.1.0.0")), b"aaaa")
+        m.delete(LpmTrieMap.make_key(16, IPv4Addr.parse("10.1.0.0")))
+        assert m.lookup(LpmTrieMap.make_key(32, IPv4Addr.parse("10.1.0.1"))) is None
+
+    def test_bad_prefix_len(self):
+        m = LpmTrieMap("lpm", value_size=4)
+        with pytest.raises(MapError):
+            m.update(LpmTrieMap.make_key(33, IPv4Addr.parse("10.0.0.0")), b"aaaa")
+
+
+class TestProgArrayDevMap:
+    def test_prog_array_slots(self):
+        pa = ProgArray("jmp", max_entries=4)
+        sentinel = object()
+        pa.set_prog(2, sentinel)
+        assert pa.get_prog(2) is sentinel
+        pa.clear(2)
+        assert pa.get_prog(2) is None
+
+    def test_prog_array_range(self):
+        pa = ProgArray("jmp", max_entries=2)
+        with pytest.raises(MapError):
+            pa.set_prog(2, object())
+
+    def test_prog_array_not_byte_accessible(self):
+        pa = ProgArray("jmp")
+        with pytest.raises(MapError):
+            pa.lookup(b"\x00" * 4)
+
+    def test_devmap(self):
+        dm = DevMap("tx", max_entries=4)
+        dm.set_dev(1, 42)
+        assert dm.get_dev(1) == 42
+        assert dm.lookup((1).to_bytes(4, "little")) == (42).to_bytes(4, "little")
+        dm.delete((1).to_bytes(4, "little"))
+        assert dm.get_dev(1) is None
+
+
+def prog(insns, maps=None):
+    return Program("t", insns, hook="xdp", maps=maps or [])
+
+
+class TestVerifier:
+    def test_accepts_valid_program(self):
+        verify(prog([mov_imm(0, 0), exit_()]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProgramError):
+            Program("t", [], hook="xdp")
+
+    def test_rejects_oversized(self):
+        insns = [mov_imm(0, 0)] * (MAX_INSNS + 1) + [exit_()]
+        with pytest.raises(VerifierError, match="too many"):
+            verify(prog(insns))
+
+    def test_rejects_backward_jump(self):
+        insns = [mov_imm(0, 0), Insn(Op.JA, off=-1), exit_()]
+        with pytest.raises(VerifierError, match="backward"):
+            verify(prog(insns))
+
+    def test_rejects_out_of_range_target(self):
+        insns = [mov_imm(0, 0), Insn(Op.JA, off=5), exit_()]
+        with pytest.raises(VerifierError, match="out of range"):
+            verify(prog(insns))
+
+    def test_rejects_fall_off_end(self):
+        insns = [mov_imm(0, 0), mov_imm(1, 1)]
+        with pytest.raises(VerifierError, match="fall off"):
+            verify(prog(insns))
+
+    def test_rejects_write_to_r10(self):
+        insns = [mov_imm(10, 0), mov_imm(0, 0), exit_()]
+        with pytest.raises(VerifierError, match="frame pointer"):
+            verify(prog(insns))
+
+    def test_rejects_bad_access_size(self):
+        insns = [ldx(0, 1, 0, 3), exit_()]
+        with pytest.raises(VerifierError, match="size"):
+            verify(prog(insns))
+
+    def test_rejects_unknown_helper(self):
+        insns = [call(999), exit_()]
+        with pytest.raises(VerifierError, match="helper"):
+            verify(prog(insns))
+
+    def test_rejects_unresolved_map(self):
+        insns = [Insn(Op.LD_MAP, dst=1, imm=0), mov_imm(0, 0), exit_()]
+        with pytest.raises(VerifierError, match="map"):
+            verify(prog(insns))
+
+    def test_rejects_stack_out_of_frame(self):
+        insns = [Insn(Op.STX, dst=10, src=1, off=-1024, imm=8), mov_imm(0, 0), exit_()]
+        with pytest.raises(VerifierError, match="stack"):
+            verify(prog(insns))
+
+    def test_rejects_positive_stack_offset(self):
+        insns = [Insn(Op.ST_IMM, dst=10, src=8, off=8, imm=0), mov_imm(0, 0), exit_()]
+        with pytest.raises(VerifierError, match="stack"):
+            verify(prog(insns))
+
+    def test_rejects_uninitialized_read(self):
+        insns = [mov_reg(0, 5), exit_()]
+        with pytest.raises(VerifierError, match="uninitialized"):
+            verify(prog(insns))
+
+    def test_rejects_uninitialized_r0_at_exit(self):
+        insns = [exit_()]
+        with pytest.raises(VerifierError, match="r0"):
+            verify(prog(insns), entry_regs=(1,))
+
+    def test_join_requires_both_paths_initialized(self):
+        # r4 is set on only one branch, then read after the join
+        insns = [
+            Insn(Op.JEQ_IMM, dst=1, imm=0, off=1),
+            mov_imm(4, 1),
+            mov_reg(0, 4),
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="r4"):
+            verify(prog(insns))
+
+    def test_join_accepts_both_paths_initialized(self):
+        insns = [
+            Insn(Op.JEQ_IMM, dst=1, imm=0, off=2),
+            mov_imm(4, 1),
+            Insn(Op.JA, off=1),
+            mov_imm(4, 2),
+            mov_reg(0, 4),
+            exit_(),
+        ]
+        verify(prog(insns))
+
+    def test_call_clobbers_arg_regs(self):
+        from repro.ebpf.helpers import HELPER_IDS
+
+        insns = [
+            mov_imm(1, 1),
+            call(HELPER_IDS["ktime_get_ns"]),
+            mov_reg(0, 1),  # r1 no longer initialized
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="r1"):
+            verify(prog(insns))
+
+    def test_unreachable_code_ignored(self):
+        insns = [
+            mov_imm(0, 0),
+            exit_(),
+            mov_reg(0, 9),  # unreachable: must not trip the init check
+            exit_(),
+        ]
+        verify(prog(insns))

@@ -1,0 +1,198 @@
+"""Property-based tests: minic compilation vs direct evaluation, and the
+LPM trie vs a naive reference implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf.maps import LpmTrieMap
+from repro.ebpf.minic import compile_c
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import VM, Env
+from repro.kernel import Kernel
+from repro.netsim.addresses import IPv4Addr
+
+MASK64 = (1 << 64) - 1
+
+
+# --- random arithmetic expressions compiled vs evaluated --------------------
+
+class ExprNode:
+    """A random expression over variables a, b, c with safe operators."""
+
+    def __init__(self, text):
+        self.text = text
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """A random expression as (text, ast) where ast is a nested tuple."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 0:
+            value = draw(st.integers(min_value=0, max_value=0xFFFF))
+            return str(value), ("num", value)
+        name = draw(st.sampled_from(["a", "b", "c"]))
+        return name, ("var", name)
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", ">>", "<<"]))
+    left_text, left_ast = draw(expressions(depth=depth + 1))
+    right_text, right_ast = draw(expressions(depth=depth + 1))
+    if op == "<<":
+        shift = draw(st.integers(min_value=0, max_value=8))
+        right_text, right_ast = str(shift), ("num", shift)
+    if op == ">>":
+        shift = draw(st.integers(min_value=0, max_value=16))
+        right_text, right_ast = str(shift), ("num", shift)
+    return f"({left_text} {op} {right_text})", ("bin", op, left_ast, right_ast)
+
+
+def eval_reference(ast, env):
+    """Evaluate with eBPF's unsigned 64-bit wrap-around semantics, masking
+    every intermediate (Python's >> on negatives is arithmetic; the VM's is
+    logical on the masked word)."""
+    kind = ast[0]
+    if kind == "num":
+        return ast[1] & MASK64
+    if kind == "var":
+        return env[ast[1]] & MASK64
+    __, op, left_ast, right_ast = ast
+    left = eval_reference(left_ast, env)
+    right = eval_reference(right_ast, env)
+    if op == "+":
+        return (left + right) & MASK64
+    if op == "-":
+        return (left - right) & MASK64
+    if op == "*":
+        return (left * right) & MASK64
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return (left << (right & 63)) & MASK64
+    if op == ">>":
+        return left >> (right & 63)
+    raise AssertionError(op)
+
+
+class TestMinicArithmeticProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        expr=expressions(),
+        a=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        c=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_compiled_matches_python(self, expr, a, b, c):
+        text, ast = expr
+        kernel = Kernel("prop")
+        source = f"u32 main(u64 a, u64 b, u64 c) {{ return {text}; }}"
+        program = compile_c(source)
+        verify(program)
+        result = VM(kernel).run(program, [a, b, c], Env(kernel, 4))
+        assert result == eval_reference(ast, {"a": a, "b": b, "c": c})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_comparison_chain_matches_python(self, a, b):
+        kernel = Kernel("prop")
+        source = """
+        u32 main(u64 a, u64 b) {
+            if (a < b) { return 1; }
+            if (a == b) { return 2; }
+            return 3;
+        }
+        """
+        program = compile_c(source)
+        result = VM(kernel).run(program, [a, b], Env(kernel, 4))
+        assert result == (1 if a < b else 2 if a == b else 3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=0xFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_division_semantics(self, a, b):
+        """eBPF: x/0 == 0, x%0 == x."""
+        kernel = Kernel("prop")
+        program = compile_c("u32 main(u64 a, u64 b) { return a / b + a % b; }")
+        result = VM(kernel).run(program, [a, b], Env(kernel, 4))
+        expected = (a // b + a % b) if b else (0 + a)
+        assert result == (expected & MASK64)
+
+
+# --- LPM trie vs naive reference ---------------------------------------------
+
+def naive_lpm(entries, addr):
+    best = None
+    for length, prefix_value, value in entries:
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        if (addr & mask) == (prefix_value & mask):
+            if best is None or length > best[0]:
+                best = (length, value)
+    return best[1] if best else None
+
+
+class TestLpmTrieProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.binary(min_size=4, max_size=4),
+            ),
+            max_size=16,
+        ),
+        probes=st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=8),
+    )
+    def test_matches_naive_reference(self, entries, probes):
+        trie = LpmTrieMap("lpm", value_size=4, max_entries=64)
+        # normalize duplicates the same way the trie does (last write wins)
+        seen = {}
+        for length, prefix_value, value in entries:
+            mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            seen[(length, prefix_value & mask)] = value
+            trie.update(LpmTrieMap.make_key(length, IPv4Addr(prefix_value)), value)
+        reference = [(length, prefix, value) for (length, prefix), value in seen.items()]
+        for addr in probes:
+            expected = naive_lpm(reference, addr)
+            actual = trie.lookup(LpmTrieMap.make_key(32, IPv4Addr(addr)))
+            assert actual == expected
+
+
+# --- kernel FIB vs naive reference -------------------------------------------
+
+class TestFibProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        routes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.integers(min_value=1, max_value=8),
+            ),
+            max_size=16,
+        ),
+        probes=st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=8),
+    )
+    def test_fib_matches_naive_lpm(self, routes, probes):
+        from repro.kernel.fib import Fib, Route
+        from repro.netsim.addresses import IPv4Prefix
+
+        fib = Fib()
+        seen = {}
+        for length, value, oif in routes:
+            prefix = IPv4Prefix(IPv4Addr(value), length)
+            seen[(length, prefix.address.value)] = oif
+            fib.add(Route(prefix=prefix, oif=oif))
+        reference = [(length, prefix, oif) for (length, prefix), oif in seen.items()]
+        for addr in probes:
+            expected = naive_lpm(reference, addr)
+            found = fib.lookup(IPv4Addr(addr))
+            assert (found.oif if found else None) == expected

@@ -1,0 +1,92 @@
+"""Tests for kube-proxy-lite: k8s Services over ipvs."""
+
+import pytest
+
+from repro.k8s import Cluster
+from repro.k8s.kube_proxy import KubeProxy, ServiceError
+from repro.kernel.sockets import tcp_rr_server
+from repro.netsim.addresses import ipv4
+from repro.netsim.packet import IPPROTO_TCP, IPv4, TCP
+
+
+def service_cluster():
+    cluster = Cluster(workers=2)
+    proxy = KubeProxy(cluster)
+    client = cluster.create_pod(cluster.workers[0], "client")
+    backend_a = cluster.create_pod(cluster.workers[0], "backend-a")
+    backend_b = cluster.create_pod(cluster.workers[1], "backend-b")
+    for backend in (backend_a, backend_b):
+        tcp_rr_server(backend.kernel, 8080, response_size=1)
+    service = proxy.create_service("web", port=80, target_port=8080, endpoints=[backend_a, backend_b])
+    return cluster, proxy, service, client, backend_a, backend_b
+
+
+def call_service(cluster, client, service, sport):
+    """One request to the VIP; returns True when a backend responded."""
+    responses = []
+    client.kernel.sockets.bind(IPPROTO_TCP, sport, lambda k, skb: responses.append(skb))
+    client.kernel.send_ip(
+        IPv4(src=ipv4(client.ip), dst=ipv4(service.cluster_ip), proto=IPPROTO_TCP),
+        TCP(sport=sport, dport=service.port, flags=TCP.ACK | TCP.PSH),
+        b"\x01",
+    )
+    client.kernel.sockets.unbind(IPPROTO_TCP, sport)
+    return len(responses) == 1
+
+
+class TestKubeProxy:
+    def test_vip_reaches_backends(self):
+        cluster, proxy, service, client, a, b = service_cluster()
+        assert call_service(cluster, client, service, 30000)
+
+    def test_round_robin_across_nodes(self):
+        cluster, proxy, service, client, a, b = service_cluster()
+        before_a = a.kernel.sockets.delivered
+        before_b = b.kernel.sockets.delivered
+        for i in range(6):
+            assert call_service(cluster, client, service, 30100 + i)
+        # rr on the client's node alternates between both backends,
+        # including the one on the other node (via the overlay)
+        assert a.kernel.sockets.delivered - before_a == 3
+        assert b.kernel.sockets.delivered - before_b == 3
+
+    def test_flow_affinity(self):
+        """Packets of one flow stick to one backend (conntrack pinning)."""
+        cluster, proxy, service, client, a, b = service_cluster()
+        for __ in range(4):
+            assert call_service(cluster, client, service, 31000)
+        total_a = a.kernel.sockets.delivered
+        total_b = b.kernel.sockets.delivered
+        assert {total_a, total_b} == {4, 0}
+
+    def test_remove_endpoint(self):
+        cluster, proxy, service, client, a, b = service_cluster()
+        proxy.remove_endpoint("web", b)
+        for i in range(4):
+            assert call_service(cluster, client, service, 32000 + i)
+        assert b.kernel.sockets.delivered == 0
+
+    def test_delete_service(self):
+        cluster, proxy, service, client, a, b = service_cluster()
+        proxy.delete_service("web")
+        assert not call_service(cluster, client, service, 33000)
+
+    def test_duplicate_service_rejected(self):
+        cluster, proxy, service, client, a, b = service_cluster()
+        with pytest.raises(ServiceError):
+            proxy.create_service("web", port=80, endpoints=[a])
+
+    def test_empty_endpoints_rejected(self):
+        cluster = Cluster(workers=2)
+        proxy = KubeProxy(cluster)
+        with pytest.raises(ServiceError):
+            proxy.create_service("empty", port=80, endpoints=[])
+
+    def test_accelerated_cluster_still_serves(self):
+        """LinuxFP with the ipvs FPM enabled keeps Services working."""
+        cluster, proxy, service, client, a, b = service_cluster()
+        cluster.accelerate(enable_ipvs=True)
+        for i in range(4):
+            assert call_service(cluster, client, service, 34000 + i)
+        node = cluster.workers[0]
+        assert "ipvs" in str(node.controller.deployed_summary())

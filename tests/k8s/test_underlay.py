@@ -1,0 +1,108 @@
+"""Tests for the underlay learning switch and failure injection."""
+
+import pytest
+
+from repro.k8s import Cluster
+from repro.k8s.underlay import UnderlaySwitch
+from repro.kernel.sockets import tcp_rr_server
+from repro.netsim.addresses import ipv4
+from repro.netsim.nic import NIC, Wire
+from repro.netsim.packet import IPPROTO_TCP, IPv4, TCP, make_udp
+
+
+def port_host(name):
+    nic = NIC(name)
+    received = []
+    nic.attach(lambda frame, q: received.append(frame))
+    return nic, received
+
+
+class TestUnderlaySwitch:
+    def make(self, n=3):
+        switch = UnderlaySwitch()
+        hosts = []
+        for i in range(n):
+            nic, received = port_host(f"h{i}")
+            switch.attach(nic)
+            hosts.append((nic, received))
+        return switch, hosts
+
+    def frame(self, src_idx, dst_mac):
+        return make_udp(f"02:aa:00:00:00:0{src_idx + 1}", dst_mac, "10.0.0.1", "10.0.0.2").to_bytes()
+
+    def test_unknown_unicast_floods(self):
+        switch, hosts = self.make()
+        hosts[0][0].transmit(self.frame(0, "02:aa:00:00:00:02"))
+        assert len(hosts[1][1]) == 1 and len(hosts[2][1]) == 1
+        assert len(hosts[0][1]) == 0  # not back out the ingress
+
+    def test_learning_narrows_forwarding(self):
+        switch, hosts = self.make()
+        hosts[1][0].transmit(self.frame(1, "02:aa:00:00:00:01"))  # teaches port 1
+        for __, received in hosts:
+            received.clear()
+        hosts[0][0].transmit(self.frame(0, "02:aa:00:00:00:02"))
+        assert len(hosts[1][1]) == 1
+        assert len(hosts[2][1]) == 0
+
+    def test_broadcast_always_floods(self):
+        switch, hosts = self.make()
+        hosts[0][0].transmit(self.frame(0, "ff:ff:ff:ff:ff:ff"))
+        assert len(hosts[1][1]) == 1 and len(hosts[2][1]) == 1
+
+    def test_runt_frames_ignored(self):
+        switch, hosts = self.make()
+        hosts[0][0].transmit(b"\x00" * 10)
+        assert all(len(received) == 0 for __, received in hosts[1:])
+
+
+class TestFailureInjection:
+    def rr(self, cluster, client, server, sport=40000):
+        responses = []
+        client.kernel.sockets.bind(IPPROTO_TCP, sport, lambda k, skb: responses.append(1))
+        client.kernel.send_ip(
+            IPv4(src=ipv4(client.ip), dst=ipv4(server.ip), proto=IPPROTO_TCP),
+            TCP(sport=sport, dport=5201, flags=TCP.ACK | TCP.PSH),
+            b"\x01",
+        )
+        client.kernel.sockets.unbind(IPPROTO_TCP, sport)
+        return bool(responses)
+
+    def test_node_link_down_breaks_then_restores_inter_pod(self):
+        cluster = Cluster(workers=2)
+        client, server = cluster.pod_pair(intra=False)
+        tcp_rr_server(server.kernel, 5201)
+        assert self.rr(cluster, client, server)
+        node = cluster.workers[1]
+        node.kernel.set_link("eth0", False)
+        assert not self.rr(cluster, client, server, sport=40001)
+        node.kernel.set_link("eth0", True)
+        # the underlay address and connected route must be restored
+        from repro.tools import ip
+
+        ip(node.kernel, f"route add 192.168.1.0/24 dev eth0")
+        assert self.rr(cluster, client, server, sport=40002)
+
+    def test_pod_veth_down_isolates_pod(self):
+        cluster = Cluster(workers=2)
+        client, server = cluster.pod_pair(intra=True)
+        tcp_rr_server(server.kernel, 5201)
+        assert self.rr(cluster, client, server)
+        node = cluster.workers[0]
+        host_veth = node.host_veth_names()[1]  # server-side veth
+        node.kernel.set_link(host_veth, False)
+        assert not self.rr(cluster, client, server, sport=40003)
+
+    def test_accelerated_cluster_survives_pod_churn(self):
+        cluster = Cluster(workers=2)
+        cluster.accelerate()
+        node = cluster.workers[0]
+        for round_number in range(3):
+            pods = [cluster.create_pod(node) for __ in range(3)]
+            server = pods[-1]
+            tcp_rr_server(server.kernel, 5201)
+            client = pods[0]
+            assert self.rr(cluster, client, server, sport=41000 + round_number)
+            server.kernel.sockets.unbind(IPPROTO_TCP, 5201)
+        # the controller tracked every veth that appeared
+        assert len(node.controller.deployed_summary()) >= 10

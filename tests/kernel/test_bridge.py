@@ -1,0 +1,213 @@
+"""Tests for bridging: FDB, learning, flooding, VLANs, STP."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.bridge import STP_BLOCKING, STP_FORWARDING, stp_converge
+from repro.netsim.clock import Clock
+from repro.netsim.nic import Wire
+from repro.netsim.packet import Packet, make_udp
+
+
+def make_bridge_host(num_ports=3):
+    """A kernel with br0 enslaving veth ports; returns (kernel, bridge, ports, peers)."""
+    kernel = Kernel("bridgehost")
+    bridge_dev = kernel.add_bridge("br0")
+    kernel.set_link("br0", True)
+    ports, peers = [], []
+    for i in range(num_ports):
+        port, peer = kernel.add_veth_pair(f"veth{i}", f"peer{i}")
+        kernel.set_link(f"veth{i}", True)
+        kernel.set_link(f"peer{i}", True)
+        kernel.enslave(f"veth{i}", "br0")
+        ports.append(port)
+        peers.append(peer)
+    return kernel, bridge_dev.bridge, ports, peers
+
+
+def capture(peer):
+    """Capture frames that exit the bridge through a peer veth."""
+    received = []
+    original = peer.deliver
+    peer.deliver = lambda frame, queue=0: received.append(Packet.from_bytes(frame))
+    return received
+
+
+class TestBridgeForwarding:
+    def test_unknown_dst_floods_all_but_ingress(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        rx = [capture(p) for p in peers]
+        frame = make_udp("02:aa:00:00:00:01", "02:aa:00:00:00:02", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(frame.to_bytes())
+        assert len(rx[0]) == 0
+        assert len(rx[1]) == 1 and len(rx[2]) == 1
+        assert bridge.fdb_miss_count == 1
+
+    def test_learning_enables_unicast_forwarding(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        rx = [capture(p) for p in peers]
+        # host A (behind port0) talks, bridge learns its MAC
+        a_to_b = make_udp("02:aa:00:00:00:01", "02:aa:00:00:00:02", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(a_to_b.to_bytes())
+        # now B replies: must go only to port0
+        b_to_a = make_udp("02:aa:00:00:00:02", "02:aa:00:00:00:01", "10.0.0.2", "10.0.0.1")
+        peers[1].transmit(b_to_a.to_bytes())
+        assert len(rx[0]) == 1
+        assert len(rx[2]) == 1  # only the initial flood
+
+    def test_no_hairpin(self):
+        """A frame whose FDB entry points at its own ingress port is dropped."""
+        kernel, bridge, ports, peers = make_bridge_host()
+        rx = [capture(p) for p in peers]
+        learn = make_udp("02:aa:00:00:00:01", "02:aa:00:00:00:99", "10.0.0.1", "10.0.0.9")
+        peers[0].transmit(learn.to_bytes())
+        to_self = make_udp("02:aa:00:00:00:03", "02:aa:00:00:00:01", "10.0.0.3", "10.0.0.1")
+        peers[0].transmit(to_self.to_bytes())
+        assert len(rx[1]) == 1 and len(rx[2]) == 1  # only the first flood
+
+    def test_broadcast_floods_and_delivers_up(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.add_address("br0", "10.0.0.254/24")
+        rx = [capture(p) for p in peers]
+        bc = make_udp("02:aa:00:00:00:01", "ff:ff:ff:ff:ff:ff", "10.0.0.1", "10.0.0.255", dport=67)
+        peers[0].transmit(bc.to_bytes())
+        assert len(rx[1]) == 1 and len(rx[2]) == 1
+
+    def test_frame_to_bridge_mac_goes_up(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.add_address("br0", "10.0.0.254/24")
+        bridge_mac = kernel.devices.by_name("br0").mac
+        rx = [capture(p) for p in peers]
+        frame = make_udp("02:aa:00:00:00:01", bridge_mac, "10.0.0.1", "10.0.0.254", dport=7777)
+        before = kernel.stack.drops["no_socket"]
+        peers[0].transmit(frame.to_bytes())
+        # reached local delivery (no socket bound -> drop counted there)
+        assert kernel.stack.drops["no_socket"] == before + 1
+        assert len(rx[1]) == 0 and len(rx[2]) == 0
+
+    def test_fdb_aging(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        bridge.ageing_time_ns = 1000
+        frame = make_udp("02:aa:00:00:00:01", "02:aa:00:00:00:02", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(frame.to_bytes())
+        assert any(not e.is_local for e in bridge.fdb.values())
+        kernel.clock.advance(2000)
+        assert bridge.age_fdb() >= 1
+
+    def test_static_fdb_entries_exempt_from_aging(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        bridge.ageing_time_ns = 1000
+        from repro.netsim.addresses import MacAddr
+
+        bridge.fdb_learn(MacAddr.parse("02:aa:00:00:00:05"), 1, ports[0].ifindex, static=True)
+        kernel.clock.advance(5000)
+        assert bridge.age_fdb() == 0
+
+    def test_remove_port_clears_fdb(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        frame = make_udp("02:aa:00:00:00:01", "02:aa:00:00:00:02", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(frame.to_bytes())
+        kernel.release("veth0")
+        assert all(e.port_ifindex != ports[0].ifindex for e in bridge.fdb.values())
+        assert ports[0].master is None
+
+    def test_double_enslave_rejected(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.add_bridge("br1")
+        with pytest.raises(Exception):
+            kernel.enslave("veth0", "br1")
+
+
+class TestBridgeVlans:
+    def test_vlan_filtering_drops_disallowed(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", vlan_filtering=True)
+        rx = [capture(p) for p in peers]
+        tagged = make_udp("02:aa:00:00:00:01", "ff:ff:ff:ff:ff:ff", "10.0.0.1", "10.0.0.2", vlan=100)
+        peers[0].transmit(tagged.to_bytes())
+        assert len(rx[1]) == 0 and len(rx[2]) == 0
+
+    def test_vlan_allowed_floods_within_vlan(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", vlan_filtering=True)
+        for port in bridge.ports.values():
+            port.allowed_vlans.add(100)
+        rx = [capture(p) for p in peers]
+        tagged = make_udp("02:aa:00:00:00:01", "02:bb:00:00:00:01", "10.0.0.1", "10.0.0.2", vlan=100)
+        peers[0].transmit(tagged.to_bytes())
+        assert len(rx[1]) == 1 and len(rx[2]) == 1
+        assert rx[1][0].vlan is not None and rx[1][0].vlan.vid == 100
+
+    def test_pvid_strips_tag_on_egress(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", vlan_filtering=True)
+        for port in bridge.ports.values():
+            port.allowed_vlans.add(100)
+        bridge.ports[ports[1].ifindex].pvid = 100
+        rx = [capture(p) for p in peers]
+        tagged = make_udp("02:aa:00:00:00:01", "02:bb:00:00:00:01", "10.0.0.1", "10.0.0.2", vlan=100)
+        peers[0].transmit(tagged.to_bytes())
+        assert rx[1][0].vlan is None  # stripped: vlan == egress pvid
+
+    def test_untagged_frame_classified_to_pvid(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", vlan_filtering=True)
+        bridge.ports[ports[0].ifindex].pvid = 200
+        bridge.ports[ports[0].ifindex].allowed_vlans.add(200)
+        bridge.ports[ports[1].ifindex].allowed_vlans.add(200)
+        rx = [capture(p) for p in peers]
+        untagged = make_udp("02:aa:00:00:00:01", "02:bb:00:00:00:01", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(untagged.to_bytes())
+        # port1 allows vlan 200 (tagged since its pvid is 1); port2 does not
+        assert len(rx[1]) == 1 and rx[1][0].vlan.vid == 200
+        assert len(rx[2]) == 0
+
+
+class TestStp:
+    def test_bpdus_consumed_by_control_plane(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", stp=True)
+        rx = [capture(p) for p in peers]
+        from repro.netsim.packet import Ethernet
+        from repro.kernel.bridge import STP_MULTICAST
+
+        bpdu = Packet(
+            eth=Ethernet(dst=STP_MULTICAST, src=peers[0].mac, ethertype=0x0027),
+            payload=(1 << 60).to_bytes(8, "big") + (0).to_bytes(4, "big") + (1 << 60).to_bytes(8, "big"),
+        )
+        peers[0].transmit(bpdu.to_bytes())
+        assert len(rx[1]) == 0 and len(rx[2]) == 0
+
+    def test_two_bridge_loop_blocks_one_port(self):
+        """Two bridges joined by two parallel links: STP must block a port."""
+        kernel = Kernel("stp-host")
+        b1 = kernel.add_bridge("br1")
+        b2 = kernel.add_bridge("br2")
+        kernel.set_link("br1", True)
+        kernel.set_link("br2", True)
+        for i in range(2):
+            a, b = kernel.add_veth_pair(f"l{i}a", f"l{i}b")
+            kernel.set_link(f"l{i}a", True)
+            kernel.set_link(f"l{i}b", True)
+            kernel.enslave(f"l{i}a", "br1")
+            kernel.enslave(f"l{i}b", "br2")
+        kernel.set_bridge_attrs("br1", stp=True)
+        kernel.set_bridge_attrs("br2", stp=True)
+        stp_converge([b1.bridge, b2.bridge])
+        root = b1.bridge if b1.bridge.bridge_id < b2.bridge.bridge_id else b2.bridge
+        other = b2.bridge if root is b1.bridge else b1.bridge
+        assert other.root_id == root.bridge_id
+        states = [p.state for p in other.ports.values()]
+        assert states.count(STP_FORWARDING) == 1
+        assert states.count(STP_BLOCKING) == 1
+        # root bridge keeps everything forwarding
+        assert all(p.state == STP_FORWARDING for p in root.ports.values())
+
+    def test_blocked_port_absorbs_data_frames(self):
+        kernel, bridge, ports, peers = make_bridge_host()
+        kernel.set_bridge_attrs("br0", stp=True)
+        bridge.ports[ports[0].ifindex].state = STP_BLOCKING
+        rx = [capture(p) for p in peers]
+        frame = make_udp("02:aa:00:00:00:01", "ff:ff:ff:ff:ff:ff", "10.0.0.1", "10.0.0.2")
+        peers[0].transmit(frame.to_bytes())
+        assert len(rx[1]) == 0 and len(rx[2]) == 0

@@ -1,0 +1,135 @@
+"""Tests for the FIB (LPM routing table)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.fib import Fib, Route, RouteError, SCOPE_LINK, SCOPE_UNIVERSE
+from repro.netsim.addresses import IPv4Addr, IPv4Prefix
+
+
+def route(prefix, oif=1, via=None, metric=0):
+    gateway = IPv4Addr.parse(via) if via else None
+    return Route(prefix=IPv4Prefix.parse(prefix), oif=oif, gateway=gateway, metric=metric)
+
+
+class TestFib:
+    def test_exact_match(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=2))
+        found = fib.lookup("10.0.0.55")
+        assert found is not None and found.oif == 2
+
+    def test_longest_prefix_wins(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/8", oif=1))
+        fib.add(route("10.1.0.0/16", oif=2))
+        fib.add(route("10.1.2.0/24", oif=3))
+        assert fib.lookup("10.1.2.3").oif == 3
+        assert fib.lookup("10.1.9.9").oif == 2
+        assert fib.lookup("10.9.9.9").oif == 1
+
+    def test_default_route_fallback(self):
+        fib = Fib()
+        fib.add(route("0.0.0.0/0", oif=9, via="192.168.0.1"))
+        fib.add(route("10.0.0.0/8", oif=1))
+        assert fib.lookup("8.8.8.8").oif == 9
+        assert fib.lookup("10.1.1.1").oif == 1
+
+    def test_miss_returns_none(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        assert fib.lookup("11.0.0.1") is None
+
+    def test_host_route(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        fib.add(route("10.0.0.7/32", oif=5))
+        assert fib.lookup("10.0.0.7").oif == 5
+        assert fib.lookup("10.0.0.8").oif == 1
+
+    def test_metric_ordering(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1, metric=10))
+        fib.add(route("10.0.0.0/24", oif=2, metric=5))
+        assert fib.lookup("10.0.0.1").oif == 2
+
+    def test_same_metric_replaces(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        fib.add(route("10.0.0.0/24", oif=2))
+        assert fib.lookup("10.0.0.1").oif == 2
+        assert len(fib) == 1
+
+    def test_replace_false_raises(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        with pytest.raises(RouteError):
+            fib.add(route("10.0.0.0/24", oif=2), replace=False)
+
+    def test_remove(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        removed = fib.remove(IPv4Prefix.parse("10.0.0.0/24"))
+        assert removed.oif == 1
+        assert fib.lookup("10.0.0.1") is None
+
+    def test_remove_specific_metric(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1, metric=5))
+        fib.add(route("10.0.0.0/24", oif=2, metric=10))
+        fib.remove(IPv4Prefix.parse("10.0.0.0/24"), metric=10)
+        assert fib.lookup("10.0.0.1").oif == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(RouteError):
+            Fib().remove(IPv4Prefix.parse("10.0.0.0/24"))
+
+    def test_remove_for_oif(self):
+        fib = Fib()
+        fib.add(route("10.0.0.0/24", oif=1))
+        fib.add(route("10.1.0.0/24", oif=2))
+        fib.add(route("10.2.0.0/24", oif=1))
+        removed = fib.remove_for_oif(1)
+        assert len(removed) == 2 and len(fib) == 1
+
+    def test_routes_sorted_most_specific_first(self):
+        fib = Fib()
+        fib.add(route("0.0.0.0/0", oif=1, via="192.168.0.1"))
+        fib.add(route("10.0.0.0/8", oif=1))
+        fib.add(route("10.1.1.0/24", oif=2))
+        lengths = [r.prefix.length for r in fib.routes()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_gatewayless_non_host_route_becomes_link_scope(self):
+        r = route("10.0.0.0/24", oif=1)
+        assert r.scope == SCOPE_LINK
+        assert route("10.0.0.0/24", oif=1, via="10.9.0.1").scope == SCOPE_UNIVERSE
+
+    def test_next_hop(self):
+        assert route("10.0.0.0/24", oif=1, via="10.9.0.1").next_hop == IPv4Addr.parse("10.9.0.1")
+        assert route("10.0.0.0/24", oif=1).next_hop is None
+
+    def test_50_prefixes_paper_workload(self):
+        """The paper's router experiment configures 50 prefixes."""
+        fib = Fib()
+        for i in range(50):
+            fib.add(route(f"10.{i}.0.0/16", oif=(i % 4) + 1))
+        assert len(fib) == 50
+        for i in range(50):
+            assert fib.lookup(f"10.{i}.200.1").oif == (i % 4) + 1
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_lpm_is_most_specific_property(self, addr_value):
+        fib = Fib()
+        fib.add(route("0.0.0.0/0", oif=1, via="192.168.0.1"))
+        fib.add(route("128.0.0.0/1", oif=2))
+        fib.add(route("128.0.0.0/2", oif=3))
+        found = fib.lookup(IPv4Addr(addr_value))
+        top_bits = addr_value >> 30
+        if top_bits == 0b10:
+            assert found.oif == 3
+        elif top_bits == 0b11:
+            assert found.oif == 2
+        else:
+            assert found.oif == 1

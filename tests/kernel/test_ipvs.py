@@ -1,0 +1,98 @@
+"""Tests for ipvs load balancing."""
+
+import pytest
+
+from repro.kernel.conntrack import ConnTuple, Conntrack
+from repro.kernel.ipvs import Ipvs, IpvsError
+from repro.netsim.addresses import IPv4Addr, ipv4
+from repro.netsim.clock import Clock
+from repro.netsim.packet import IPPROTO_TCP
+
+
+def make_ipvs():
+    ct = Conntrack(Clock())
+    lb = Ipvs(ct)
+    lb.add_service("10.96.0.1", 80, IPPROTO_TCP, scheduler="rr")
+    lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.1.10", 8080)
+    lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.2.10", 8080)
+    return lb, ct
+
+
+def tup(sport):
+    return ConnTuple(ipv4("10.244.1.5"), ipv4("10.96.0.1"), IPPROTO_TCP, sport, 80)
+
+
+class TestIpvs:
+    def test_rr_alternates(self):
+        lb, __ = make_ipvs()
+        picks = [lb.connect(tup(sport))[0] for sport in range(1000, 1004)]
+        assert picks == [
+            ipv4("10.244.1.10"),
+            ipv4("10.244.2.10"),
+            ipv4("10.244.1.10"),
+            ipv4("10.244.2.10"),
+        ]
+
+    def test_flow_affinity_via_conntrack(self):
+        """Packets of one flow always hit the same real server."""
+        lb, __ = make_ipvs()
+        first = lb.connect(tup(1000))
+        again = lb.connect(tup(1000))
+        assert first == again
+
+    def test_wrr_respects_weights(self):
+        ct = Conntrack(Clock())
+        lb = Ipvs(ct)
+        lb.add_service("10.96.0.1", 80, IPPROTO_TCP, scheduler="wrr")
+        lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.1.10", 8080, weight=3)
+        lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.2.10", 8080, weight=1)
+        picks = [lb.connect(tup(sport))[0] for sport in range(2000, 2008)]
+        heavy = sum(1 for p in picks if p == ipv4("10.244.1.10"))
+        assert heavy == 6  # 3:1 ratio over 8 picks
+
+    def test_lc_prefers_least_loaded(self):
+        ct = Conntrack(Clock())
+        lb = Ipvs(ct)
+        lb.add_service("10.96.0.1", 80, IPPROTO_TCP, scheduler="lc")
+        lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.1.10", 8080)
+        lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.2.10", 8080)
+        lb.connect(tup(3000))
+        second = lb.connect(tup(3001))
+        assert second[0] == ipv4("10.244.2.10")
+
+    def test_zero_weight_excluded(self):
+        ct = Conntrack(Clock())
+        lb = Ipvs(ct)
+        lb.add_service("10.96.0.1", 80, IPPROTO_TCP)
+        lb.add_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.1.10", 8080, weight=0)
+        assert lb.connect(tup(4000)) is None
+
+    def test_no_match_returns_none(self):
+        lb, __ = make_ipvs()
+        other = ConnTuple(ipv4("10.0.0.1"), ipv4("10.96.0.9"), IPPROTO_TCP, 1, 80)
+        assert lb.connect(other) is None
+
+    def test_duplicate_service_rejected(self):
+        lb, __ = make_ipvs()
+        with pytest.raises(IpvsError):
+            lb.add_service("10.96.0.1", 80, IPPROTO_TCP)
+
+    def test_bad_scheduler_rejected(self):
+        lb, __ = make_ipvs()
+        with pytest.raises(IpvsError):
+            lb.add_service("10.96.0.2", 80, IPPROTO_TCP, scheduler="random")
+
+    def test_del_dest(self):
+        lb, __ = make_ipvs()
+        lb.del_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.2.10", 8080)
+        picks = {lb.connect(tup(sport))[0] for sport in range(5000, 5004)}
+        assert picks == {ipv4("10.244.1.10")}
+        with pytest.raises(IpvsError):
+            lb.del_dest("10.96.0.1", 80, IPPROTO_TCP, "10.244.2.10", 8080)
+
+    def test_del_service(self):
+        lb, __ = make_ipvs()
+        lb.del_service("10.96.0.1", 80, IPPROTO_TCP)
+        assert lb.services() == []
+        with pytest.raises(IpvsError):
+            lb.del_service("10.96.0.1", 80, IPPROTO_TCP)

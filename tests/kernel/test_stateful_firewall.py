@@ -1,0 +1,114 @@
+"""Stateful firewall: conntrack-matched rules on the forward path.
+
+The classic gateway policy: let inside hosts connect out, admit only reply
+traffic back in. Also verifies the fast-path contract: the ipt helper
+cannot evaluate state rules, so filtering falls back to the slow path
+per packet — slower, but never wrong.
+"""
+
+import pytest
+
+from repro.core import Controller
+from repro.kernel.hooks_api import XDP_PASS
+from repro.measure.topology import LineTopology
+from repro.netsim.packet import Packet, make_tcp
+from repro.tools import iptables
+
+
+def stateful_topo(accelerated=False):
+    """inside (source, 10.0.1.0/24) <-> DUT <-> outside (sink, 10.100.0.0/16).
+
+    Policy: outside->inside only for ESTABLISHED connections.
+    """
+    topo = LineTopology()
+    topo.install_prefixes(2)
+    topo.dut.route_add("10.0.1.0/24", dev="eth0", _quiet_exists=True)
+    iptables(topo.dut, "-A FORWARD -i eth1 -m state --state ESTABLISHED -j ACCEPT")
+    iptables(topo.dut, "-A FORWARD -i eth1 -j DROP")
+    if accelerated:
+        Controller(topo.dut, hook="xdp").start()
+    topo.prewarm_neighbors()
+    inside_rx, outside_rx = [], []
+    topo.src_eth.nic.attach(lambda f, q: inside_rx.append(Packet.from_bytes(f)))
+    topo.sink_eth.nic.attach(lambda f, q: outside_rx.append(Packet.from_bytes(f)))
+    return topo, inside_rx, outside_rx
+
+
+def outbound(topo, sport=5000):
+    return make_tcp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2", "10.100.0.1",
+                    sport=sport, dport=80).to_bytes()
+
+
+def inbound_reply(topo, dport=5000):
+    return make_tcp(topo.sink_eth.mac, topo.dut_out.mac, "10.100.0.1", "10.0.1.2",
+                    sport=80, dport=dport).to_bytes()
+
+
+def inbound_fresh(topo):
+    return make_tcp(topo.sink_eth.mac, topo.dut_out.mac, "10.100.0.1", "10.0.1.2",
+                    sport=6666, dport=22).to_bytes()
+
+
+class TestStatefulPolicy:
+    @pytest.mark.parametrize("accelerated", [False, True])
+    def test_replies_admitted_fresh_blocked(self, accelerated):
+        topo, inside_rx, outside_rx = stateful_topo(accelerated)
+        # inside opens a connection: tracked as NEW on the forward path
+        topo.dut_in.nic.receive_from_wire(outbound(topo))
+        assert len(outside_rx) == 1
+        # the reply confirms the connection and is admitted
+        topo.dut_out.nic.receive_from_wire(inbound_reply(topo))
+        assert len(inside_rx) == 1
+        # an unsolicited inbound connection is dropped
+        topo.dut_out.nic.receive_from_wire(inbound_fresh(topo))
+        assert len(inside_rx) == 1
+
+    def test_unsolicited_reply_without_outbound_blocked(self):
+        topo, inside_rx, __ = stateful_topo()
+        topo.dut_out.nic.receive_from_wire(inbound_reply(topo))
+        assert inside_rx == []  # no prior outbound: not ESTABLISHED
+
+    def test_fast_path_punts_stateful_chain(self):
+        """The ipt helper returns UNSUPPORTED on state rules: every inbound
+        packet goes via the slow path (XDP_PASS), never mis-filtered."""
+        topo, inside_rx, outside_rx = stateful_topo(accelerated=True)
+        topo.dut_in.nic.receive_from_wire(outbound(topo))
+        passes_before = topo.dut.stack.xdp_actions.get(XDP_PASS, 0)
+        topo.dut_out.nic.receive_from_wire(inbound_reply(topo))
+        assert topo.dut.stack.xdp_actions.get(XDP_PASS, 0) == passes_before + 1
+        assert len(inside_rx) == 1
+
+    def test_stateless_rules_before_state_rule_still_fast(self):
+        """Rules ahead of the first state rule evaluate in the helper."""
+        topo = LineTopology()
+        topo.install_prefixes(2)
+        iptables(topo.dut, "-A FORWARD -s 10.0.1.66/32 -j DROP")  # stateless first
+        iptables(topo.dut, "-A FORWARD -m state --state NEW -j ACCEPT")
+        Controller(topo.dut, hook="xdp").start()
+        topo.prewarm_neighbors()
+        blocked = make_tcp(topo.src_eth.mac, topo.dut_in.mac, "10.0.1.66",
+                           topo.flow_destination(0, 2), dport=80).to_bytes()
+        drops_before = topo.dut.stack.drops.get("xdp_drop", 0)
+        topo.dut_in.nic.receive_from_wire(blocked)
+        # matched the stateless DROP before reaching the state rule: fast drop
+        assert topo.dut.stack.drops.get("xdp_drop", 0) == drops_before + 1
+
+    def test_iptables_tool_parses_state(self):
+        topo = LineTopology()
+        iptables(topo.dut, "-A FORWARD -m state --state ESTABLISHED -j ACCEPT")
+        rule = topo.dut.netfilter.chain("FORWARD").rules[0]
+        assert rule.ct_state == "ESTABLISHED"
+
+    def test_bad_state_rejected(self):
+        from repro.kernel.netfilter import NetfilterError, Rule
+
+        with pytest.raises(NetfilterError):
+            Rule(target="ACCEPT", ct_state="RELATED")
+
+    def test_stateful_forwarding_charges_conntrack(self):
+        topo, __, outside_rx = stateful_topo()
+        t0 = topo.clock.now_ns
+        topo.dut_in.nic.receive_from_wire(outbound(topo, sport=7777))
+        elapsed = topo.clock.now_ns - t0
+        # strictly more than the stateless forward path (conntrack added)
+        assert elapsed > 1000 + topo.costs.conntrack_lookup - 50

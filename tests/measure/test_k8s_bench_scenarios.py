@@ -1,0 +1,95 @@
+"""Tests for the k8s bench harness and extended scenario coverage."""
+
+import pytest
+
+from repro.measure.k8s_bench import (
+    CONTAINER_PATH_SCALE,
+    PodRRResult,
+    container_cost_model,
+    measure_pod_rr,
+)
+from repro.measure.scenarios import measure_latency, measure_throughput, setup_gateway, setup_router
+from repro.netsim.cost import CostModel
+
+
+class TestContainerCostModel:
+    def test_uniform_scaling(self):
+        base = CostModel()
+        scaled = container_cost_model()
+        assert scaled.fib_lookup == pytest.approx(base.fib_lookup * CONTAINER_PATH_SCALE)
+        assert scaled.ebpf_insn == pytest.approx(base.ebpf_insn * CONTAINER_PATH_SCALE)
+
+    def test_unscaled_fields(self):
+        base = CostModel()
+        scaled = container_cost_model()
+        assert scaled.line_rate_gbps == base.line_rate_gbps
+        assert scaled.wire_latency_ns == base.wire_latency_ns
+        assert scaled.vpp_vector_size == base.vpp_vector_size
+        assert scaled.app_rr_turnaround_ns == base.app_rr_turnaround_ns
+
+    def test_scaling_preserves_ratios(self):
+        """The whole point: speedups are invariant under uniform scaling."""
+        lin = measure_pod_rr(intra=True, accelerated=False, transactions=400)
+        lfp = measure_pod_rr(intra=True, accelerated=True, transactions=400)
+        ratio = lfp.rtt_summary.mean / lin.rtt_summary.mean
+        assert 0.75 < ratio < 0.95
+
+
+class TestPodRR:
+    def test_result_units(self):
+        result = measure_pod_rr(intra=True, accelerated=False, transactions=300)
+        assert isinstance(result, PodRRResult)
+        assert result.avg_ms == pytest.approx(result.rtt_summary.mean / 1e6)
+        assert result.p99_ms > result.avg_ms
+        assert result.transactions_per_s > 0
+
+    def test_deterministic_with_seed(self):
+        a = measure_pod_rr(intra=True, accelerated=False, transactions=300, seed=5)
+        b = measure_pod_rr(intra=True, accelerated=False, transactions=300, seed=5)
+        assert a.avg_ms == b.avg_ms
+
+    def test_pair_scaling(self):
+        one = measure_pod_rr(intra=True, accelerated=False, pairs=1, transactions=300)
+        four = measure_pod_rr(intra=True, accelerated=False, pairs=4, transactions=300)
+        assert 3.5 < four.transactions_per_s / one.transactions_per_s < 4.05
+
+    def test_inter_slower_than_intra(self):
+        intra = measure_pod_rr(intra=True, accelerated=False, transactions=300)
+        inter = measure_pod_rr(intra=False, accelerated=False, transactions=300)
+        assert inter.avg_ms > intra.avg_ms * 1.5
+
+    def test_custom_turnaround(self):
+        fast_app = measure_pod_rr(intra=True, accelerated=False, transactions=300, app_turnaround_ns=0)
+        slow_app = measure_pod_rr(intra=True, accelerated=False, transactions=300, app_turnaround_ns=10e6)
+        assert slow_app.avg_ms > fast_app.avg_ms + 9.0
+
+
+class TestScenarioEdges:
+    def test_vpp_latency_path(self):
+        topo = setup_router("vpp", num_prefixes=5)
+        result = measure_latency(topo, transactions=600, num_prefixes=5)
+        assert result.avg_us > 0
+
+    def test_multi_queue_topology(self):
+        topo = setup_router("linuxfp", num_prefixes=5, num_queues=4)
+        result = measure_throughput(topo, cores=4, packets=300, num_prefixes=5)
+        assert result.cores == 4
+        assert result.delivery_ratio == 1.0
+
+    def test_gateway_zero_rules_degenerates_to_router(self):
+        gateway = setup_gateway("linux", num_rules=0, num_prefixes=5)
+        router = setup_router("linux", num_prefixes=5)
+        g = measure_throughput(gateway, packets=300, num_prefixes=5)
+        r = measure_throughput(router, packets=300, num_prefixes=5)
+        assert g.per_packet_ns == pytest.approx(r.per_packet_ns, rel=0.02)
+
+    def test_tc_hook_scenarios_slower_than_xdp(self):
+        xdp = setup_router("linuxfp", num_prefixes=5, hook="xdp")
+        tc = setup_router("linuxfp", num_prefixes=5, hook="tc")
+        xdp_cost = measure_throughput(xdp, packets=300, num_prefixes=5).per_packet_ns
+        tc_cost = measure_throughput(tc, packets=300, num_prefixes=5).per_packet_ns
+        assert tc_cost > xdp_cost
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            setup_router("clickos")

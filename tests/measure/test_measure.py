@@ -1,0 +1,201 @@
+"""Tests for the measurement harness."""
+
+import pytest
+
+from repro.measure import LineTopology, Netperf, Pktgen, summarize
+from repro.measure.flamegraph import profile_forwarding
+from repro.measure.netperf import measure_base_rtt_ns
+from repro.measure.scenarios import (
+    measure_latency,
+    measure_throughput,
+    setup_gateway,
+    setup_router,
+)
+from repro.measure.stats import percentile
+
+
+class TestStats:
+    def test_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == 2.5
+        assert summary.count == 4
+        assert summary.std == pytest.approx(1.118, abs=0.001)
+
+    def test_percentile_interpolation(self):
+        assert percentile([10, 20, 30, 40], 50) == 25
+        assert percentile([10, 20, 30, 40], 100) == 40
+        assert percentile([7], 99) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestLineTopology:
+    def test_addressing(self):
+        topo = LineTopology()
+        assert topo.dut.fib.lookup("10.0.1.99").oif == topo.dut_in.ifindex
+        assert topo.dut.fib.lookup("10.0.2.99").oif == topo.dut_out.ifindex
+
+    def test_install_prefixes(self):
+        topo = LineTopology()
+        prefixes = topo.install_prefixes(50)
+        assert len(prefixes) == 50
+        assert topo.dut.fib.lookup("10.125.0.1") is not None
+
+    def test_flow_destination_within_prefixes(self):
+        topo = LineTopology()
+        topo.install_prefixes(50)
+        for flow in range(100):
+            assert topo.dut.fib.lookup(topo.flow_destination(flow)) is not None
+
+    def test_shared_clock(self):
+        topo = LineTopology()
+        assert topo.source.clock is topo.dut.clock is topo.sink.clock
+
+
+class TestPktgen:
+    def test_throughput_measures_delivery(self):
+        topo = LineTopology()
+        topo.install_prefixes(10)
+        result = Pktgen(topo, num_prefixes=10).throughput(packets=300)
+        assert result.delivery_ratio == 1.0
+        assert 0.5e6 < result.pps < 2e6  # Linux slow path ballpark
+
+    def test_packet_size_padding(self):
+        topo = LineTopology()
+        topo.install_prefixes(10)
+        generator = Pktgen(topo, packet_size=512, num_prefixes=10)
+        result = generator.throughput(packets=100)
+        assert result.frame_len == 512
+
+    def test_minimum_frame_enforced(self):
+        topo = LineTopology()
+        topo.install_prefixes(10)
+        generator = Pktgen(topo, packet_size=10, num_prefixes=10)
+        assert generator.throughput(packets=50).frame_len >= 64
+
+    def test_line_rate_cap_large_packets(self):
+        topo = LineTopology()
+        topo.install_prefixes(10)
+        result = Pktgen(topo, packet_size=1500, num_prefixes=10).throughput(cores=8, packets=200)
+        cap = topo.costs.line_rate_pps(1500)
+        assert result.pps == pytest.approx(cap)
+        assert result.gbps == pytest.approx(25.0, rel=0.01)
+
+    def test_core_scaling_near_linear(self):
+        topo = LineTopology()
+        topo.install_prefixes(10)
+        generator = Pktgen(topo, num_prefixes=10)
+        one = generator.throughput(cores=1, packets=300).pps
+        four = Pktgen(LineTopologyWithPrefixes(), num_prefixes=10).throughput(cores=4, packets=300).pps
+        assert 3.5 < four / one < 4.05
+
+
+def LineTopologyWithPrefixes():
+    topo = LineTopology()
+    topo.install_prefixes(10)
+    return topo
+
+
+class TestNetperf:
+    def test_single_session_matches_base_rtt(self):
+        result = Netperf(dut_service_ns=1000, base_rtt_ns=20000, sessions=1, seed=3).run(2000)
+        assert result.avg_us == pytest.approx(20.0, rel=0.15)
+
+    def test_saturation_scales_with_sessions(self):
+        low = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=32).run(3000)
+        high = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=128).run(3000)
+        assert 3.0 < high.avg_us / low.avg_us < 5.0  # ~4x sessions => ~4x RTT
+
+    def test_faster_service_lower_latency(self):
+        slow = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=128).run(3000)
+        fast = Netperf(dut_service_ns=550, base_rtt_ns=9000, sessions=128).run(3000)
+        assert fast.avg_us < slow.avg_us
+
+    def test_tail_shape(self):
+        result = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=128).run(4000)
+        assert 1.2 < result.p99_us / result.avg_us < 2.0
+
+    def test_deterministic_with_seed(self):
+        a = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=16, seed=7).run(500)
+        b = Netperf(dut_service_ns=1000, base_rtt_ns=10000, sessions=16, seed=7).run(500)
+        assert a.avg_us == b.avg_us
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Netperf(dut_service_ns=1, base_rtt_ns=1, sessions=0)
+        with pytest.raises(ValueError):
+            Netperf(dut_service_ns=-1, base_rtt_ns=1)
+
+    def test_measure_base_rtt_through_stack(self):
+        topo = LineTopology()
+        topo.install_prefixes(5)
+        rtt = measure_base_rtt_ns(topo)
+        assert 2000 < rtt < 50000  # microseconds-scale round trip
+
+
+class TestScenarios:
+    def test_all_platforms_forward(self):
+        for platform in ("linux", "linuxfp", "polycube", "vpp"):
+            topo = setup_router(platform, num_prefixes=5)
+            result = measure_throughput(topo, packets=200, num_prefixes=5)
+            assert result.delivery_ratio == 1.0, platform
+
+    def test_speedup_ordering_router(self):
+        """Fig 5's ordering: Linux < Polycube ≈ LinuxFP < VPP."""
+        costs = {
+            platform: measure_throughput(setup_router(platform, num_prefixes=5), packets=300, num_prefixes=5).per_packet_ns
+            for platform in ("linux", "linuxfp", "polycube", "vpp")
+        }
+        assert costs["linuxfp"] < costs["linux"]
+        assert costs["vpp"] < costs["linuxfp"]
+        assert abs(costs["polycube"] - costs["linuxfp"]) / costs["linuxfp"] < 0.25
+
+    def test_linuxfp_77_percent_speedup(self):
+        linux = measure_throughput(setup_router("linux"), packets=500).pps
+        linuxfp = measure_throughput(setup_router("linuxfp"), packets=500).pps
+        assert 1.6 < linuxfp / linux < 2.0  # paper: 1.77
+
+    def test_gateway_ipset_beats_plain_rules(self):
+        plain = measure_throughput(setup_gateway("linuxfp"), packets=300).per_packet_ns
+        with_set = measure_throughput(setup_gateway("linuxfp", use_ipset=True), packets=300).per_packet_ns
+        assert with_set < plain
+
+    def test_gateway_latency_ordering(self):
+        """Table IV ordering: VPP < LinuxFP(ipset) < Polycube < LinuxFP < Linux."""
+        rows = {}
+        rows["linux"] = measure_latency(setup_gateway("linux"), transactions=1500).avg_us
+        rows["linuxfp"] = measure_latency(setup_gateway("linuxfp"), transactions=1500).avg_us
+        rows["linuxfp_ipset"] = measure_latency(setup_gateway("linuxfp", use_ipset=True), transactions=1500).avg_us
+        rows["polycube"] = measure_latency(setup_gateway("polycube"), transactions=1500).avg_us
+        rows["vpp"] = measure_latency(setup_gateway("vpp"), transactions=1500).avg_us
+        assert rows["vpp"] < rows["linuxfp_ipset"] < rows["polycube"] < rows["linuxfp"] < rows["linux"]
+
+
+class TestFlameGraph:
+    def test_forwarding_profile_names_kernel_functions(self):
+        graph = profile_forwarding(packets=200)
+        collapsed = "\n".join(graph.collapsed())
+        for fn in ("ip_rcv", "fib_table_lookup", "ip_forward", "dev_queue_xmit"):
+            assert fn in collapsed
+
+    def test_hot_spots_exist(self):
+        """The paper's motivating observation: forwarding has hot spots."""
+        graph = profile_forwarding(packets=200)
+        hottest = graph.hottest(3)
+        assert hottest[0][1] > 0.15  # top frame >15% of self time
+
+    def test_rules_shift_the_profile(self):
+        without = profile_forwarding(packets=150)
+        with_rules = profile_forwarding(packets=150, rules=300)
+        def nf_share(fg):
+            return sum(share for name, share in fg.hottest(10) if "nf_hook" in name)
+        assert nf_share(with_rules) > nf_share(without)
+
+    def test_ascii_render(self):
+        graph = profile_forwarding(packets=100)
+        art = graph.render_ascii()
+        assert "ip_rcv" in art and "█" in art

@@ -1,0 +1,123 @@
+"""Tests for the TLV attribute codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlink.codec import (
+    AttrDef,
+    AttrSchema,
+    CodecError,
+    pack_attr,
+    schema,
+    unpack_attrs,
+)
+from repro.netsim.addresses import IPv4Addr, MacAddr
+
+
+class TestTLV:
+    def test_round_trip_single(self):
+        raw = pack_attr(5, b"hello")
+        assert unpack_attrs(raw) == [(5, b"hello")]
+
+    def test_padding_to_four_bytes(self):
+        raw = pack_attr(1, b"abc")
+        assert len(raw) % 4 == 0
+        assert unpack_attrs(raw) == [(1, b"abc")]
+
+    def test_multiple_attrs(self):
+        raw = pack_attr(1, b"a") + pack_attr(2, b"bb") + pack_attr(3, b"")
+        assert unpack_attrs(raw) == [(1, b"a"), (2, b"bb"), (3, b"")]
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CodecError):
+            unpack_attrs(b"\x01\x00")
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(pack_attr(1, b"abcd"))
+        raw[0] = 200  # length longer than buffer
+        with pytest.raises(CodecError):
+            unpack_attrs(bytes(raw))
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=0xFFFF), st.binary(max_size=40)), max_size=8))
+    def test_round_trip_property(self, attrs):
+        raw = b"".join(pack_attr(t, p) for t, p in attrs)
+        assert unpack_attrs(raw) == attrs
+
+
+SUB = schema("sub", x=(1, "u16"), y=(2, "string"))
+TOP = schema(
+    "top",
+    num=(1, "u32"),
+    name=(2, "string"),
+    addr=(3, "ip4"),
+    hw=(4, "mac"),
+    inner=(5, "nested", SUB),
+    items=(6, "list", SUB),
+    on=(7, "flag"),
+    big=(8, "u64"),
+    signed=(9, "s32"),
+    blob=(10, "bytes"),
+)
+
+
+class TestSchema:
+    def test_scalar_round_trip(self):
+        values = {"num": 42, "name": "eth0", "big": 1 << 40, "signed": -7, "blob": b"\x01\x02"}
+        assert TOP.decode(TOP.encode(values)) == values
+
+    def test_address_types(self):
+        values = {"addr": IPv4Addr.parse("10.0.0.1"), "hw": MacAddr.parse("02:00:00:00:00:01")}
+        assert TOP.decode(TOP.encode(values)) == values
+
+    def test_ip_accepts_string(self):
+        decoded = TOP.decode(TOP.encode({"addr": "10.0.0.9"}))
+        assert decoded["addr"] == IPv4Addr.parse("10.0.0.9")
+
+    def test_nested_round_trip(self):
+        values = {"inner": {"x": 3, "y": "deep"}}
+        assert TOP.decode(TOP.encode(values)) == values
+
+    def test_list_round_trip(self):
+        values = {"items": [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]}
+        assert TOP.decode(TOP.encode(values)) == values
+
+    def test_flag_presence(self):
+        assert TOP.decode(TOP.encode({"on": True})) == {"on": True}
+        assert TOP.decode(TOP.encode({"on": False})) == {}
+
+    def test_none_values_skipped(self):
+        assert TOP.decode(TOP.encode({"num": None, "name": "x"})) == {"name": "x"}
+
+    def test_unknown_attr_name_rejected_on_encode(self):
+        with pytest.raises(CodecError):
+            TOP.encode({"nope": 1})
+
+    def test_unknown_attr_id_skipped_on_decode(self):
+        raw = TOP.encode({"num": 1}) + pack_attr(99, b"future-extension")
+        assert TOP.decode(raw) == {"num": 1}
+
+    def test_bad_value_type_rejected(self):
+        with pytest.raises(CodecError):
+            TOP.encode({"num": "not-an-int"})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(CodecError):
+            AttrSchema("dup", {"a": AttrDef(1, "u8"), "b": AttrDef(1, "u8")})
+
+    def test_nested_without_subschema_rejected(self):
+        with pytest.raises(CodecError):
+            AttrSchema("bad", {"inner": AttrDef(1, "nested")})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError):
+            AttrDef(1, "float")
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.text(alphabet=st.characters(codec="ascii", exclude_characters="\x00"), max_size=20),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_schema_round_trip_property(self, num, name, ip_value):
+        values = {"num": num, "name": name, "addr": IPv4Addr(ip_value)}
+        assert TOP.decode(TOP.encode(values)) == values

@@ -1,0 +1,178 @@
+"""Tests for netlink messages and the bus."""
+
+import pytest
+
+from repro.netlink.bus import NetlinkBus
+from repro.netlink.messages import (
+    NLM_F_DUMP,
+    NLM_F_REQUEST,
+    NLMSG_DONE,
+    NLMSG_ERROR,
+    RTM_GETLINK,
+    RTM_NEWLINK,
+    RTM_NEWROUTE,
+    SYSCTL_SET,
+    NetlinkError,
+    NetlinkMsg,
+    ack_msg,
+    done_msg,
+    error_msg,
+)
+from repro.netsim.addresses import IPv4Addr, MacAddr
+
+
+class TestNetlinkMsg:
+    def test_round_trip(self):
+        msg = NetlinkMsg(RTM_NEWLINK, {"ifindex": 3, "ifname": "eth0", "operstate": 1}, seq=7, pid=2)
+        parsed = NetlinkMsg.from_bytes(msg.to_bytes())
+        assert parsed.msg_type == RTM_NEWLINK
+        assert parsed.attrs == {"ifindex": 3, "ifname": "eth0", "operstate": 1}
+        assert (parsed.seq, parsed.pid) == (7, 2)
+
+    def test_round_trip_with_addresses(self):
+        msg = NetlinkMsg(
+            RTM_NEWROUTE,
+            {"dst": IPv4Addr.parse("10.1.0.0"), "dst_len": 16, "gateway": IPv4Addr.parse("192.168.0.1"), "oif": 2},
+        )
+        parsed = NetlinkMsg.from_bytes(msg.to_bytes())
+        assert parsed.attrs["gateway"] == IPv4Addr.parse("192.168.0.1")
+
+    def test_nested_linkinfo_round_trip(self):
+        msg = NetlinkMsg(
+            RTM_NEWLINK,
+            {
+                "ifindex": 5,
+                "ifname": "br0",
+                "kind": "bridge",
+                "address": MacAddr.parse("02:00:00:00:00:05"),
+                "bridge": {"stp_state": 1, "vlan_filtering": 0, "ageing_time": 300},
+            },
+        )
+        parsed = NetlinkMsg.from_bytes(msg.to_bytes())
+        assert parsed.attrs["bridge"] == {"stp_state": 1, "vlan_filtering": 0, "ageing_time": 300}
+
+    def test_parse_stream_multiple(self):
+        stream = (
+            NetlinkMsg(RTM_NEWLINK, {"ifindex": 1}).to_bytes()
+            + NetlinkMsg(RTM_NEWLINK, {"ifindex": 2}).to_bytes()
+            + done_msg().to_bytes()
+        )
+        msgs = NetlinkMsg.parse_stream(stream)
+        assert [m.msg_type for m in msgs] == [RTM_NEWLINK, RTM_NEWLINK, NLMSG_DONE]
+
+    def test_error_raise(self):
+        with pytest.raises(NetlinkError):
+            error_msg(-2, "no such device").raise_for_error()
+
+    def test_ack_does_not_raise(self):
+        ack_msg().raise_for_error()
+
+    def test_type_name(self):
+        assert NetlinkMsg(RTM_NEWLINK).type_name == "RTM_NEWLINK"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(Exception):
+            NetlinkMsg(9999, {}).to_bytes()
+
+
+class TestBus:
+    def make_bus(self):
+        bus = NetlinkBus()
+        links = [{"ifindex": 1, "ifname": "lo"}, {"ifindex": 2, "ifname": "eth0"}]
+
+        def get_link(req):
+            return [NetlinkMsg(RTM_NEWLINK, dict(link)) for link in links]
+
+        def new_link(req):
+            links.append(dict(req.attrs))
+            bus.notify("link", NetlinkMsg(RTM_NEWLINK, dict(req.attrs)))
+            return []
+
+        bus.register_handler(RTM_GETLINK, get_link)
+        bus.register_handler(RTM_NEWLINK, new_link)
+        return bus, links
+
+    def test_dump_request(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        replies = sock.request(NetlinkMsg(RTM_GETLINK, flags=NLM_F_REQUEST | NLM_F_DUMP))
+        assert [r.attrs["ifname"] for r in replies] == ["lo", "eth0"]
+
+    def test_set_request_acked(self):
+        bus, links = self.make_bus()
+        sock = bus.open_socket()
+        replies = sock.request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 3, "ifname": "eth1"}))
+        assert replies == []
+        assert links[-1]["ifname"] == "eth1"
+
+    def test_unhandled_type_errors(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        with pytest.raises(NetlinkError):
+            sock.request(NetlinkMsg(SYSCTL_SET, {"name": "x", "value": "1"}))
+
+    def test_multicast_only_to_subscribers(self):
+        bus, __ = self.make_bus()
+        subscriber = bus.open_socket()
+        bystander = bus.open_socket()
+        subscriber.subscribe("link")
+        configurer = bus.open_socket()
+        configurer.request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 9, "ifname": "veth9"}))
+        assert subscriber.pending() == 1
+        assert bystander.pending() == 0
+        note = subscriber.recv()
+        assert note.msg_type == RTM_NEWLINK and note.attrs["ifname"] == "veth9"
+
+    def test_recv_empty_returns_none(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        assert sock.recv() is None
+
+    def test_push_listener(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        sock.subscribe("link")
+        seen = []
+        sock.add_listener(seen.append)
+        bus.open_socket().request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 4, "ifname": "x"}))
+        assert len(seen) == 1 and sock.pending() == 0
+
+    def test_unknown_group_rejected(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        with pytest.raises(ValueError):
+            sock.subscribe("nonexistent-group")
+
+    def test_closed_socket_gets_no_notifications(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        sock.subscribe("link")
+        sock.close()
+        bus.open_socket().request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 5, "ifname": "y"}))
+        assert sock.pending() == 0
+
+    def test_handler_netlink_error_propagates(self):
+        bus = NetlinkBus()
+
+        def failing(req):
+            raise NetlinkError(-17, "exists")
+
+        bus.register_handler(RTM_NEWLINK, failing)
+        sock = bus.open_socket()
+        with pytest.raises(NetlinkError) as exc:
+            sock.request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 1}))
+        assert exc.value.code == -17
+
+    def test_duplicate_handler_rejected(self):
+        bus = NetlinkBus()
+        bus.register_handler(RTM_NEWLINK, lambda r: [])
+        with pytest.raises(ValueError):
+            bus.register_handler(RTM_NEWLINK, lambda r: [])
+
+    def test_unsubscribe(self):
+        bus, __ = self.make_bus()
+        sock = bus.open_socket()
+        sock.subscribe("link")
+        sock.unsubscribe("link")
+        bus.open_socket().request(NetlinkMsg(RTM_NEWLINK, {"ifindex": 5, "ifname": "y"}))
+        assert sock.pending() == 0

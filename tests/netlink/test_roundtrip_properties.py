@@ -1,0 +1,140 @@
+"""Property tests: every message schema round-trips through wire bytes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlink import messages as m
+from repro.netlink.messages import NetlinkMsg
+from repro.netsim.addresses import IPv4Addr, MacAddr
+
+ip_values = st.builds(IPv4Addr, st.integers(min_value=0, max_value=0xFFFFFFFF))
+mac_values = st.builds(MacAddr, st.integers(min_value=0, max_value=(1 << 48) - 1))
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.", min_size=1, max_size=15)
+
+
+class TestSchemaRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ifindex=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ifname=names,
+        kind=st.sampled_from(["physical", "veth", "bridge", "vxlan", "loopback"]),
+        operstate=st.integers(min_value=0, max_value=1),
+        mac=mac_values,
+        mtu=st.integers(min_value=68, max_value=65535),
+        stp=st.integers(min_value=0, max_value=1),
+        vlan=st.integers(min_value=0, max_value=1),
+        ageing=st.integers(min_value=0, max_value=100000),
+    )
+    def test_link_with_bridge_info(self, ifindex, ifname, kind, operstate, mac, mtu, stp, vlan, ageing):
+        attrs = {
+            "ifindex": ifindex,
+            "ifname": ifname,
+            "kind": kind,
+            "operstate": operstate,
+            "address": mac,
+            "mtu": mtu,
+            "bridge": {"stp_state": stp, "vlan_filtering": vlan, "ageing_time": ageing},
+        }
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.RTM_NEWLINK, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dst=ip_values,
+        dst_len=st.integers(min_value=0, max_value=32),
+        gateway=st.one_of(st.none(), ip_values),
+        oif=st.integers(min_value=0, max_value=0xFFFF),
+        metric=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_route(self, dst, dst_len, gateway, oif, metric):
+        attrs = {"dst": dst, "dst_len": dst_len, "oif": oif, "metric": metric}
+        if gateway is not None:
+            attrs["gateway"] = gateway
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.RTM_NEWROUTE, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chain=st.sampled_from(["INPUT", "FORWARD", "OUTPUT"]),
+        handle=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        src=st.one_of(st.none(), ip_values),
+        proto=st.one_of(st.none(), st.sampled_from([1, 6, 17])),
+        dport=st.one_of(st.none(), st.integers(min_value=0, max_value=65535)),
+        target=st.sampled_from(["ACCEPT", "DROP", "RETURN"]),
+        ct_state=st.one_of(st.none(), st.sampled_from(["NEW", "ESTABLISHED"])),
+    )
+    def test_rule(self, chain, handle, src, proto, dport, target, ct_state):
+        attrs = {"table": "filter", "chain": chain, "handle": handle, "target": target}
+        if src is not None:
+            attrs["src"] = src
+            attrs["src_len"] = 24
+        if proto is not None:
+            attrs["proto"] = proto
+        if dport is not None:
+            attrs["dport"] = dport
+        if ct_state is not None:
+            attrs["ct_state"] = ct_state
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.NFT_NEWRULE, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        name=names,
+        set_type=st.sampled_from(["hash:ip", "hash:net"]),
+        entries=st.lists(
+            st.fixed_dictionaries({"ip": ip_values, "prefixlen": st.integers(min_value=0, max_value=32)}),
+            max_size=8,
+        ),
+    )
+    def test_ipset(self, name, set_type, entries):
+        attrs = {"name": name, "set_type": set_type, "entries": entries}
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.IPSET_NEWSET, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vip=ip_values,
+        vport=st.integers(min_value=0, max_value=65535),
+        proto=st.sampled_from([6, 17]),
+        scheduler=st.sampled_from(["rr", "wrr", "lc"]),
+        rs=ip_values,
+        rport=st.integers(min_value=0, max_value=65535),
+        weight=st.integers(min_value=0, max_value=1000),
+    )
+    def test_ipvs(self, vip, vport, proto, scheduler, rs, rport, weight):
+        attrs = {
+            "vip": vip, "vport": vport, "proto": proto, "scheduler": scheduler,
+            "rs": rs, "rport": rport, "weight": weight,
+        }
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.IPVS_NEWDEST, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ifindex=st.integers(min_value=0, max_value=0xFFFF),
+        lladdr=mac_values,
+        vlan=st.integers(min_value=0, max_value=4095),
+        dst=st.one_of(st.none(), ip_values),
+    )
+    def test_fdb(self, ifindex, lladdr, vlan, dst):
+        attrs = {"ifindex": ifindex, "lladdr": lladdr, "vlan": vlan, "state": 0}
+        if dst is not None:
+            attrs["dst"] = dst
+        parsed = NetlinkMsg.from_bytes(NetlinkMsg(m.RTM_NEWFDB, attrs).to_bytes())
+        assert parsed.attrs == attrs
+
+
+class TestDumpFastPath:
+    def test_dump_contains_source_and_disassembly(self):
+        from repro.core import Controller
+        from repro.measure.topology import LineTopology
+
+        topo = LineTopology()
+        topo.install_prefixes(3)
+        controller = Controller(topo.dut, hook="xdp")
+        controller.start()
+        dump = controller.dump_fast_path("eth0")
+        assert "fpm_router" in dump
+        assert "; program linuxfp_eth0_xdp" in dump
+        assert controller.dump_fast_path("ghost0") is None

@@ -1,0 +1,148 @@
+"""Tests for MAC/IPv4 address and prefix types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addresses import (
+    AddressError,
+    IPv4Addr,
+    IPv4Prefix,
+    MacAddr,
+    ipv4,
+    mac,
+    prefix,
+)
+
+
+class TestMacAddr:
+    def test_parse_round_trip(self):
+        m = MacAddr.parse("aa:bb:cc:dd:ee:ff")
+        assert str(m) == "aa:bb:cc:dd:ee:ff"
+        assert m.value == 0xAABBCCDDEEFF
+
+    def test_bytes_round_trip(self):
+        m = MacAddr.parse("02:00:00:00:00:2a")
+        assert MacAddr.from_bytes(m.to_bytes()) == m
+
+    def test_broadcast(self):
+        assert MacAddr.broadcast().is_broadcast
+        assert MacAddr.broadcast().is_multicast
+        assert not MacAddr.parse("02:00:00:00:00:01").is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddr.parse("01:00:5e:00:00:01").is_multicast
+        assert not MacAddr.parse("00:00:5e:00:00:01").is_multicast
+
+    def test_from_index_deterministic(self):
+        assert MacAddr.from_index(7) == MacAddr.from_index(7)
+        assert MacAddr.from_index(7) != MacAddr.from_index(8)
+
+    @pytest.mark.parametrize("bad", ["", "aa:bb", "zz:bb:cc:dd:ee:ff", "aa:bb:cc:dd:ee:ff:00", "aabbccddeeff"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(AddressError):
+            MacAddr.parse(bad)
+
+    def test_value_range_checked(self):
+        with pytest.raises(AddressError):
+            MacAddr(1 << 48)
+        with pytest.raises(AddressError):
+            MacAddr(-1)
+
+    def test_hashable_as_fdb_key(self):
+        table = {MacAddr.from_index(1): "port1"}
+        assert table[MacAddr.parse("02:00:00:00:00:01")] == "port1"
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_text_round_trip_property(self, value):
+        m = MacAddr(value)
+        assert MacAddr.parse(str(m)) == m
+
+
+class TestIPv4Addr:
+    def test_parse_round_trip(self):
+        a = IPv4Addr.parse("192.168.1.42")
+        assert str(a) == "192.168.1.42"
+        assert a.value == 0xC0A8012A
+
+    def test_bytes_round_trip(self):
+        a = IPv4Addr.parse("10.0.0.1")
+        assert IPv4Addr.from_bytes(a.to_bytes()) == a
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Addr.parse(bad)
+
+    def test_classification(self):
+        assert IPv4Addr.parse("255.255.255.255").is_broadcast
+        assert IPv4Addr.parse("224.0.0.1").is_multicast
+        assert IPv4Addr.parse("127.0.0.1").is_loopback
+        assert not IPv4Addr.parse("10.0.0.1").is_multicast
+
+    def test_ordering(self):
+        assert IPv4Addr.parse("10.0.0.1") < IPv4Addr.parse("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_text_round_trip_property(self, value):
+        a = IPv4Addr(value)
+        assert IPv4Addr.parse(str(a)) == a
+
+
+class TestIPv4Prefix:
+    def test_parse_and_normalize(self):
+        p = IPv4Prefix.parse("10.1.2.3/24")
+        assert str(p) == "10.1.2.0/24"
+        assert p.netmask == IPv4Addr.parse("255.255.255.0")
+
+    def test_bare_address_is_host_prefix(self):
+        assert IPv4Prefix.parse("10.0.0.1").length == 32
+
+    def test_contains(self):
+        p = IPv4Prefix.parse("10.1.0.0/16")
+        assert p.contains("10.1.255.3")
+        assert not p.contains("10.2.0.1")
+
+    def test_default_route_contains_everything(self):
+        p = IPv4Prefix.parse("0.0.0.0/0")
+        assert p.contains("1.2.3.4")
+        assert p.contains("255.255.255.255")
+
+    def test_broadcast_address(self):
+        assert IPv4Prefix.parse("10.1.2.0/24").broadcast == IPv4Addr.parse("10.1.2.255")
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(IPv4Prefix.parse("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_host_indexing(self):
+        p = IPv4Prefix.parse("10.0.1.0/24")
+        assert str(p.host(1)) == "10.0.1.1"
+        with pytest.raises(AddressError):
+            p.host(300)
+
+    def test_overlaps(self):
+        assert IPv4Prefix.parse("10.0.0.0/8").overlaps(IPv4Prefix.parse("10.3.0.0/16"))
+        assert not IPv4Prefix.parse("10.0.0.0/16").overlaps(IPv4Prefix.parse("10.1.0.0/16"))
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0/33", "10.0.0.0/x"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse(bad)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(min_value=0, max_value=32))
+    def test_network_address_contained_property(self, value, length):
+        p = IPv4Prefix(IPv4Addr(value), length)
+        assert p.contains(p.address)
+        assert p.contains(p.broadcast)
+
+
+class TestCoercions:
+    def test_ipv4_coercions(self):
+        assert ipv4("10.0.0.1") == ipv4(0x0A000001) == ipv4(IPv4Addr.parse("10.0.0.1"))
+
+    def test_mac_coercions(self):
+        assert mac("02:00:00:00:00:01") == mac(0x020000000001)
+
+    def test_prefix_coercion(self):
+        assert prefix("10.0.0.0/24") == IPv4Prefix.parse("10.0.0.0/24")

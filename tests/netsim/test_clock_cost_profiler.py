@@ -1,0 +1,134 @@
+"""Tests for the simulated clock, cost model, and profiler."""
+
+import pytest
+
+from repro.netsim.clock import Clock
+from repro.netsim.cost import CostModel, DEFAULT_COSTS
+from repro.netsim.profiler import Profiler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        c = Clock()
+        c.advance(100)
+        c.advance(50.4)
+        assert c.now_ns == 150
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_advance_to_never_goes_backwards(self):
+        c = Clock()
+        c.advance(1000)
+        c.advance_to(500)
+        assert c.now_ns == 1000
+        c.advance_to(2000)
+        assert c.now_ns == 2000
+
+    def test_unit_views(self):
+        c = Clock()
+        c.advance(2_500_000_000)
+        assert c.now_s == pytest.approx(2.5)
+        assert c.now_us == pytest.approx(2.5e6)
+
+    def test_reset(self):
+        c = Clock()
+        c.advance(10)
+        c.reset()
+        assert c.now_ns == 0
+
+
+class TestCostModel:
+    def test_line_rate_small_packets(self):
+        # 64B + 20B framing at 25Gbps ≈ 37.2 Mpps
+        pps = DEFAULT_COSTS.line_rate_pps(64)
+        assert pps == pytest.approx(37.2e6, rel=0.01)
+
+    def test_line_rate_mtu_packets(self):
+        pps = DEFAULT_COSTS.line_rate_pps(1514)
+        assert pps == pytest.approx(25e9 / (1534 * 8), rel=1e-6)
+
+    def test_copy_is_independent(self):
+        c = DEFAULT_COSTS.copy()
+        c.fib_lookup = 1.0
+        assert DEFAULT_COSTS.fib_lookup != 1.0
+
+    def test_calibration_linux_forwarding_near_1mpps(self):
+        """The slow-path stage costs must sum to ~1000ns (≈1 Mpps/core)."""
+        c = DEFAULT_COSTS
+        total = (
+            c.driver_rx + c.skb_alloc + c.netif_receive + c.ip_rcv + c.fib_lookup
+            + c.ip_forward + c.neigh_lookup + c.ip_output + c.dev_queue_xmit + c.driver_tx
+        )
+        assert 900 <= total <= 1500
+
+    def test_calibration_fast_path_ratio(self):
+        """XDP path budget must land near 1.77x Linux (paper's 77% speedup)."""
+        c = DEFAULT_COSTS
+        linux_ns = 1000.0
+        # dispatcher entry + tail call + ~170 executed insns + helpers
+        xdp_ns = (
+            c.driver_rx + c.ebpf_prog_entry + c.ebpf_tail_call + 170 * c.ebpf_insn
+            + c.helper_fib_lookup + c.xdp_redirect + c.driver_tx
+        )
+        assert 1.5 <= linux_ns / xdp_ns <= 2.2
+
+
+class TestProfiler:
+    def test_disabled_profiler_records_nothing(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=False)
+        with prof.frame("a"):
+            clock.advance(100)
+        assert prof.samples == {}
+
+    def test_nested_frames(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("rx"):
+            clock.advance(100)
+            with prof.frame("ip_rcv"):
+                clock.advance(50)
+        assert prof.samples[("rx",)] == 150
+        assert prof.samples[("rx", "ip_rcv")] == 50
+
+    def test_self_weights_subtract_children(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("rx"):
+            clock.advance(100)
+            with prof.frame("ip_rcv"):
+                clock.advance(50)
+        weights = prof.self_weights()
+        assert weights[("rx",)] == 100
+        assert weights[("rx", "ip_rcv")] == 50
+
+    def test_collapsed_output_format(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("a"):
+            with prof.frame("b"):
+                clock.advance(10)
+        lines = prof.collapsed()
+        assert lines == ["a;b 10"]
+
+    def test_hottest_aggregates_leaves(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        for __ in range(3):
+            with prof.frame("rx"):
+                with prof.frame("fib_lookup"):
+                    clock.advance(120)
+        assert prof.hottest(1) == [("fib_lookup", 360)]
+
+    def test_reset(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("x"):
+            clock.advance(5)
+        prof.reset()
+        assert prof.samples == {}

@@ -1,0 +1,90 @@
+"""Tests for NICs, queues, and wires."""
+
+import pytest
+
+from repro.netsim.nic import NIC, Wire
+from repro.netsim.packet import make_udp
+
+
+def frame(sport=1000):
+    return make_udp("02:00:00:00:00:01", "02:00:00:00:00:02", "10.0.0.1", "10.0.0.2", sport=sport).to_bytes()
+
+
+class TestNIC:
+    def test_handler_invoked_on_rx(self):
+        nic = NIC("eth0")
+        got = []
+        nic.attach(lambda data, q: got.append((data, q)))
+        nic.receive_from_wire(frame())
+        assert len(got) == 1 and got[0][1] == 0
+
+    def test_unattached_nic_queues_frames(self):
+        nic = NIC("eth0")
+        nic.receive_from_wire(frame())
+        assert len(nic.rx_queues[0]) == 1
+
+    def test_bypass_mode_queues_even_with_handler(self):
+        nic = NIC("eth0")
+        got = []
+        nic.attach(lambda data, q: got.append(data))
+        nic.set_bypass(True)
+        nic.receive_from_wire(frame())
+        assert got == [] and len(nic.rx_queues[0]) == 1
+
+    def test_poll_respects_budget(self):
+        nic = NIC("eth0")
+        nic.set_bypass(True)
+        for i in range(10):
+            nic.receive_from_wire(frame(sport=i))
+        assert len(nic.poll(0, budget=4)) == 4
+        assert len(nic.poll(0, budget=100)) == 6
+
+    def test_rss_spreads_flows(self):
+        nic = NIC("eth0", num_queues=4)
+        queues = {nic.rss_queue(frame(sport=i)) for i in range(64)}
+        assert len(queues) > 1
+        for q in queues:
+            assert 0 <= q < 4
+
+    def test_rss_stable_per_flow(self):
+        nic = NIC("eth0", num_queues=8)
+        assert nic.rss_queue(frame(sport=7)) == nic.rss_queue(frame(sport=7))
+
+    def test_stats_counted(self):
+        nic = NIC("eth0")
+        nic.attach(lambda d, q: None)
+        data = frame()
+        nic.receive_from_wire(data)
+        nic.transmit(data)
+        assert nic.stats.rx_packets == 1 and nic.stats.rx_bytes == len(data)
+        assert nic.stats.tx_packets == 1
+        assert nic.stats.tx_dropped == 1  # no wire attached
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(ValueError):
+            NIC("bad", num_queues=0)
+
+
+class TestWire:
+    def test_carries_both_directions(self):
+        a, b = NIC("a"), NIC("b")
+        Wire(a, b)
+        got_a, got_b = [], []
+        a.attach(lambda d, q: got_a.append(d))
+        b.attach(lambda d, q: got_b.append(d))
+        a.transmit(b"to-b")
+        b.transmit(b"to-a")
+        assert got_b == [b"to-b"] and got_a == [b"to-a"]
+
+    def test_double_wiring_rejected(self):
+        a, b, c = NIC("a"), NIC("b"), NIC("c")
+        Wire(a, b)
+        with pytest.raises(ValueError):
+            Wire(a, c)
+
+    def test_unplug(self):
+        a, b = NIC("a"), NIC("b")
+        wire = Wire(a, b)
+        wire.unplug()
+        a.transmit(b"gone")
+        assert a.stats.tx_dropped == 1

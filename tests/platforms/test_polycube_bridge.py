@@ -1,0 +1,91 @@
+"""End-to-end tests for the Polycube bridge cube (datapath learning)."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.netsim.clock import Clock
+from repro.netsim.nic import Wire
+from repro.netsim.packet import Packet, make_udp
+from repro.platforms import Polycube
+
+
+def bridge_setup():
+    """Three hosts attached to a Polycube bridge (three DUT ports)."""
+    clock = Clock()
+    dut = Kernel("pcn-dut", clock=clock)
+    hosts = []
+    for i in range(3):
+        dut.add_physical(f"eth{i}")
+        dut.set_link(f"eth{i}", True)
+        host = Kernel(f"h{i}", clock=clock)
+        host.add_physical("eth0")
+        host.set_link("eth0", True)
+        host.add_address("eth0", f"10.0.0.{i + 1}/24")
+        Wire(dut.devices.by_name(f"eth{i}").nic, host.devices.by_name("eth0").nic)
+        hosts.append(host)
+    pcn = Polycube(dut)
+    for i in range(3):
+        pcn.attach_port(f"eth{i}")
+    pcn.pcn_bridge("enable")
+    return dut, hosts, pcn
+
+
+def capture(host):
+    got = []
+    host.devices.by_name("eth0").nic.attach(lambda f, q: got.append(Packet.from_bytes(f)))
+    return got
+
+
+class TestPolycubeBridge:
+    def test_broadcast_goes_to_slow_path(self):
+        dut, hosts, pcn = bridge_setup()
+        rx = [capture(h) for h in hosts]
+        bcast = make_udp(hosts[0].devices.by_name("eth0").mac, "ff:ff:ff:ff:ff:ff",
+                         "10.0.0.1", "10.0.0.255").to_bytes()
+        hosts[0].devices.by_name("eth0").nic.transmit(bcast)
+        # cube PASSes broadcast; the kernel has no bridge configured, so the
+        # slow path can't flood — Polycube needs its own flooding (a gap our
+        # simplified cube shares with early pcn-bridge versions)
+        assert len(rx[1]) == 0 and len(rx[2]) == 0
+
+    def test_learning_then_unicast(self):
+        dut, hosts, pcn = bridge_setup()
+        rx = [capture(h) for h in hosts]
+        mac0 = hosts[0].devices.by_name("eth0").mac
+        mac1 = hosts[1].devices.by_name("eth0").mac
+        # teach the cube both MACs via its own datapath learning
+        hosts[0].devices.by_name("eth0").nic.transmit(
+            make_udp(mac0, mac1, "10.0.0.1", "10.0.0.2").to_bytes()
+        )
+        hosts[1].devices.by_name("eth0").nic.transmit(
+            make_udp(mac1, mac0, "10.0.0.2", "10.0.0.1").to_bytes()
+        )
+        # now both directions forward in the fast path
+        hosts[0].devices.by_name("eth0").nic.transmit(
+            make_udp(mac0, mac1, "10.0.0.1", "10.0.0.2", payload=b"fast").to_bytes()
+        )
+        assert any(p.payload == b"fast" for p in rx[1])
+        assert len(rx[2]) == 0  # no stray flooding to the third port
+
+    def test_fdb_is_polycube_state_not_kernel_state(self):
+        dut, hosts, pcn = bridge_setup()
+        mac0 = hosts[0].devices.by_name("eth0").mac
+        mac1 = hosts[1].devices.by_name("eth0").mac
+        hosts[0].devices.by_name("eth0").nic.transmit(
+            make_udp(mac0, mac1, "10.0.0.1", "10.0.0.2").to_bytes()
+        )
+        assert len(pcn.fdb) >= 1  # learned into Polycube's own map
+        # and there is no kernel bridge at all
+        from repro.kernel.interfaces import BridgeDevice
+
+        assert not any(isinstance(d, BridgeDevice) for d in dut.devices.all())
+
+    def test_hairpin_dropped(self):
+        dut, hosts, pcn = bridge_setup()
+        rx = [capture(h) for h in hosts]
+        mac0 = hosts[0].devices.by_name("eth0").mac
+        # learn mac0 on eth0, then send a frame *to* mac0 from eth0
+        hosts[0].devices.by_name("eth0").nic.transmit(
+            make_udp(mac0, mac0, "10.0.0.1", "10.0.0.1").to_bytes()
+        )
+        assert all(len(r) == 0 for r in rx)
