@@ -14,6 +14,7 @@ compile + verify + load + swap — the same span the paper measures.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -44,9 +45,13 @@ class Controller:
         enable_ipvs: bool = False,
         capabilities: Optional[CapabilityManager] = None,
         custom_fpms: Optional[List] = None,
+        flow_cache: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.hook = hook
+        if flow_cache is None:
+            flow_cache = os.environ.get("LINUXFP_FLOW_CACHE", "").lower() in ("1", "true", "on")
+        self.flow_cache_requested = flow_cache
         self.target_interfaces = interfaces
         self.topology = TopologyManager(enable_ipvs=enable_ipvs)
         self.synthesizer = Synthesizer(capabilities, customs=custom_fpms)
@@ -67,11 +72,13 @@ class Controller:
         self.introspection.add_listener(self._on_change)
         self.started = True
         self._rebuild()
+        self._sync_flow_cache()
         return self.current_graph
 
     def add_custom_fpm(self, custom) -> None:
         """Inject a custom module (monitoring etc.) and resynthesize now."""
         self.synthesizer.customs.append(custom)
+        self._sync_flow_cache()  # custom FPMs may carry per-packet state
         if self.started:
             self.current_graph = None  # force resynthesis of every interface
             self._rebuild()
@@ -79,8 +86,23 @@ class Controller:
     def stop(self) -> None:
         """Withdraw every fast path and stop watching."""
         self.started = False
+        cache = getattr(self.kernel, "flow_cache", None)
+        if cache is not None and cache.enabled:
+            cache.enabled = False
+            cache.flush(hook=self.hook, reason="stop")
         self.deployer.teardown()
         self.socket.close()
+
+    def _sync_flow_cache(self) -> None:
+        """Enable the flow cache iff requested and safe (no custom FPMs —
+        their helpers may read per-packet state the cache cannot see)."""
+        cache = getattr(self.kernel, "flow_cache", None)
+        if cache is None:
+            return
+        want = self.flow_cache_requested and not self.synthesizer.customs
+        if cache.enabled and not want:
+            cache.flush(hook=self.hook, reason="disable")
+        cache.enabled = want
 
     # -------------------------------------------------------------- rebuild
 

@@ -65,6 +65,7 @@ class Deployer:
         entry.prog_array.set_prog(0, path.program)  # the atomic pointer update
         entry.current = path
         entry.swaps += 1
+        self._flush_flow_cache(path.ifname)
         return entry
 
     def withdraw(self, ifname: str) -> None:
@@ -74,6 +75,7 @@ class Deployer:
             entry.prog_array.clear(0)
             entry.current = None
             entry.swaps += 1
+            self._flush_flow_cache(ifname)
 
     def teardown(self) -> None:
         """Detach every dispatcher (full LinuxFP removal)."""
@@ -83,3 +85,17 @@ class Deployer:
             else:
                 self.loader.detach_tc(ifname)
             del self.deployed[ifname]
+        cache = getattr(self.kernel, "flow_cache", None)
+        if cache is not None:
+            cache.flush(hook=self.hook, reason="teardown")
+
+    def _flush_flow_cache(self, ifname: str) -> None:
+        """Swapping a program invalidates that interface's cached verdicts."""
+        cache = getattr(self.kernel, "flow_cache", None)
+        if cache is None:
+            return
+        dev = self.kernel.devices.get(ifname)
+        if dev is None:
+            cache.flush(hook=self.hook, reason="swap")
+        else:
+            cache.flush(hook=self.hook, ifindex=dev.ifindex, reason="swap")

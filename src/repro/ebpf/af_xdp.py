@@ -94,6 +94,7 @@ def bpf_redirect_xsk(env, args) -> int:
     """
     from repro.ebpf.helpers import HelperError, _as_int, _as_map
 
+    env.mark_uncacheable()  # per-packet socket delivery; never replay from cache
     xsk_map = _as_map(args[0], "redirect_xsk")
     if not isinstance(xsk_map, XskMap):
         raise HelperError("redirect_xsk needs an xskmap")

@@ -34,16 +34,19 @@ class XdpAttachment:
         self.invocations = 0
         self.aborts = 0
 
-    def run_xdp(self, kernel, dev, frame: bytes) -> XdpResult:
+    def run_xdp(self, kernel, dev, frame: bytes, env: "Env" = None) -> XdpResult:
         self.invocations += 1
         region = Region("pkt", bytearray(frame))
-        env = Env(kernel, redirect_verdict=XDP_REDIRECT)
+        if env is None:
+            env = Env(kernel, redirect_verdict=XDP_REDIRECT)
         vm = VM(kernel)
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), dev.ifindex], env)
         except VMError:
             self.aborts += 1
+            env.aborted = True
             return XdpResult(XDP_ABORTED, frame)
+        env.insns_executed = vm.insns_executed
         from repro.ebpf.af_xdp import XDP_REDIRECT_XSK
         from repro.kernel.hooks_api import XDP_CONSUMED
 
@@ -63,15 +66,18 @@ class TcAttachment:
         self.invocations = 0
         self.aborts = 0
 
-    def run_tc(self, kernel, dev, skb) -> TcResult:
+    def run_tc(self, kernel, dev, skb, env: "Env" = None) -> TcResult:
         self.invocations += 1
         frame = skb.pkt.to_bytes()
         region = Region("pkt", bytearray(frame))
-        env = Env(kernel, redirect_verdict=TC_ACT_REDIRECT)
+        if env is None:
+            env = Env(kernel, redirect_verdict=TC_ACT_REDIRECT)
         vm = VM(kernel)
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), skb.ifindex], env)
         except VMError:
             self.aborts += 1
+            env.aborted = True
             return TcResult(TC_ACT_SHOT, frame)
+        env.insns_executed = vm.insns_executed
         return TcResult(int(verdict), bytes(region.data), env.redirect_ifindex)

@@ -48,7 +48,14 @@ def _signed64(value: int) -> int:
 
 
 class Env:
-    """Per-invocation environment shared with helpers."""
+    """Per-invocation environment shared with helpers.
+
+    Besides redirect plumbing, the Env collects the *dependency record* the
+    flow cache (:mod:`repro.fastpath.flowcache`) needs: which kernel tables
+    helpers consulted, which netfilter rules / conntrack entries decided the
+    verdict, the earliest time-based expiry involved, and whether the run
+    touched per-packet state that makes its verdict uncacheable.
+    """
 
     def __init__(self, kernel, redirect_verdict: int) -> None:
         self.kernel = kernel
@@ -56,6 +63,23 @@ class Env:
         self.redirect_ifindex: Optional[int] = None
         self.xsk_socket = None  # set by the redirect_xsk helper
         self.trace: List[tuple] = []
+        self.deps: set = set()  # kernel tables consulted ("fib", "bridge", …)
+        self.matched_rules: List[object] = []  # netfilter Rules that decided
+        self.ct_entries: List[object] = []  # conntrack entries consulted
+        self.expires_ns: Optional[int] = None  # earliest time-based staleness
+        self.uncacheable = False
+        self.aborted = False
+        self.insns_executed = 0
+
+    def note_dep(self, name: str) -> None:
+        self.deps.add(name)
+
+    def note_expiry(self, deadline_ns: int) -> None:
+        if self.expires_ns is None or deadline_ns < self.expires_ns:
+            self.expires_ns = deadline_ns
+
+    def mark_uncacheable(self) -> None:
+        self.uncacheable = True
 
 
 class VM:

@@ -1,0 +1,453 @@
+"""The megaflow-style flow cache for synthesized fast paths.
+
+The synthesized FPM chain re-derives the same verdict for every packet of a
+flow. This cache — inspired by OVS's megaflow cache, and an extension beyond
+the LinuxFP paper — runs the chain once per flow, derives the *semantic
+actions* the program applied (MAC rewrite, TTL decrement + incremental
+checksum update, DNAT), and replays them on subsequent packets of the flow
+for a single O(1) dict lookup.
+
+Correctness rests on three mechanisms:
+
+1. **Generation tags.** Every mutable kernel table (FIB, bridge FDB,
+   netfilter, conntrack, ipset registry, neighbor table, device table) bumps
+   a generation counter on semantically-visible mutation. Helpers record
+   which tables a run consulted (``Env.note_dep``); the entry snapshots
+   those tables' generations and a hit revalidates them. A stale generation
+   drops the entry and falls back to the full FPM run.
+
+2. **Deadline expiry.** Time-based staleness (bridge FDB ageing, conntrack
+   timeouts) is invisible to generation tags, so helpers also record the
+   earliest deadline at which a consulted entry would expire
+   (``Env.note_expiry``); hits past the deadline re-run the chain.
+
+3. **Verified derivation.** Actions are derived by diffing the input and
+   output frames of the recording run, then re-applied to the input frame
+   and checked for byte-equality against the program's actual output. A
+   diff the action model cannot express (or a run that touched per-packet
+   state: maps, ktime, AF_XDP) yields an *uncacheable* marker entry, and
+   that flow takes the full run forever.
+
+Partitions are keyed by (hook, ifindex) so the deployer's atomic prog-array
+swap can flush exactly the traffic whose program changed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.hooks_api import (
+    TC_ACT_REDIRECT,
+    TcResult,
+    XDP_ABORTED,
+    XDP_CONSUMED,
+    XDP_REDIRECT,
+    XdpResult,
+)
+from repro.netsim.flowkey import FlowKey, extract_flow_key
+from repro.netsim.packet import Packet, PacketError
+
+DEFAULT_CAPACITY = 4096
+
+# Which FPM a table dependency implicates (for per-FPM hit attribution).
+_FPM_FOR_DEP = {
+    "fib": "router",
+    "netfilter": "filter",
+    "bridge": "bridge",
+    "conntrack": "ipvs",
+}
+
+# Frame offsets (eth + option-less IPv4, guaranteed by extract_flow_key)
+_TTL_OFF = 22
+_CSUM_OFF = 24
+_DST_OFF = 30
+_DPORT_OFF = 36
+
+
+class CachedActions:
+    """The value-relative rewrite a fast-path run applied to a frame.
+
+    Mirrors the FPM templates' write set exactly: DNAT (absolute dst ip +
+    dst port stores, one RFC 1624 checksum fold), TTL decrement (one more
+    fold), and absolute MAC stores. Anything else fails derivation.
+    """
+
+    __slots__ = ("eth_dst", "eth_src", "ttl_dec", "dnat_dst", "dnat_dport")
+
+    def __init__(
+        self,
+        eth_dst: Optional[bytes] = None,
+        eth_src: Optional[bytes] = None,
+        ttl_dec: bool = False,
+        dnat_dst: Optional[bytes] = None,
+        dnat_dport: Optional[bytes] = None,
+    ) -> None:
+        self.eth_dst = eth_dst
+        self.eth_src = eth_src
+        self.ttl_dec = ttl_dec
+        self.dnat_dst = dnat_dst
+        self.dnat_dport = dnat_dport
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.eth_dst or self.eth_src or self.ttl_dec or self.dnat_dst or self.dnat_dport)
+
+    def apply(self, frame: bytes) -> Optional[bytes]:
+        """Replay onto ``frame``; None when a guard forces the full run."""
+        if self.ttl_dec and frame[_TTL_OFF] <= 1:
+            return None  # the router FPM punts expiring TTLs to the slow path
+        if self.is_noop:
+            return frame
+        buf = bytearray(frame)
+        if self.dnat_dst is not None or self.dnat_dport is not None:
+            if self.dnat_dst is not None:
+                buf[_DST_OFF:_DST_OFF + 4] = self.dnat_dst
+            if self.dnat_dport is not None:
+                buf[_DPORT_OFF:_DPORT_OFF + 2] = self.dnat_dport
+            _csum_fold(buf)
+        if self.ttl_dec:
+            buf[_TTL_OFF] -= 1
+            _csum_fold(buf)
+        if self.eth_dst is not None:
+            buf[0:6] = self.eth_dst
+        if self.eth_src is not None:
+            buf[6:12] = self.eth_src
+        return bytes(buf)
+
+
+def _csum_fold(buf: bytearray) -> None:
+    """The templates' incremental checksum update: csum += 0x100, fold once."""
+    csum = ((buf[_CSUM_OFF] << 8) | buf[_CSUM_OFF + 1]) + 0x100
+    csum = (csum & 0xFFFF) + (csum >> 16)
+    buf[_CSUM_OFF] = (csum >> 8) & 0xFF
+    buf[_CSUM_OFF + 1] = csum & 0xFF
+
+
+class FlowEntry:
+    """One cached flow: verdict + actions + the state it depends on."""
+
+    __slots__ = (
+        "key", "verdict", "redirect_ifindex", "actions", "deps", "expires_ns",
+        "eth_match", "rules", "ct_entries", "fpms", "full_ns", "insns", "hits",
+    )
+
+    def __init__(
+        self,
+        key: FlowKey,
+        verdict: int,
+        redirect_ifindex: Optional[int],
+        actions: Optional[CachedActions],
+        deps: Dict[str, int],
+        expires_ns: Optional[int],
+        eth_match: Optional[bytes],
+        rules: Tuple,
+        ct_entries: Tuple,
+        fpms: Tuple[str, ...],
+        full_ns: float,
+        insns: int,
+    ) -> None:
+        self.key = key
+        self.verdict = verdict
+        self.redirect_ifindex = redirect_ifindex
+        self.actions = actions  # None marks an uncacheable flow
+        self.deps = deps
+        self.expires_ns = expires_ns
+        self.eth_match = eth_match
+        self.rules = rules
+        self.ct_entries = ct_entries
+        self.fpms = fpms
+        self.full_ns = full_ns
+        self.insns = insns
+        self.hits = 0
+
+    @property
+    def uncacheable(self) -> bool:
+        return self.actions is None
+
+
+class FlowCacheStats:
+    """Per-hook / per-FPM perf counters for the cache."""
+
+    def __init__(self) -> None:
+        self.hits: Counter = Counter()       # hook -> cache hits
+        self.misses: Counter = Counter()     # hook -> misses (full run + record attempt)
+        self.bypasses: Counter = Counter()   # hook -> unkeyable/guarded/uncacheable
+        self.records: Counter = Counter()    # hook -> entries recorded
+        self.fpm_hits: Counter = Counter()   # fpm name -> FPM runs avoided
+        self.invalidations: Counter = Counter()  # reason ("gen:fib", "expired") -> count
+        self.evictions = 0
+        self.flushes = 0
+        self.flushed_entries = 0
+        self.insns_avoided = 0
+        self.ns_saved = 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "bypasses": dict(self.bypasses),
+            "records": dict(self.records),
+            "fpm_hits": dict(self.fpm_hits),
+            "invalidations": dict(self.invalidations),
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+            "flushed_entries": self.flushed_entries,
+            "insns_avoided": self.insns_avoided,
+            "ns_saved": self.ns_saved,
+        }
+
+    def hit_rate(self, hook: Optional[str] = None) -> float:
+        hits = self.hits[hook] if hook else sum(self.hits.values())
+        misses = self.misses[hook] if hook else sum(self.misses.values())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class FlowCache:
+    """Per-kernel flow cache over the XDP and TC-ingress hook points."""
+
+    def __init__(self, kernel, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.kernel = kernel
+        self.capacity = capacity
+        self.enabled = False
+        self.stats = FlowCacheStats()
+        # (hook, ifindex, FlowKey) -> FlowEntry, LRU order (oldest first)
+        self._entries: "OrderedDict[Tuple[str, int, FlowKey], FlowEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------ hook entry
+
+    def run_xdp(self, dev, frame: bytes) -> XdpResult:
+        """Consult the cache for an XDP-hook frame; falls back to the prog."""
+        attachment = dev.xdp_prog
+        hit = self._lookup("xdp", dev.ifindex, frame)
+        if hit is not None:
+            entry, replayed = hit
+            return XdpResult(entry.verdict, replayed, entry.redirect_ifindex)
+
+        key = self._key(frame, dev.ifindex)
+        if key is None:
+            self.stats.bypasses["xdp"] += 1
+            return attachment.run_xdp(self.kernel, dev, frame)
+
+        cached = self._entries.get(("xdp", dev.ifindex, key))
+        if cached is not None:
+            # valid but unreplayable (uncacheable flow or TTL guard): full run
+            self.stats.bypasses["xdp"] += 1
+            return attachment.run_xdp(self.kernel, dev, frame)
+
+        from repro.ebpf.vm import Env
+
+        self.stats.misses["xdp"] += 1
+        env = Env(self.kernel, redirect_verdict=XDP_REDIRECT)
+        t0 = self.kernel.clock.now_ns
+        result = attachment.run_xdp(self.kernel, dev, frame, env=env)
+        self._record("xdp", dev.ifindex, key, frame, result.frame, result.verdict,
+                     result.redirect_ifindex, env, self.kernel.clock.now_ns - t0)
+        return result
+
+    def run_tc(self, dev, skb) -> TcResult:
+        """Consult the cache for a TC-ingress skb; falls back to the prog."""
+        attachment = dev.tc_ingress_prog
+        frame = skb.pkt.to_bytes()
+        hit = self._lookup("tc", dev.ifindex, frame)
+        if hit is not None:
+            entry, replayed = hit
+            return TcResult(entry.verdict, replayed, entry.redirect_ifindex)
+
+        key = self._key(frame, dev.ifindex)
+        if key is None:
+            self.stats.bypasses["tc"] += 1
+            return attachment.run_tc(self.kernel, dev, skb)
+
+        cached = self._entries.get(("tc", dev.ifindex, key))
+        if cached is not None:
+            self.stats.bypasses["tc"] += 1
+            return attachment.run_tc(self.kernel, dev, skb)
+
+        from repro.ebpf.vm import Env
+
+        self.stats.misses["tc"] += 1
+        env = Env(self.kernel, redirect_verdict=TC_ACT_REDIRECT)
+        t0 = self.kernel.clock.now_ns
+        result = attachment.run_tc(self.kernel, dev, skb, env=env)
+        self._record("tc", dev.ifindex, key, frame, result.frame, result.verdict,
+                     result.redirect_ifindex, env, self.kernel.clock.now_ns - t0)
+        return result
+
+    # ------------------------------------------------------------ lifecycle
+
+    def flush(self, hook: Optional[str] = None, ifindex: Optional[int] = None,
+              reason: str = "flush") -> int:
+        """Drop entries matching (hook, ifindex); None matches everything."""
+        doomed = [
+            k for k in self._entries
+            if (hook is None or k[0] == hook) and (ifindex is None or k[1] == ifindex)
+        ]
+        for k in doomed:
+            del self._entries[k]
+        self.stats.flushes += 1
+        self.stats.flushed_entries += len(doomed)
+        return len(doomed)
+
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------- internals
+
+    def _key(self, frame: bytes, ifindex: int) -> Optional[FlowKey]:
+        key = extract_flow_key(frame, ifindex)
+        if key is None:
+            return None
+        # The 5-tuple alone cannot distinguish a well-formed packet from one
+        # with, say, a truncated TCP header — which the full pipeline treats
+        # differently (bpf_ipt_lookup punts, the slow path drops). Only
+        # frames that parse cleanly may consult or seed the cache.
+        try:
+            Packet.from_bytes(frame)
+        except PacketError:
+            return None
+        return key
+
+    def _lookup(self, hook: str, ifindex: int, frame: bytes):
+        """A valid, replayable hit: (entry, replayed_frame) — else None."""
+        key = extract_flow_key(frame, ifindex)
+        if key is None:
+            return None
+        full_key = (hook, ifindex, key)
+        entry = self._entries.get(full_key)
+        if entry is None:
+            return None
+        reason = self._staleness(entry)
+        if reason is not None:
+            del self._entries[full_key]
+            self.stats.invalidations[reason] += 1
+            return None
+        if entry.uncacheable:
+            return None  # caller runs the full chain (counted as bypass)
+        if entry.eth_match is not None and frame[0:12] != entry.eth_match:
+            # L2-sensitive entry (the program consulted the FDB) seeing new
+            # MACs: not the same megaflow; take the full run.
+            return None
+        if self._key(frame, ifindex) is None:
+            return None  # parse-hostile frame inside a known flow: full run
+        replayed = entry.actions.apply(frame)
+        if replayed is None:
+            return None  # TTL guard
+        self.kernel.costs_charge("flow_cache_lookup")
+        self._entries.move_to_end(full_key)
+        entry.hits += 1
+        self.stats.hits[hook] += 1
+        self.stats.fpm_hits.update(entry.fpms)
+        self.stats.insns_avoided += entry.insns
+        self.stats.ns_saved += max(0.0, entry.full_ns - self.kernel.costs.flow_cache_lookup)
+        # Mirror the helper side effects the skipped run would have had.
+        for rule in entry.rules:
+            rule.packets += 1
+        for ct in entry.ct_entries:
+            ct.packets += 1
+        return entry, replayed
+
+    def _staleness(self, entry: FlowEntry) -> Optional[str]:
+        """Why the entry is stale ("gen:<table>" / "expired"), or None."""
+        if entry.expires_ns is not None and self.kernel.clock.now_ns >= entry.expires_ns:
+            return "expired"
+        for name, gen in entry.deps.items():
+            if self._generation(name) != gen:
+                return f"gen:{name}"
+        return None
+
+    def _generation(self, name: str) -> int:
+        kernel = self.kernel
+        if name == "fib":
+            return kernel.fib.gen
+        if name == "neighbor":
+            return kernel.neighbors.gen
+        if name == "netfilter":
+            return kernel.netfilter.gen
+        if name == "conntrack":
+            return kernel.conntrack.gen
+        if name == "ipset":
+            return kernel.ipsets.gen
+        if name == "devices":
+            return kernel.devices.gen
+        if name == "bridge":
+            from repro.kernel.interfaces import BridgeDevice
+
+            return sum(
+                d.bridge.gen for d in kernel.devices.all() if isinstance(d, BridgeDevice)
+            )
+        return 0  # unknown dependency: never invalidates (helpers control names)
+
+    def _record(self, hook: str, ifindex: int, key: FlowKey, in_frame: bytes,
+                out_frame: bytes, verdict: int, redirect_ifindex: Optional[int],
+                env, full_ns: float) -> None:
+        if getattr(env, "aborted", False) or (hook == "xdp" and verdict == XDP_ABORTED):
+            return  # never cache an aborted run's verdict
+        actions: Optional[CachedActions]
+        if env.uncacheable or verdict == XDP_CONSUMED:
+            actions = None  # marker entry: this flow always takes the full run
+        else:
+            actions = _derive_actions(in_frame, out_frame)
+            if actions is not None:
+                replayed = actions.apply(in_frame)
+                if replayed != out_frame:
+                    actions = None  # derivation failed verification
+        deps = {name: self._generation(name) for name in env.deps}
+        eth_match = in_frame[0:12] if "bridge" in env.deps else None
+        fpms = tuple(sorted({_FPM_FOR_DEP[d] for d in env.deps if d in _FPM_FOR_DEP}))
+        entry = FlowEntry(
+            key=key,
+            verdict=verdict,
+            redirect_ifindex=redirect_ifindex,
+            actions=actions,
+            deps=deps,
+            expires_ns=env.expires_ns,
+            eth_match=eth_match,
+            rules=tuple(env.matched_rules),
+            ct_entries=tuple(env.ct_entries),
+            fpms=fpms,
+            full_ns=full_ns,
+            insns=env.insns_executed,
+        )
+        full_key = (hook, ifindex, key)
+        if full_key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)  # evict the global LRU entry
+            self.stats.evictions += 1
+        self._entries[full_key] = entry
+        self._entries.move_to_end(full_key)
+        self.kernel.costs_charge("flow_cache_insert")
+        self.stats.records[hook] += 1
+
+
+def _derive_actions(in_frame: bytes, out_frame: bytes) -> Optional[CachedActions]:
+    """Diff input/output frames into the template action model, or None."""
+    if len(in_frame) != len(out_frame):
+        return None
+    actions = CachedActions()
+    if out_frame[0:6] != in_frame[0:6]:
+        actions.eth_dst = out_frame[0:6]
+    if out_frame[6:12] != in_frame[6:12]:
+        actions.eth_src = out_frame[6:12]
+    if out_frame[_TTL_OFF] != in_frame[_TTL_OFF]:
+        if out_frame[_TTL_OFF] != in_frame[_TTL_OFF] - 1:
+            return None  # only a single decrement is expressible
+        actions.ttl_dec = True
+    if out_frame[_DST_OFF:_DST_OFF + 4] != in_frame[_DST_OFF:_DST_OFF + 4]:
+        actions.dnat_dst = out_frame[_DST_OFF:_DST_OFF + 4]
+    if out_frame[_DPORT_OFF:_DPORT_OFF + 2] != in_frame[_DPORT_OFF:_DPORT_OFF + 2]:
+        actions.dnat_dport = out_frame[_DPORT_OFF:_DPORT_OFF + 2]
+    # Any other differing byte (outside the checksum field, which the
+    # verification replay reproduces) is beyond the model.
+    allowed = set(range(0, 12)) | {_TTL_OFF, _CSUM_OFF, _CSUM_OFF + 1}
+    allowed |= set(range(_DST_OFF, _DST_OFF + 4)) | {_DPORT_OFF, _DPORT_OFF + 1}
+    for i in range(len(in_frame)):
+        if in_frame[i] != out_frame[i] and i not in allowed:
+            return None
+    return actions

@@ -65,6 +65,9 @@ class Conntrack:
     def __init__(self, clock: Clock) -> None:
         self._clock = clock
         self._table: Dict[ConnTuple, ConnEntry] = {}
+        # Generation tag for the flow cache: bumped on entry create/remove
+        # and state transitions, NOT on per-packet timestamp/counter updates.
+        self.gen = 0
 
     def __len__(self) -> int:
         return len(self._table)
@@ -89,20 +92,26 @@ class Conntrack:
         if entry is None:
             entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
             self._table[tup] = entry
+            self.gen += 1
         else:
             # A packet in the reverse direction confirms the connection.
             if entry.state == CT_NEW and tup == entry.tuple.reversed():
                 entry.state = CT_ESTABLISHED
+                self.gen += 1
             entry.updated_ns = now
         entry.packets += 1
         skb.conntrack = entry
         if isinstance(skb.pkt.l4, TCP) and skb.pkt.l4.has(TCP.FIN | TCP.RST):
+            if entry.state != CT_CLOSED:
+                self.gen += 1
             entry.state = CT_CLOSED
         return entry
 
     def remove(self, tup: ConnTuple) -> None:
-        self._table.pop(tup, None)
-        self._table.pop(tup.reversed(), None)
+        removed = self._table.pop(tup, None)
+        removed_rev = self._table.pop(tup.reversed(), None)
+        if removed is not None or removed_rev is not None:
+            self.gen += 1
 
     def gc(self) -> int:
         """Expire timed-out entries; returns count removed."""
@@ -110,6 +119,8 @@ class Conntrack:
         expired = [t for t, e in self._table.items() if now - e.updated_ns > e.timeout_ns()]
         for tup in expired:
             del self._table[tup]
+        if expired:
+            self.gen += 1
         return len(expired)
 
     def entries(self) -> List[ConnEntry]:

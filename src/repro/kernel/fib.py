@@ -58,6 +58,9 @@ class Fib:
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._count = 0
+        # Bumped on every semantic mutation; the flow cache keys entry
+        # validity off this (generation-tag invalidation).
+        self.gen = 0
 
     def __len__(self) -> int:
         return self._count
@@ -70,10 +73,12 @@ class Fib:
                 if not replace:
                     raise RouteError(f"route {route.prefix} metric {route.metric} exists")
                 node.routes[i] = route
+                self.gen += 1
                 return
         node.routes.append(route)
         node.routes.sort(key=lambda r: r.metric)
         self._count += 1
+        self.gen += 1
 
     def remove(self, prefix: IPv4Prefix, metric: Optional[int] = None) -> Route:
         node = self._node_for(prefix, create=False)
@@ -89,6 +94,7 @@ class Fib:
             else:
                 raise RouteError(f"no route for {prefix} with metric {metric}")
         self._count -= 1
+        self.gen += 1
         return removed
 
     def remove_for_oif(self, ifindex: int) -> List[Route]:

@@ -51,10 +51,12 @@ class NetDevice:
         if any(a.address == addr.address for a in self.addresses):
             raise DeviceError(f"{self.name}: address {addr.address} already assigned")
         self.addresses.append(addr)
+        self.kernel.devices.gen += 1
 
     def remove_address(self, address: IPv4Addr) -> IfAddr:
         for i, a in enumerate(self.addresses):
             if a.address == address:
+                self.kernel.devices.gen += 1
                 return self.addresses.pop(i)
         raise DeviceError(f"{self.name}: address {address} not assigned")
 
@@ -205,6 +207,9 @@ class DeviceTable:
         self._by_name: Dict[str, NetDevice] = {}
         self._next_ifindex = 1
         self._next_mac = 1
+        # Generation tag for the flow cache: bumped on device add/remove,
+        # address changes, link state, and enslavement changes.
+        self.gen = 0
 
     def allocate_mac(self) -> MacAddr:
         mac = MacAddr.from_index(self._next_mac, oui=(0x02 << 16) | (self._kernel.host_id & 0xFFFF))
@@ -216,6 +221,7 @@ class DeviceTable:
             raise DeviceError(f"device {device.name!r} exists")
         self._by_index[device.ifindex] = device
         self._by_name[device.name] = device
+        self.gen += 1
         return device
 
     def next_ifindex(self) -> int:
@@ -224,7 +230,8 @@ class DeviceTable:
         return index
 
     def unregister(self, device: NetDevice) -> None:
-        self._by_index.pop(device.ifindex, None)
+        if self._by_index.pop(device.ifindex, None) is not None:
+            self.gen += 1
         self._by_name.pop(device.name, None)
 
     def by_index(self, ifindex: int) -> NetDevice:

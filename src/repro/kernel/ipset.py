@@ -23,34 +23,49 @@ class IpsetError(ValueError):
 class IpSet:
     """One named set."""
 
-    def __init__(self, name: str, set_type: str = "hash:ip") -> None:
+    def __init__(self, name: str, set_type: str = "hash:ip", registry: "Optional[IpsetRegistry]" = None) -> None:
         if set_type not in SET_TYPES:
             raise IpsetError(f"unsupported set type {set_type!r}")
         self.name = name
         self.set_type = set_type
+        self._registry = registry
         self._ips: Set[int] = set()
         # hash:net - one hash set per prefix length present
         self._nets: Dict[int, Set[int]] = {}
+
+    def _bump(self) -> None:
+        if self._registry is not None:
+            self._registry.gen += 1
 
     def add(self, entry: AddrLike, prefixlen: int = 32) -> None:
         if self.set_type == "hash:ip":
             if prefixlen != 32:
                 raise IpsetError("hash:ip sets hold /32 addresses only")
-            self._ips.add(ipv4(entry).value)
+            value = ipv4(entry).value
+            if value not in self._ips:
+                self._ips.add(value)
+                self._bump()
         else:
             prefix = IPv4Prefix(ipv4(entry), prefixlen)
-            self._nets.setdefault(prefixlen, set()).add(prefix.address.value)
+            bucket = self._nets.setdefault(prefixlen, set())
+            if prefix.address.value not in bucket:
+                bucket.add(prefix.address.value)
+                self._bump()
 
     def remove(self, entry: AddrLike, prefixlen: int = 32) -> None:
         if self.set_type == "hash:ip":
-            self._ips.discard(ipv4(entry).value)
+            value = ipv4(entry).value
+            if value in self._ips:
+                self._ips.discard(value)
+                self._bump()
         else:
             prefix = IPv4Prefix(ipv4(entry), prefixlen)
             bucket = self._nets.get(prefixlen)
-            if bucket is not None:
+            if bucket is not None and prefix.address.value in bucket:
                 bucket.discard(prefix.address.value)
                 if not bucket:
                     del self._nets[prefixlen]
+                self._bump()
 
     def test(self, addr: AddrLike) -> bool:
         value = ipv4(addr).value
@@ -81,18 +96,23 @@ class IpsetRegistry:
 
     def __init__(self) -> None:
         self._sets: Dict[str, IpSet] = {}
+        # Generation tag for the flow cache: bumped whenever any set's
+        # membership (or the set of sets) changes.
+        self.gen = 0
 
     def create(self, name: str, set_type: str = "hash:ip") -> IpSet:
         if name in self._sets:
             raise IpsetError(f"set {name!r} exists")
-        ipset = IpSet(name, set_type)
+        ipset = IpSet(name, set_type, registry=self)
         self._sets[name] = ipset
+        self.gen += 1
         return ipset
 
     def destroy(self, name: str) -> None:
         if name not in self._sets:
             raise IpsetError(f"no set {name!r}")
         del self._sets[name]
+        self.gen += 1
 
     def get(self, name: str) -> Optional[IpSet]:
         return self._sets.get(name)

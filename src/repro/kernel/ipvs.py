@@ -140,4 +140,5 @@ class Ipvs:
             entry = ConnEntry(tuple=tup)
             self._conntrack._table[tup] = entry
         entry.dnat_to = (dest.ip, dest.port)
+        self._conntrack.gen += 1  # pinning the NAT rewrite changes flow fate
         return entry.dnat_to

@@ -91,6 +91,9 @@ class Kernel:
         self.sysctl = Sysctl()
         self.sockets = SocketTable(self)
         self.stack = Stack(self)
+        from repro.fastpath import FlowCache  # local import: cycle guard
+
+        self.flow_cache = FlowCache(self)
 
         self.sysctl.add_listener(
             lambda name, value: self.bus.notify(
@@ -183,6 +186,7 @@ class Kernel:
         dev = self.devices.by_name(name)
         if dev.up != up:
             dev.up = up
+            self.devices.gen += 1
             if not up:
                 for route in self.fib.remove_for_oif(dev.ifindex):
                     self._notify_route(msg.RTM_DELROUTE, route)
@@ -215,6 +219,8 @@ class Kernel:
         dev = self.devices.by_name(name)
         if not isinstance(dev, BridgeDevice):
             raise DeviceError(f"{name} is not a bridge")
+        if stp is not None or vlan_filtering is not None or ageing_time_s is not None:
+            dev.bridge.gen += 1
         if stp is not None:
             dev.bridge.stp_enabled = stp
         if vlan_filtering is not None:

@@ -120,6 +120,8 @@ class Netfilter:
         self._kernel = kernel
         self.chains: Dict[str, Chain] = {name: Chain(name) for name in BUILTIN_CHAINS}
         self._next_handle = 1
+        # Generation tag for the flow cache: bumped on every ruleset mutation.
+        self.gen = 0
 
     def chain(self, name: str) -> Chain:
         try:
@@ -131,29 +133,35 @@ class Netfilter:
         if policy not in (ACCEPT, DROP):
             raise NetfilterError(f"bad policy {policy!r}")
         self.chain(chain_name).policy = policy
+        self.gen += 1
 
     def append_rule(self, chain_name: str, rule: Rule) -> Rule:
         rule.handle = self._next_handle
         self._next_handle += 1
         self.chain(chain_name).rules.append(rule)
+        self.gen += 1
         return rule
 
     def insert_rule(self, chain_name: str, rule: Rule, position: int = 0) -> Rule:
         rule.handle = self._next_handle
         self._next_handle += 1
         self.chain(chain_name).rules.insert(position, rule)
+        self.gen += 1
         return rule
 
     def delete_rule(self, chain_name: str, handle: int) -> Rule:
         chain = self.chain(chain_name)
         for i, rule in enumerate(chain.rules):
             if rule.handle == handle:
+                self.gen += 1
                 return chain.rules.pop(i)
         raise NetfilterError(f"no rule with handle {handle} in {chain_name}")
 
     def flush(self, chain_name: Optional[str] = None) -> None:
         for chain in self.chains.values():
             if chain_name is None or chain.name == chain_name:
+                if chain.rules:
+                    self.gen += 1
                 chain.rules.clear()
 
     def rule_count(self, chain_name: Optional[str] = None) -> int:

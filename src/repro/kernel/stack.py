@@ -76,7 +76,11 @@ class Stack:
 
         # --- XDP hook (driver level, raw frame, no sk_buff yet) ---
         if dev.xdp_prog is not None:
-            result = dev.xdp_prog.run_xdp(kernel, dev, frame)
+            cache = kernel.flow_cache
+            if cache is not None and cache.enabled:
+                result = cache.run_xdp(dev, frame)
+            else:
+                result = dev.xdp_prog.run_xdp(kernel, dev, frame)
             self.xdp_actions[result.verdict] += 1
             if result.verdict == XDP_DROP:
                 self.drops["xdp_drop"] += 1
@@ -109,7 +113,11 @@ class Stack:
 
         # --- TC ingress hook ---
         if dev.tc_ingress_prog is not None:
-            result = dev.tc_ingress_prog.run_tc(kernel, dev, skb)
+            cache = kernel.flow_cache
+            if cache is not None and cache.enabled:
+                result = cache.run_tc(dev, skb)
+            else:
+                result = dev.tc_ingress_prog.run_tc(kernel, dev, skb)
             self.tc_actions[result.verdict] += 1
             if result.verdict == TC_ACT_SHOT:
                 self.drops["tc_shot"] += 1

@@ -80,6 +80,10 @@ class CostModel:
     xdp_pass_to_stack: float = 90.0   # convert xdp_buff → sk_buff (extra)
     tc_redirect: float = 160.0        # tc egress redirect
 
+    # --- megaflow-style flow cache (extension beyond the paper) ---
+    flow_cache_lookup: float = 40.0   # hash + gen revalidation + replay
+    flow_cache_insert: float = 25.0   # record an entry after a full run
+
     # --- Polycube-style platform (custom maps, tail-call chaining) ---
     polycube_map_ctrl_sync: float = 30.0  # per-packet cost of custom map state
     polycube_classifier: float = 95.0     # bitvector classification (rule-count ~flat)

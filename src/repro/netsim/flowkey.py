@@ -1,0 +1,73 @@
+"""Flow-key extraction for the megaflow-style fast-path cache.
+
+A flow key is the classic 5-tuple plus the ingress ifindex. Extraction is
+deliberately conservative: anything the synthesized fast paths treat
+specially per-packet (VLAN frames, fragments, non-TCP/UDP protocols, IP
+options, truncated or corrupt headers) yields ``None`` and bypasses the
+cache entirely — those packets always take the full FPM run, so a hostile
+frame can never seed a cached verdict that later well-formed packets of the
+"same" flow would inherit.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.netsim.checksum import internet_checksum
+
+ETH_P_IP = 0x0800
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+# eth(14) + ipv4 without options(20) + the 4 L4 bytes holding the ports
+MIN_KEYABLE_LEN = 38
+
+
+class FlowKey(NamedTuple):
+    """(ingress ifindex, src, dst, proto, sport, dport) — dict-hashable."""
+
+    ifindex: int
+    src: int
+    dst: int
+    proto: int
+    sport: int
+    dport: int
+
+
+def extract_flow_key(frame: bytes, ifindex: int) -> Optional[FlowKey]:
+    """Extract a cacheable flow key, or ``None`` when the frame must bypass.
+
+    Bypass conditions (each mirrors a per-packet decision in the FPM
+    templates or a malformed-input hazard):
+
+    - short frames (< eth + ip + ports);
+    - non-IPv4 ethertype, including 802.1Q-tagged frames;
+    - IHL != 5 (IP options change header offsets);
+    - corrupt IPv4 header checksum (the slow path drops these as malformed;
+      caching by a key derived from corrupt bytes would poison the flow);
+    - fragments (MF flag or nonzero offset: later fragments share the first
+      fragment's 5-tuple but lack L4 headers, and the router FPM punts all
+      fragments to the slow path);
+    - protocols other than TCP/UDP (ICMP etc. have no ports).
+    """
+    if len(frame) < MIN_KEYABLE_LEN:
+        return None
+    if frame[12] != 0x08 or frame[13] != 0x00:
+        return None  # non-IPv4 (ARP, 802.1Q, garbage): always full run
+    if frame[14] != 0x45:
+        return None  # not IPv4, or IP options present
+    if internet_checksum(frame[14:34]) != 0:
+        return None  # corrupt header: slow path drops, never cache
+    if ((frame[20] << 8) | frame[21]) & 0x3FFF:
+        return None  # MF flag or fragment offset set
+    proto = frame[23]
+    if proto != IPPROTO_TCP and proto != IPPROTO_UDP:
+        return None
+    return FlowKey(
+        ifindex,
+        int.from_bytes(frame[26:30], "big"),
+        int.from_bytes(frame[30:34], "big"),
+        proto,
+        (frame[34] << 8) | frame[35],
+        (frame[36] << 8) | frame[37],
+    )

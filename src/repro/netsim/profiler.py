@@ -51,14 +51,21 @@ class Profiler:
         return dict(self._samples)
 
     def self_weights(self) -> Dict[Tuple[str, ...], int]:
-        """Per-stack *self* time: frame time minus time attributed to children."""
-        weights: Dict[Tuple[str, ...], int] = {}
+        """Per-stack *self* time: frame time minus time attributed to children.
+
+        One pass over the samples builds a parent → summed-child-time index,
+        so this is O(n) in the number of distinct stacks rather than the
+        O(n²) all-pairs prefix scan it replaces.
+        """
+        child_totals: Dict[Tuple[str, ...], int] = {}
         for stack, total in self._samples.items():
-            child_total = sum(
-                t for s, t in self._samples.items() if len(s) == len(stack) + 1 and s[: len(stack)] == stack
-            )
-            weights[stack] = max(0, total - child_total)
-        return weights
+            if len(stack) > 1:
+                parent = stack[:-1]
+                child_totals[parent] = child_totals.get(parent, 0) + total
+        return {
+            stack: max(0, total - child_totals.get(stack, 0))
+            for stack, total in self._samples.items()
+        }
 
     def collapsed(self) -> List[str]:
         """Collapsed-stack lines: ``a;b;c <self_ns>`` sorted by weight desc."""

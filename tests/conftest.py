@@ -1,0 +1,19 @@
+"""Shared test configuration: Hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` for derandomized, reproducible
+property tests; local runs keep Hypothesis's default randomized exploration.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

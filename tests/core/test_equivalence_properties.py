@@ -121,3 +121,123 @@ class TestFastSlowEquivalence:
         slow_topo, slow_out = setup(False)
         fast_topo, fast_out = setup(True)
         assert drive(slow_topo, slow_out, packets) == drive(fast_topo, fast_out, packets)
+
+
+# churn strategies ------------------------------------------------------------
+#
+# Operations interleave packets with live configuration mutations. Config ops
+# apply to BOTH the accelerated and the plain DUT; cache ops apply only to the
+# accelerated one (the plain DUT has nothing to flush). The invariant is the
+# same as above — identical per-packet outcomes and identical forwarded
+# bytes — but now it must hold *across* mutations, which is exactly what the
+# flow cache's generation-tag invalidation is for.
+
+churn_op = st.one_of(
+    st.tuples(st.just("pkt"), packet_strategy),
+    st.tuples(st.just("route_shadow"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("route_unshadow"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("rule_add"), st.integers(min_value=1, max_value=100)),
+    st.tuples(st.just("rule_del"), st.just(0)),
+    st.tuples(st.just("neigh_del"), st.just(0)),
+    st.tuples(st.just("neigh_add"), st.just(0)),
+    st.tuples(st.just("age"), st.sampled_from([1, 301, 4000])),  # seconds
+    st.tuples(st.just("cache_flush"), st.just(0)),
+    st.tuples(st.just("cache_toggle"), st.booleans()),
+)
+
+
+def _apply_config_op(topo, handles, op, arg):
+    """Apply one mutation through the standard kernel APIs; idempotent-safe."""
+    kernel = topo.dut
+    if op == "route_shadow":
+        # a more-specific /24 hijacking prefix `arg` back toward the source
+        try:
+            kernel.route_add(f"10.{100 + arg}.0.0/24", via="10.0.1.2")
+        except Exception:
+            pass  # already shadowed: same state on both DUTs
+    elif op == "route_unshadow":
+        try:
+            kernel.route_del(f"10.{100 + arg}.0.0/24")
+        except Exception:
+            pass
+    elif op == "rule_add":
+        handles.append(kernel.ipt_append("FORWARD", Rule(target="DROP", dport=arg)).handle)
+    elif op == "rule_del":
+        if handles:
+            kernel.ipt_delete("FORWARD", handles.pop())
+    elif op == "neigh_del":
+        kernel.neigh_del("eth1", "10.0.2.2")
+    elif op == "neigh_add":
+        kernel.neigh_add("eth1", "10.0.2.2", topo.sink_eth.mac)
+    elif op == "age":
+        # both topologies share one clock per topology; advance and run the
+        # timers so FDB ageing / conntrack expiry fire
+        topo.clock.advance(arg * 1_000_000_000)
+        kernel.run_housekeeping()
+
+
+def _ip_payloads(frames):
+    """IPv4 payloads only: ARP requests triggered by neigh churn embed the
+    per-topology sender MAC in their payload and must not be compared."""
+    return [f[14:] for f in frames if f[12:14] == b"\x08\x00"]
+
+
+class TestChurnEquivalence:
+    """Fast/slow agreement while the configuration mutates mid-stream."""
+
+    @settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(churn_op, min_size=1, max_size=14))
+    def test_equivalence_under_churn_with_cache(self, ops):
+        slow_topo, slow_out = build_dut([], accelerated=False)
+        fast_topo, fast_out = build_dut([], accelerated=False)
+        from repro.core import Controller as _Controller
+
+        _Controller(fast_topo.dut, hook="xdp", flow_cache=True).start()
+        fast_topo.prewarm_neighbors()
+        slow_handles, fast_handles = [], []
+
+        for op, arg in ops:
+            if op == "pkt":
+                assert drive(slow_topo, slow_out, [arg]) == drive(fast_topo, fast_out, [arg])
+            elif op == "cache_flush":
+                fast_topo.dut.flow_cache.flush()
+            elif op == "cache_toggle":
+                fast_topo.dut.flow_cache.enabled = arg
+            else:
+                _apply_config_op(slow_topo, slow_handles, op, arg)
+                _apply_config_op(fast_topo, fast_handles, op, arg)
+        # not just verdicts: every IPv4 frame that reached the sink,
+        # byte-identical from the IP layer. MACs legitimately differ between
+        # topologies, so skip the Ethernet header and exclude ARP frames
+        # (their *payload* embeds the per-topology sender MAC).
+        assert _ip_payloads(slow_out) == _ip_payloads(fast_out)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(churn_op, min_size=1, max_size=10))
+    def test_cache_on_equals_cache_off(self, ops):
+        """Two accelerated DUTs — cache on vs off — must agree exactly."""
+        from repro.core import Controller as _Controller
+
+        def build(flow_cache):
+            topo = LineTopology()
+            topo.install_prefixes(8)
+            _Controller(topo.dut, hook="xdp", flow_cache=flow_cache).start()
+            topo.prewarm_neighbors()
+            out = []
+            topo.sink_eth.nic.attach(lambda frame, q: out.append(frame))
+            return topo, out
+
+        off_topo, off_out = build(False)
+        on_topo, on_out = build(True)
+        off_handles, on_handles = [], []
+        for op, arg in ops:
+            if op == "pkt":
+                assert drive(off_topo, off_out, [arg]) == drive(on_topo, on_out, [arg])
+            elif op == "cache_flush":
+                on_topo.dut.flow_cache.flush()
+            elif op == "cache_toggle":
+                on_topo.dut.flow_cache.enabled = arg
+            else:
+                _apply_config_op(off_topo, off_handles, op, arg)
+                _apply_config_op(on_topo, on_handles, op, arg)
+        assert _ip_payloads(off_out) == _ip_payloads(on_out)

@@ -10,14 +10,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import Controller
 from repro.ebpf.isa import MEM_SIZES, NUM_REGS, Insn, Op
 from repro.ebpf.program import Program, ProgramError
 from repro.ebpf.verifier import VerifierError, verify
 from repro.ebpf.vm import VM, Env, VMError
 from repro.kernel import Kernel
+from repro.measure.topology import LineTopology
 from repro.netlink.codec import CodecError, unpack_attrs
 from repro.netlink.messages import NetlinkMsg
-from repro.netsim.packet import Packet, PacketError
+from repro.netsim.packet import Packet, PacketError, make_udp
 
 SIMPLE_OPS = [
     Op.MOV_IMM, Op.MOV_REG, Op.ADD_IMM, Op.ADD_REG, Op.SUB_IMM, Op.MUL_REG,
@@ -117,6 +119,136 @@ class TestDecoderFuzz:
         kernel.add_address("eth0", "10.0.0.1/24")
         dev.nic.receive_from_wire(bytes(data))  # must not raise
 
+def _accelerated_dut(flow_cache):
+    """A LineTopology DUT running the synthesized XDP fast path."""
+    topo = LineTopology()
+    topo.install_prefixes(4)
+    Controller(topo.dut, hook="xdp", flow_cache=flow_cache).start()
+    topo.prewarm_neighbors()
+    out = []
+    topo.sink_eth.nic.attach(lambda frame, q: out.append(frame))
+    return topo, out
+
+
+def _good_frame(topo):
+    """A canonical forwardable UDP frame (the flow the cache will hold)."""
+    return make_udp(
+        topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2",
+        topo.flow_destination(0, 4), sport=1234, dport=53, ttl=32,
+    ).to_bytes()
+
+
+def _ipv4_payloads(frames):
+    return [f[14:] for f in frames if f[12:14] == b"\x08\x00"]
+
+
+class TestFlowCacheFuzz:
+    """Hostile frames through the flow-cache path: the cache must fail open
+    (bypass to the full program), never raise, and never serve a verdict
+    recorded for a different packet (cache poisoning)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=6))
+    def test_arbitrary_frames_never_raise_or_poison(self, data):
+        on_topo, on_out = _accelerated_dut(flow_cache=True)
+        off_topo, off_out = _accelerated_dut(flow_cache=False)
+        good_on, good_off = _good_frame(on_topo), _good_frame(off_topo)
+        # seed the cache with a legitimate flow, then batter it with garbage
+        on_topo.dut_in.nic.receive_from_wire(good_on)
+        off_topo.dut_in.nic.receive_from_wire(good_off)
+        for frame in data:
+            on_topo.dut_in.nic.receive_from_wire(bytes(frame))   # must not raise
+            off_topo.dut_in.nic.receive_from_wire(bytes(frame))
+        # the cached entry must still replay the *original* verdict
+        on_topo.dut_in.nic.receive_from_wire(good_on)
+        off_topo.dut_in.nic.receive_from_wire(good_off)
+        assert _ipv4_payloads(on_out) == _ipv4_payloads(off_out)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        mutations=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=59), st.integers(min_value=0, max_value=255)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_mutations_of_cached_flow_frame(self, mutations):
+        """Bit-flipped variants of a cached flow's frame must never be served
+        that flow's cached actions: cache-on and cache-off agree exactly."""
+        on_topo, on_out = _accelerated_dut(flow_cache=True)
+        off_topo, off_out = _accelerated_dut(flow_cache=False)
+        good_on, good_off = _good_frame(on_topo), _good_frame(off_topo)
+        # hot cache: the entry for this exact flow exists and has been hit
+        for _ in range(3):
+            on_topo.dut_in.nic.receive_from_wire(good_on)
+            off_topo.dut_in.nic.receive_from_wire(good_off)
+
+        def mutate(frame):
+            buf = bytearray(frame)
+            for pos, val in mutations:
+                buf[pos % len(buf)] = val
+            return bytes(buf)
+
+        on_topo.dut_in.nic.receive_from_wire(mutate(good_on))    # must not raise
+        off_topo.dut_in.nic.receive_from_wire(mutate(good_off))
+        assert _ipv4_payloads(on_out) == _ipv4_payloads(off_out)
+
+    @settings(max_examples=60, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=59))
+    def test_truncated_frames_bypass_cleanly(self, cut):
+        """Every truncation of a valid frame is handled without raising and
+        agrees with the cache-off DUT."""
+        on_topo, on_out = _accelerated_dut(flow_cache=True)
+        off_topo, off_out = _accelerated_dut(flow_cache=False)
+        good_on, good_off = _good_frame(on_topo), _good_frame(off_topo)
+        on_topo.dut_in.nic.receive_from_wire(good_on)
+        off_topo.dut_in.nic.receive_from_wire(good_off)
+        on_topo.dut_in.nic.receive_from_wire(good_on[:cut])
+        off_topo.dut_in.nic.receive_from_wire(good_off[:cut])
+        assert _ipv4_payloads(on_out) == _ipv4_payloads(off_out)
+
+    def test_unkeyable_garbage_never_enters_cache(self):
+        """Frames that fail flow-key extraction are bypasses: they must not
+        create cache entries, only bump the bypass counter."""
+        topo, _ = _accelerated_dut(flow_cache=True)
+        cache = topo.dut.flow_cache
+        topo.dut_in.nic.receive_from_wire(_good_frame(topo))
+        assert len(cache) == 1
+        hostile = [
+            b"",                                   # empty
+            b"\x00" * 13,                          # shorter than an Ethernet header
+            b"\xff" * 64,                          # broadcast garbage, bad ethertype
+            _good_frame(topo)[:20],                # truncated mid-IP-header
+            b"\x00" * 12 + b"\x08\x00" + b"\x46" + b"\x00" * 50,  # IHL != 5
+        ]
+        before = dict(cache.stats.bypasses)
+        for frame in hostile:
+            topo.dut_in.nic.receive_from_wire(frame)
+        assert len(cache) == 1  # nothing new was recorded
+        assert sum(cache.stats.bypasses.values()) > sum(before.values())
+
+    def test_checksum_corruption_misses_cache(self):
+        """A frame whose IP checksum is wrong must not hit the cached entry
+        for the same 5-tuple — the kernel drops it on both paths."""
+        on_topo, on_out = _accelerated_dut(flow_cache=True)
+        off_topo, off_out = _accelerated_dut(flow_cache=False)
+        good_on, good_off = _good_frame(on_topo), _good_frame(off_topo)
+        on_topo.dut_in.nic.receive_from_wire(good_on)
+        off_topo.dut_in.nic.receive_from_wire(good_off)
+
+        def corrupt(frame):
+            buf = bytearray(frame)
+            buf[24] ^= 0xFF  # IP header checksum byte
+            return bytes(buf)
+
+        hits_before = dict(on_topo.dut.flow_cache.stats.hits)
+        on_topo.dut_in.nic.receive_from_wire(corrupt(good_on))
+        off_topo.dut_in.nic.receive_from_wire(corrupt(good_off))
+        assert dict(on_topo.dut.flow_cache.stats.hits) == hits_before
+        assert _ipv4_payloads(on_out) == _ipv4_payloads(off_out)
+
+
+class TestProgramConstruction:
     def test_empty_program_rejected(self):
         with pytest.raises(ProgramError):
             Program("empty", [], hook="xdp")

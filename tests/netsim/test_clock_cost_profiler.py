@@ -132,3 +132,41 @@ class TestProfiler:
             clock.advance(5)
         prof.reset()
         assert prof.samples == {}
+
+    def test_many_siblings_subtract_from_parent(self):
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("parent"):
+            clock.advance(10)
+            for i in range(50):
+                with prof.frame(f"child{i}"):
+                    clock.advance(2)
+        weights = prof.self_weights()
+        assert weights[("parent",)] == 10
+        assert all(weights[("parent", f"child{i}")] == 2 for i in range(50))
+        assert prof.total_ns() == 110
+
+    def test_deep_stack_self_weights(self):
+        """A single deep chain is the worst case for the old O(n²) all-pairs
+        prefix scan: every stack is a prefix of every deeper one. The one-pass
+        implementation must stay fast AND produce exact self times."""
+        import contextlib
+        import time
+
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        depth = 2000
+        with contextlib.ExitStack() as frames:
+            for i in range(depth):
+                frames.enter_context(prof.frame(f"f{i}"))
+                clock.advance(1)
+        start = time.perf_counter()
+        weights = prof.self_weights()
+        elapsed = time.perf_counter() - start
+        assert len(weights) == depth
+        # frame i runs from t=i until the common teardown at t=depth and has
+        # exactly one child charged depth-i-1 ns, so every self time is 1 ns
+        assert all(w == 1 for w in weights.values())
+        assert prof.total_ns() == depth
+        # the quadratic scan took tens of seconds at this depth; linear is ms
+        assert elapsed < 2.0
