@@ -31,6 +31,7 @@ class ServiceIntrospection:
         self.view = KernelView()
         self._listeners: List[ChangeListener] = []
         self.events_seen = 0
+        self.resyncs = 0
 
     # ---------------------------------------------------------------- start
 
@@ -38,6 +39,22 @@ class ServiceIntrospection:
         """Initial dumps plus multicast subscriptions."""
         self.socket.subscribe(*ALL_GROUPS)
         self.socket.add_listener(self._on_notification)
+        self._dump_all()
+        return self.view
+
+    def resync(self) -> KernelView:
+        """Rebuild the view from scratch with a fresh round of dumps.
+
+        The answer to a netlink overrun: incremental updates were lost, so
+        the view can no longer be trusted — throw it away and re-dump, just
+        as ``ip monitor`` restarts its dump after ENOBUFS.
+        """
+        self.view = KernelView()
+        self._dump_all()
+        self.resyncs += 1
+        return self.view
+
+    def _dump_all(self) -> None:
         for msg in self._dump(m.RTM_GETLINK):
             self._apply_link(msg.attrs, deleted=False)
         for msg in self._dump(m.RTM_GETADDR):
@@ -61,7 +78,6 @@ class ServiceIntrospection:
         for msg in self._dump(m.SYSCTL_GET):
             if msg.attrs.get("name") == "net.ipv4.ip_forward":
                 self.view.ip_forward = msg.attrs.get("value") not in ("0", "")
-        return self.view
 
     def _dump(self, msg_type: int) -> List[NetlinkMsg]:
         return self.socket.request(NetlinkMsg(msg_type, flags=NLM_F_REQUEST | NLM_F_DUMP))
@@ -180,7 +196,15 @@ class ServiceIntrospection:
             uses_set="match_set" in attrs,
             unsupported=attrs.get("target") not in ("ACCEPT", "DROP"),
         )
-        self.view.filter.rules[chain].append(rule)
+        # Keyed replace, not append: netlink delivery can duplicate a
+        # message, and NEW handlers must be idempotent on the object key
+        # (here the rule handle) or a dup would double the rule.
+        rules = self.view.filter.rules[chain]
+        for i, existing in enumerate(rules):
+            if existing.handle == rule.handle:
+                rules[i] = rule
+                return
+        rules.append(rule)
 
     def _apply_policy(self, attrs: dict) -> None:
         chain = attrs.get("chain")

@@ -14,6 +14,7 @@ from typing import Dict, Union
 from repro.ebpf.hooks import TcAttachment, XdpAttachment
 from repro.ebpf.program import HOOK_XDP, Program
 from repro.ebpf.verifier import verify
+from repro.testing import faults
 
 # Replacing a native-mode XDP program reconfigures the driver rings; the
 # paper (§IV-A2) observes seconds of loss. We model a ring's worth of
@@ -41,6 +42,7 @@ class Loader:
 
     def load(self, program: Program) -> Union[XdpAttachment, TcAttachment]:
         """Verify and wrap a program; returns the attachable handle."""
+        faults.fire("load", program.name)
         verify(program)
         attachment = XdpAttachment(program) if program.hook == HOOK_XDP else TcAttachment(program)
         self.loaded[program.name] = attachment

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.netsim.addresses import IPv4Addr
+from repro.testing import faults
 
 
 class MapError(ValueError):
@@ -61,6 +62,7 @@ class HashMap(BpfMap):
         return self._data.get(key)
 
     def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
         self._check_key(key)
         self._check_value(value)
         if key not in self._data and len(self._data) >= self.max_entries:
@@ -96,6 +98,7 @@ class ArrayMap(BpfMap):
         return self._slots[self._index(key)]
 
     def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
         self._check_value(value)
         self._slots[self._index(key)] = value
 
@@ -131,6 +134,7 @@ class LpmTrieMap(BpfMap):
         return 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
 
     def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
         self._check_value(value)
         length, addr = self._parse_key(key)
         bucket = self._by_len.setdefault(length, {})
@@ -171,6 +175,9 @@ class ProgArray(BpfMap):
         self._progs: Dict[int, object] = {}
 
     def set_prog(self, index: int, prog: object) -> None:
+        # Clearing a slot (``clear``) never fails, matching real prog-array
+        # delete semantics; only installs are a fault site.
+        faults.fire("prog_array", self.name)
         if not 0 <= index < self.max_entries:
             raise MapError(f"{self.name}: index {index} out of range")
         self._progs[index] = prog

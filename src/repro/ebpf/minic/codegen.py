@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.ebpf import helpers as helpers_mod
 from repro.ebpf.isa import Insn, Op
+from repro.testing import faults
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.minic import ast_nodes as ast
 from repro.ebpf.minic.parser import parse
@@ -541,6 +542,7 @@ def compile_c(
     maps: Optional[Dict[str, BpfMap]] = None,
 ) -> Program:
     """Compile minic ``source`` into a loadable :class:`Program`."""
+    faults.fire("compile", name)
     unit = parse(source)
     generator = Codegen(unit, maps or {})
     generator.gen_main()

@@ -37,6 +37,7 @@ from repro.ebpf.isa import (
 )
 from repro.ebpf.program import Program
 from repro.ebpf.vm import STACK_SIZE
+from repro.testing import faults
 
 MAX_INSNS = 4096
 
@@ -47,6 +48,7 @@ class VerifierError(Exception):
 
 def verify(program: Program, entry_regs: Tuple[int, ...] = (1, 2, 3)) -> None:
     """Statically check ``program``; raises :class:`VerifierError`."""
+    faults.fire("verify", program.name)
     insns = program.insns
     if len(insns) > MAX_INSNS:
         raise VerifierError(f"{program.name}: too many instructions ({len(insns)} > {MAX_INSNS})")

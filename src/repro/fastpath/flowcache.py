@@ -29,7 +29,13 @@ Correctness rests on three mechanisms:
    that flow takes the full run forever.
 
 Partitions are keyed by (hook, ifindex) so the deployer's atomic prog-array
-swap can flush exactly the traffic whose program changed.
+swap can flush exactly the traffic whose program changed. Each partition
+additionally carries an **epoch**: flushing a partition bumps it, entries
+are stamped with the epoch they were recorded under, and a lookup rejects
+any entry from an older epoch. The flush already deletes matching entries,
+so the epoch is the belt-and-suspenders guarantee the watchdog's quarantine
+relies on — no verdict recorded under a withdrawn program can ever be
+served, even if an entry were re-inserted by an in-flight recording run.
 """
 
 from __future__ import annotations
@@ -130,6 +136,7 @@ class FlowEntry:
     __slots__ = (
         "key", "verdict", "redirect_ifindex", "actions", "deps", "expires_ns",
         "eth_match", "rules", "ct_entries", "fpms", "full_ns", "insns", "hits",
+        "epoch",
     )
 
     def __init__(
@@ -146,6 +153,7 @@ class FlowEntry:
         fpms: Tuple[str, ...],
         full_ns: float,
         insns: int,
+        epoch: int = 0,
     ) -> None:
         self.key = key
         self.verdict = verdict
@@ -159,6 +167,7 @@ class FlowEntry:
         self.fpms = fpms
         self.full_ns = full_ns
         self.insns = insns
+        self.epoch = epoch
         self.hits = 0
 
     @property
@@ -217,6 +226,9 @@ class FlowCache:
         self.stats = FlowCacheStats()
         # (hook, ifindex, FlowKey) -> FlowEntry, LRU order (oldest first)
         self._entries: "OrderedDict[Tuple[str, int, FlowKey], FlowEntry]" = OrderedDict()
+        # (hook, ifindex) -> partition epoch; bumped by every flush touching
+        # the partition. Entries from older epochs never serve.
+        self._epochs: Counter = Counter()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -292,9 +304,26 @@ class FlowCache:
         ]
         for k in doomed:
             del self._entries[k]
+        self._bump_epochs(hook, ifindex, doomed)
         self.stats.flushes += 1
         self.stats.flushed_entries += len(doomed)
         return len(doomed)
+
+    def _bump_epochs(self, hook: Optional[str], ifindex: Optional[int], doomed) -> None:
+        partitions = {(k[0], k[1]) for k in doomed}
+        if hook is not None and ifindex is not None:
+            partitions.add((hook, ifindex))  # bump even when currently empty
+        else:
+            partitions.update(
+                p for p in self._epochs
+                if (hook is None or p[0] == hook) and (ifindex is None or p[1] == ifindex)
+            )
+        for p in partitions:
+            self._epochs[p] += 1
+
+    def epoch(self, hook: str, ifindex: int) -> int:
+        """The current epoch of a (hook, ifindex) partition."""
+        return self._epochs[(hook, ifindex)]
 
     def entries(self) -> List[FlowEntry]:
         return list(self._entries.values())
@@ -323,6 +352,10 @@ class FlowCache:
         full_key = (hook, ifindex, key)
         entry = self._entries.get(full_key)
         if entry is None:
+            return None
+        if entry.epoch != self._epochs[(hook, ifindex)]:
+            del self._entries[full_key]
+            self.stats.invalidations["epoch"] += 1
             return None
         reason = self._staleness(entry)
         if reason is not None:
@@ -415,6 +448,7 @@ class FlowCache:
             fpms=fpms,
             full_ns=full_ns,
             insns=env.insns_executed,
+            epoch=self._epochs[(hook, ifindex)],
         )
         full_key = (hook, ifindex, key)
         if full_key not in self._entries and len(self._entries) >= self.capacity:

@@ -261,7 +261,9 @@ class Bridge:
         port = self.ports.get(port_ifindex)
         if port is None or not port.forwarding or not self.egress_allowed(port, vlan):
             return
-        port.device.transmit(self._egress_frame(skb, vlan, port))
+        frame = self._egress_frame(skb, vlan, port)
+        self.kernel.stack.emit_tx(port.device, frame)
+        port.device.transmit(frame)
 
     def flood(self, skb: SKBuff, vlan: int, exclude_ifindex: Optional[int] = None) -> None:
         self.flood_count += 1
@@ -270,7 +272,9 @@ class Bridge:
                 continue
             if not self.egress_allowed(port, vlan):
                 continue
-            port.device.transmit(self._egress_frame(skb, vlan, port))
+            frame = self._egress_frame(skb, vlan, port)
+            self.kernel.stack.emit_tx(port.device, frame)
+            port.device.transmit(frame)
 
     def transmit_from_upper(self, frame: bytes) -> None:
         """IP output on the bridge interface: FDB-forward or flood."""

@@ -94,6 +94,8 @@ class Kernel:
         from repro.fastpath import FlowCache  # local import: cycle guard
 
         self.flow_cache = FlowCache(self)
+        # The controller's differential watchdog, installed by Controller.start().
+        self.watchdog = None
 
         self.sysctl.add_listener(
             lambda name, value: self.bus.notify(

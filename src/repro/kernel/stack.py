@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 from collections import Counter
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.kernel.fib import Route
 from repro.kernel.hooks_api import (
@@ -62,9 +62,18 @@ class Stack:
         self.delivered_local = 0
         self.xdp_actions: Counter = Counter()
         self.tc_actions: Counter = Counter()
+        # Transmit observation taps: called as tap(ifindex, frame) for every
+        # slow-path transmit. The differential watchdog installs one to
+        # capture the plain kernel's output for a sampled packet.
+        self.tx_taps: List[Callable[[int, bytes], None]] = []
         from repro.kernel.fragments import Reassembler
 
         self.reassembler = Reassembler(kernel.clock)
+
+    def emit_tx(self, dev: NetDevice, frame: bytes) -> None:
+        """Report a slow-path transmit to the installed taps."""
+        for tap in self.tx_taps:
+            tap(dev.ifindex, frame)
 
     # ------------------------------------------------------------------ RX
 
@@ -76,6 +85,12 @@ class Stack:
 
         # --- XDP hook (driver level, raw frame, no sk_buff yet) ---
         if dev.xdp_prog is not None:
+            watchdog = kernel.watchdog
+            if watchdog is not None and watchdog.hook == "xdp" and watchdog.should_sample(dev):
+                # Differential sampling: the fast path only *predicts*; the
+                # plain kernel pipeline handles the packet authoritatively.
+                watchdog.sample(self, dev, frame, queue)
+                return
             cache = kernel.flow_cache
             if cache is not None and cache.enabled:
                 result = cache.run_xdp(dev, frame)
@@ -102,6 +117,16 @@ class Stack:
                 self.drops["xdp_aborted"] += 1
                 return
 
+        self.receive_after_xdp(dev, frame, queue)
+
+    def receive_after_xdp(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
+        """The pipeline from sk_buff allocation onward (no XDP fast path).
+
+        Split out so the watchdog can run a sampled frame through the plain
+        kernel while predicting separately with the fast path.
+        """
+        kernel = self.kernel
+
         # --- sk_buff allocation + parse ---
         kernel.costs_charge("skb_alloc")
         try:
@@ -113,6 +138,10 @@ class Stack:
 
         # --- TC ingress hook ---
         if dev.tc_ingress_prog is not None:
+            watchdog = kernel.watchdog
+            if watchdog is not None and watchdog.hook == "tc" and watchdog.should_sample(dev):
+                watchdog.sample_tc(self, dev, skb, frame, queue)
+                return
             cache = kernel.flow_cache
             if cache is not None and cache.enabled:
                 result = cache.run_tc(dev, skb)
@@ -125,6 +154,7 @@ class Stack:
             if result.verdict == TC_ACT_REDIRECT:
                 kernel.costs_charge("tc_redirect")
                 target = kernel.devices.by_index(result.redirect_ifindex)
+                self.emit_tx(target, result.frame)
                 target.transmit(result.frame)
                 return
             if result.frame != frame:
@@ -176,7 +206,9 @@ class Stack:
                 # Learn the requester and answer.
                 kernel.neighbors.update(dev.ifindex, arp.sender_ip, arp.sender_mac)
                 reply = make_arp_reply(dev.mac, arp.target_ip, arp.sender_mac, arp.sender_ip)
-                dev.transmit(reply.to_bytes())
+                raw = reply.to_bytes()
+                self.emit_tx(dev, raw)
+                dev.transmit(raw)
             return
         if arp.opcode == ARP_REPLY:
             drained = kernel.neighbors.update(dev.ifindex, arp.sender_ip, arp.sender_mac)
@@ -187,7 +219,9 @@ class Stack:
     def arp_solicit(self, out_dev: NetDevice, target_ip: IPv4Addr) -> None:
         source_ip = out_dev.addresses[0].address if out_dev.addresses else IPv4Addr(0)
         request = make_arp_request(out_dev.mac, source_ip, target_ip)
-        out_dev.transmit(request.to_bytes())
+        raw = request.to_bytes()
+        self.emit_tx(out_dev, raw)
+        out_dev.transmit(raw)
 
     # ------------------------------------------------------------------ IP
 
@@ -326,6 +360,7 @@ class Stack:
                     self.drops["tc_egress_shot"] += 1
                     return
                 frame = result.frame
+            self.emit_tx(out_dev, frame)
             out_dev.transmit(frame)
 
     # --------------------------------------------------------- local paths

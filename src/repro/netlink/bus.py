@@ -13,6 +13,11 @@ Faithfulness notes:
   ``NLMSG_DONE``.
 - Notifications carry the same message types as the corresponding requests
   (``RTM_NEWROUTE`` both configures a route and announces one), as in Linux.
+- Sockets have a **bounded** notification queue. Netlink is lossy but never
+  *silently* lossy: when the kernel cannot deliver (buffer full, or a
+  delivery fault is injected), the socket's overrun flag is raised — the
+  ``ENOBUFS`` a real recv would see — and the subscriber is expected to
+  resynchronise with a full dump.
 """
 
 from __future__ import annotations
@@ -29,6 +34,11 @@ from repro.netlink.messages import (
     done_msg,
     error_msg,
 )
+from repro.testing import faults
+
+#: Default per-socket notification queue depth (a stand-in for the default
+#: ``SO_RCVBUF`` of a real netlink socket).
+DEFAULT_MAX_PENDING = 4096
 
 # A kernel handler takes the request message and returns reply messages
 # (excluding the trailing DONE for dumps, which the bus appends).
@@ -48,8 +58,8 @@ class NetlinkBus:
             raise ValueError(f"handler already registered for type {msg_type}")
         self._handlers[msg_type] = handler
 
-    def open_socket(self) -> "NetlinkSocket":
-        sock = NetlinkSocket(self, pid=self._next_pid)
+    def open_socket(self, max_pending: int = DEFAULT_MAX_PENDING) -> "NetlinkSocket":
+        sock = NetlinkSocket(self, pid=self._next_pid, max_pending=max_pending)
         self._next_pid += 1
         self._sockets.append(sock)
         return sock
@@ -89,13 +99,21 @@ class NetlinkBus:
 class NetlinkSocket:
     """Userspace endpoint: synchronous requests plus a notification queue."""
 
-    def __init__(self, bus: NetlinkBus, pid: int) -> None:
+    def __init__(self, bus: NetlinkBus, pid: int, max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
         self._bus = bus
         self.pid = pid
+        self.max_pending = max_pending
         self.groups: set = set()
         self._queue: Deque[bytes] = deque()
         self._seq = 0
         self.listeners: List[Callable[[NetlinkMsg], None]] = []
+        #: Set when a notification could not be delivered (queue overflow or
+        #: injected delivery fault) — the ENOBUFS condition. Sticky until the
+        #: subscriber acknowledges it via :meth:`clear_overrun`.
+        self.overrun = False
+        self.overruns = 0
 
     def subscribe(self, *groups: str) -> None:
         for group in groups:
@@ -146,10 +164,31 @@ class NetlinkSocket:
     def close(self) -> None:
         self._bus.close_socket(self)
 
+    def clear_overrun(self) -> None:
+        """Acknowledge the overrun (the subscriber is about to resync)."""
+        self.overrun = False
+
+    def _note_overrun(self) -> None:
+        self.overrun = True
+        self.overruns += 1
+
     def _deliver(self, raw: bytes) -> None:
-        if self.listeners:
-            msg = NetlinkMsg.from_bytes(raw)
-            for listener in self.listeners:
-                listener(msg)
-        else:
-            self._queue.append(raw)
+        copies = 1
+        if faults.active():
+            action = faults.decide("netlink_deliver", f"pid{self.pid}")
+            if action == "drop":
+                # The message is lost, but never silently: the overrun flag
+                # is the ENOBUFS the subscriber's next recv would report.
+                self._note_overrun()
+                return
+            if action == "dup":
+                copies = 2
+        for _ in range(copies):
+            if self.listeners:
+                msg = NetlinkMsg.from_bytes(raw)
+                for listener in self.listeners:
+                    listener(msg)
+            elif len(self._queue) >= self.max_pending:
+                self._note_overrun()
+            else:
+                self._queue.append(raw)

@@ -1,0 +1,8 @@
+"""Test-support machinery shipped with the package.
+
+:mod:`repro.testing.faults` is the seeded fault-injection framework the
+robustness and chaos suites drive. It lives under ``src`` (not ``tests``)
+because the injection *sites* are compiled into the production modules —
+exactly like the kernel's own fail-points — and because operators can use
+it for game-day drills against a running simulation.
+"""

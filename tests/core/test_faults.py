@@ -1,0 +1,115 @@
+"""Unit tests for the seeded fault-injection framework and its wired sites."""
+
+import pytest
+
+from repro.ebpf.loader import Loader
+from repro.ebpf.maps import ArrayMap, HashMap, LpmTrieMap, ProgArray
+from repro.ebpf.minic import compile_c
+from repro.ebpf.verifier import verify
+from repro.kernel.kernel import Kernel
+from repro.testing import faults
+from repro.testing.faults import FaultInjector, InjectedFault
+
+SOURCE = "u32 main() { return 2; }"
+
+
+def compile_ok(name="prog"):
+    return compile_c(SOURCE, name=name, hook="xdp")
+
+
+class TestInjectorMechanics:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("warp-core")
+
+    def test_count_limits_fires(self):
+        inj = FaultInjector()
+        inj.arm("verify", count=2)
+        assert [inj.decide("verify") for _ in range(4)] == ["raise", "raise", None, None]
+        assert len(inj.fired_at("verify")) == 2
+
+    def test_match_filters_by_detail(self):
+        inj = FaultInjector()
+        inj.arm("load", match="eth0")
+        assert inj.decide("load", "fpm_eth1") is None
+        assert inj.decide("load", "fpm_eth0") == "raise"
+
+    def test_seed_determinism(self):
+        def run(seed):
+            inj = FaultInjector(seed)
+            inj.arm("compile", probability=0.5)
+            return [inj.decide("compile") for _ in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_uninstalled_sites_are_free(self):
+        assert not faults.active()
+        faults.fire("verify", "anything")  # no injector: never raises
+
+    def test_context_manager_installs_and_removes(self):
+        with faults.injected(seed=1) as inj:
+            assert faults.current() is inj
+            inj.arm("verify")
+            with pytest.raises(InjectedFault) as excinfo:
+                faults.fire("verify", "demo")
+            assert excinfo.value.site == "verify"
+            assert excinfo.value.detail == "demo"
+        assert not faults.active()
+
+    def test_raise_sites_reject_netlink_actions(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("verify", action="drop")
+        with pytest.raises(ValueError):
+            FaultInjector().arm("netlink_deliver", action="raise")
+
+    def test_disarm(self):
+        inj = FaultInjector()
+        inj.arm("verify")
+        inj.arm("load")
+        inj.disarm("verify")
+        assert inj.decide("verify") is None
+        assert inj.decide("load") == "raise"
+        inj.disarm()
+        assert inj.decide("load") is None
+
+
+class TestWiredSites:
+    def test_compile_site(self):
+        with faults.injected() as inj:
+            inj.arm("compile")
+            with pytest.raises(InjectedFault):
+                compile_ok()
+
+    def test_verify_site(self):
+        program = compile_ok()
+        with faults.injected() as inj:
+            inj.arm("verify")
+            with pytest.raises(InjectedFault):
+                verify(program)
+
+    def test_load_site(self):
+        program = compile_ok()
+        loader = Loader(Kernel("k"))
+        with faults.injected() as inj:
+            inj.arm("load")
+            with pytest.raises(InjectedFault):
+                loader.load(program)
+
+    def test_prog_array_set_fails_but_clear_never_does(self):
+        arr = ProgArray("jmp")
+        with faults.injected() as inj:
+            inj.arm("prog_array")
+            with pytest.raises(InjectedFault):
+                arr.set_prog(0, object())
+            arr.clear(0)  # delete semantics: always succeeds
+
+    def test_map_update_site(self):
+        with faults.injected() as inj:
+            inj.arm("map_update")
+            with pytest.raises(InjectedFault):
+                HashMap("h", 4, 4).update(b"\x00" * 4, b"\x00" * 4)
+            with pytest.raises(InjectedFault):
+                ArrayMap("a", 4, 8).update(b"\x00" * 4, b"\x00" * 4)
+            with pytest.raises(InjectedFault):
+                LpmTrieMap("t", 4).update(b"\x00" * 8, b"\x00" * 4)

@@ -1,0 +1,120 @@
+"""Bounded per-socket notification queues and ENOBUFS overrun semantics."""
+
+import pytest
+
+from repro.netlink.bus import DEFAULT_MAX_PENDING, NetlinkBus
+from repro.netlink.messages import RTM_NEWLINK, NetlinkMsg
+from repro.testing import faults
+
+
+def notify(bus, n=1):
+    for i in range(n):
+        bus.notify("link", NetlinkMsg(RTM_NEWLINK, {"ifindex": i + 1}))
+
+
+class TestBoundedQueue:
+    def test_default_depth(self):
+        bus = NetlinkBus()
+        assert bus.open_socket().max_pending == DEFAULT_MAX_PENDING
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            NetlinkBus().open_socket(max_pending=0)
+
+    def test_fill_to_boundary_no_overrun(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=3)
+        sock.subscribe("link")
+        notify(bus, 3)
+        assert sock.pending() == 3
+        assert not sock.overrun
+        assert sock.overruns == 0
+
+    def test_overflow_sets_overrun_and_drops(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=3)
+        sock.subscribe("link")
+        notify(bus, 5)
+        # the queue holds exactly max_pending; the excess was dropped but
+        # never silently — the overrun flag is the ENOBUFS the reader sees
+        assert sock.pending() == 3
+        assert sock.overrun
+        assert sock.overruns == 2
+
+    def test_overrun_is_sticky_until_cleared(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=1)
+        sock.subscribe("link")
+        notify(bus, 2)
+        assert sock.overrun
+        sock.drain()  # reading does not acknowledge the loss
+        assert sock.overrun
+        sock.clear_overrun()
+        assert not sock.overrun
+        assert sock.overruns == 1  # the counter is history, not state
+
+    def test_drain_frees_capacity(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=2)
+        sock.subscribe("link")
+        notify(bus, 2)
+        assert [m.attrs["ifindex"] for m in sock.drain()] == [1, 2]
+        assert sock.pending() == 0
+        notify(bus, 2)
+        assert sock.pending() == 2
+        assert not sock.overrun
+
+    def test_recv_at_boundary(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=1)
+        sock.subscribe("link")
+        notify(bus, 1)
+        assert sock.recv().attrs["ifindex"] == 1
+        assert sock.recv() is None
+
+    def test_listener_mode_bypasses_queue(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket(max_pending=1)
+        sock.subscribe("link")
+        seen = []
+        sock.add_listener(seen.append)
+        notify(bus, 5)
+        assert len(seen) == 5
+        assert sock.pending() == 0
+        assert not sock.overrun
+
+
+class TestDeliveryFaults:
+    def test_drop_action_raises_overrun(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket()
+        sock.subscribe("link")
+        seen = []
+        sock.add_listener(seen.append)
+        with faults.injected() as inj:
+            inj.arm("netlink_deliver", action="drop", count=1)
+            notify(bus, 2)
+        assert len(seen) == 1  # first message lost...
+        assert sock.overrun  # ...but not silently
+
+    def test_dup_action_delivers_twice(self):
+        bus = NetlinkBus()
+        sock = bus.open_socket()
+        sock.subscribe("link")
+        with faults.injected() as inj:
+            inj.arm("netlink_deliver", action="dup", count=1)
+            notify(bus, 1)
+        assert sock.pending() == 2
+        assert not sock.overrun
+
+    def test_drop_targets_one_socket(self):
+        bus = NetlinkBus()
+        victim = bus.open_socket()
+        bystander = bus.open_socket()
+        for sock in (victim, bystander):
+            sock.subscribe("link")
+        with faults.injected() as inj:
+            inj.arm("netlink_deliver", match=f"pid{victim.pid}")
+            notify(bus, 1)
+        assert victim.pending() == 0 and victim.overrun
+        assert bystander.pending() == 1 and not bystander.overrun
