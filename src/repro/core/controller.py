@@ -288,8 +288,11 @@ class Controller:
             try:
                 path = self.synthesizer.synthesize_interface(iface_graph, self.hook)
             except Exception as exc:  # noqa: BLE001 — degrade this interface only
-                self.deployer.note_failure(ifname, "synthesize", exc)
-                self._incident("synthesize-error", f"{type(exc).__name__}: {exc}", ifname)
+                failure = self.deployer.note_failure(ifname, "synthesize", exc)
+                detail = f"{type(exc).__name__}: {exc}"
+                if failure.detail and failure.detail.get("code"):
+                    detail = f"{detail} [{failure.detail['code']}]"
+                self._incident("synthesize-error", detail, ifname)
                 if entry is not None and entry.current is not None and old_json != new_json:
                     # Config changed but no current program exists: the
                     # last-good FPM now computes stale answers — withdraw.
@@ -302,6 +305,8 @@ class Controller:
             else:
                 failure = self.deployer.failures.get(ifname)
                 detail = f"{failure.stage}: {failure.error}" if failure else "unknown"
+                if failure and failure.detail and failure.detail.get("code"):
+                    detail = f"{detail} [{failure.detail['code']}]"
                 self._incident("deploy-error", detail, ifname)
         # withdraw interfaces that no longer need a fast path
         for ifname in list(self.deployer.deployed):

@@ -34,7 +34,7 @@ from repro.core.synthesizer import SynthesizedPath
 from repro.ebpf.loader import Loader
 from repro.ebpf.maps import ProgArray
 from repro.ebpf.minic import compile_c
-from repro.ebpf.verifier import verify
+from repro.ebpf.verifier import VerifierError, verify
 
 
 @dataclass
@@ -55,6 +55,9 @@ class DeployFailure:
     stage: str  # verify | dispatcher | load | swap | synthesize
     error: str
     at_ns: int
+    #: structured verifier diagnostics (program/pc/code/insn), when the
+    #: failure came from the static verifier
+    detail: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -137,7 +140,10 @@ class Deployer:
 
     def note_failure(self, ifname: str, stage: str, error: Exception) -> DeployFailure:
         """Record a deploy-pipeline failure (also used for synthesis errors)."""
-        failure = DeployFailure(ifname=ifname, stage=stage, error=str(error), at_ns=self._now_ns())
+        detail = error.to_dict() if isinstance(error, VerifierError) else None
+        failure = DeployFailure(
+            ifname=ifname, stage=stage, error=str(error), at_ns=self._now_ns(), detail=detail
+        )
         self.failures[ifname] = failure
         return failure
 

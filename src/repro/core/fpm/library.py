@@ -62,6 +62,7 @@ static u64 fpm_ipvs(u8* pkt, u64 len, u64 l3) {
     // LinuxFP ipvs FPM (prototype): fast-path DNAT for flows already
     // scheduled and pinned in conntrack; first packets go to the slow path
     // where the scheduler runs (Table I).
+    if (len < l3 + 24) { return {{ CONTINUE }}; }    // need L4 ports in view
     u64 proto = ld8(pkt, l3 + 9);
     if (proto != 6) { if (proto != 17) { return {{ CONTINUE }}; } }
     u64 dst = ld32(pkt, l3 + 16);
@@ -98,12 +99,17 @@ BRIDGE_SNIPPET = """
     if (dmac == {{ bridge_mac_u48 }}) {
         goto_l3 = 1;                                 // to the bridge itself: L3 path
     }
-{% endif %}
     if (goto_l3 == 0) {
         u64 out_port = fdb_lookup({{ bridge_ifindex }}, ifindex, vid, dmac, 0);
         if (out_port == 0) { return {{ PASS }}; }    // FDB miss et al.: slow path
         return redirect(out_port, 0);
     }
+{% else %}
+    // no bridge MAC to divert to L3: every learned frame is forwarded here
+    u64 out_port = fdb_lookup({{ bridge_ifindex }}, ifindex, vid, dmac, 0);
+    if (out_port == 0) { return {{ PASS }}; }        // FDB miss et al.: slow path
+    return redirect(out_port, 0);
+{% endif %}
 """
 
 MAIN_TEMPLATE = """

@@ -10,12 +10,13 @@ always correct).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.capability import CapabilityManager
 from repro.core.fpm.library import render_fast_path
 from repro.core.graph import InterfaceGraph, ProcessingGraph
+from repro.ebpf.analysis.lint import lint_program
 from repro.ebpf.minic import compile_c
 from repro.ebpf.program import Program
 from repro.ebpf.verifier import verify
@@ -27,6 +28,10 @@ class SynthesizedPath:
     program: Program
     source: str
     pruned_nfs: List[str]
+    #: lint diagnostics for the verified program (dead code, redundant
+    #: checks, unused maps). Library templates synthesize clean; a finding
+    #: here means a woven-in custom FPM carries code it does not need.
+    lint_findings: List[str] = field(default_factory=list)
 
 
 class Synthesizer:
@@ -61,7 +66,11 @@ class Synthesizer:
         )
         verify(program)
         return SynthesizedPath(
-            ifname=iface_graph.ifname, program=program, source=source, pruned_nfs=pruned
+            ifname=iface_graph.ifname,
+            program=program,
+            source=source,
+            pruned_nfs=pruned,
+            lint_findings=[str(f) for f in lint_program(program)],
         )
 
     def synthesize(self, graph: ProcessingGraph, hook: str) -> Dict[str, SynthesizedPath]:

@@ -1,0 +1,18 @@
+"""Static analysis for the eBPF-like ISA.
+
+The package splits the range-tracking verifier into:
+
+- :mod:`repro.ebpf.analysis.errors` — structured :class:`VerifierError`;
+- :mod:`repro.ebpf.analysis.domain` — abstract values (register types and
+  u64 ranges) plus the branch-refinement and ALU transfer rules;
+- :mod:`repro.ebpf.analysis.interp` — the path-sensitive abstract
+  interpreter that proves memory safety and helper-signature conformance;
+- :mod:`repro.ebpf.analysis.lint` — an FPM lint pass (dead code, redundant
+  bounds checks, unused map slots) built on the interpreter's coverage facts.
+"""
+
+from repro.ebpf.analysis.domain import AbstractVal, Range
+from repro.ebpf.analysis.errors import VerifierError
+from repro.ebpf.analysis.interp import Analysis, interpret
+
+__all__ = ["AbstractVal", "Analysis", "Range", "VerifierError", "interpret"]

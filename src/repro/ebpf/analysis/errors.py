@@ -1,0 +1,47 @@
+"""Structured verifier diagnostics.
+
+A :class:`VerifierError` is still an ordinary exception (``str(exc)`` is the
+human-readable message the tests match on), but it also carries machine-
+readable fields so the control plane can log *typed* incidents instead of
+opaque strings: which program, at which pc, with which diagnostic code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class VerifierError(Exception):
+    """Program rejected by the static verifier.
+
+    ``code`` is a stable kebab-case diagnostic identifier (for example
+    ``packet-out-of-bounds`` or ``helper-signature``); ``program``/``pc``/
+    ``insn`` locate the offending instruction when the rejection is tied to
+    one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        program: Optional[str] = None,
+        pc: Optional[int] = None,
+        code: Optional[str] = None,
+        insn: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.program = program
+        self.pc = pc
+        self.code = code
+        self.insn = insn
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serializable form for incident logs and deploy-failure records."""
+        return {
+            "message": self.message,
+            "program": self.program,
+            "pc": self.pc,
+            "code": self.code,
+            "insn": self.insn,
+        }

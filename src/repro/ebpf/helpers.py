@@ -16,9 +16,10 @@ composition rule the paper's Table I encodes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.ebpf.maps import BpfMap, DevMap
+from repro.ebpf.maps import BpfMap, DevMap, MapError
 from repro.ebpf.memory import MemoryError_, Pointer
 from repro.netsim.addresses import IPv4Addr, MacAddr
 from repro.netsim.packet import Packet, PacketError
@@ -79,7 +80,10 @@ def bpf_map_lookup_elem(env: "Env", args: List[object]) -> int:
     env.mark_uncacheable()  # map state can change per packet
     bpf_map = _as_map(args[0], "map_lookup")
     key = _as_ptr(args[1], "map_lookup key").region.read_bytes(args[1].offset, bpf_map.key_size)
-    return 1 if bpf_map.lookup(key) is not None else 0
+    try:
+        return 1 if bpf_map.lookup(key) is not None else 0
+    except (MapError, NotImplementedError):
+        return 0  # bad key shape / non-readable map type: report a miss
 
 
 def bpf_map_read(env: "Env", args: List[object]) -> int:
@@ -90,7 +94,10 @@ def bpf_map_read(env: "Env", args: List[object]) -> int:
     key_ptr = _as_ptr(args[1], "map_read key")
     out_ptr = _as_ptr(args[2], "map_read out")
     key = key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size)
-    value = bpf_map.lookup(key)
+    try:
+        value = bpf_map.lookup(key)
+    except (MapError, NotImplementedError):
+        value = None  # bad key shape / non-readable map type: a miss
     if value is None:
         return 0
     out_ptr.region.write_bytes(out_ptr.offset, value)
@@ -98,7 +105,13 @@ def bpf_map_read(env: "Env", args: List[object]) -> int:
 
 
 def bpf_map_update_elem(env: "Env", args: List[object]) -> int:
-    """(map, key_ptr, value_ptr) → 0."""
+    """(map, key_ptr, value_ptr) → 0 on success, 1 on a rejected update.
+
+    A full map, a malformed key (bad LPM prefix length, out-of-range array
+    index) or a control-plane-only map type is an *error code*, not a
+    program abort — the verifier cannot see map contents, so the runtime
+    must keep these failure modes total for verified programs.
+    """
     env.kernel.costs_charge("ebpf_map_update")
     env.mark_uncacheable()  # mutates map state
     bpf_map = _as_map(args[0], "map_update")
@@ -106,17 +119,23 @@ def bpf_map_update_elem(env: "Env", args: List[object]) -> int:
     value_ptr = _as_ptr(args[2], "map_update value")
     key = key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size)
     value = value_ptr.region.read_bytes(value_ptr.offset, bpf_map.value_size)
-    bpf_map.update(key, value)
+    try:
+        bpf_map.update(key, value)
+    except (MapError, NotImplementedError):
+        return 1
     return 0
 
 
 def bpf_map_delete_elem(env: "Env", args: List[object]) -> int:
-    """(map, key_ptr) → 0."""
+    """(map, key_ptr) → 0 on success, 1 on a rejected delete."""
     env.kernel.costs_charge("ebpf_map_update")
     env.mark_uncacheable()  # mutates map state
     bpf_map = _as_map(args[0], "map_delete")
     key_ptr = _as_ptr(args[1], "map_delete key")
-    bpf_map.delete(key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size))
+    try:
+        bpf_map.delete(key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size))
+    except (MapError, NotImplementedError):
+        return 1
     return 0
 
 
@@ -354,6 +373,72 @@ def bpf_trace_printk(env: "Env", args: List[object]) -> int:
     return 0
 
 
+# ------------------------------------------------------------ signatures
+
+U64_MAX = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One declared helper argument, as the static verifier checks it.
+
+    ``kind`` is ``scalar`` / ``map`` / ``ptr`` / ``any`` (``any`` accepts
+    anything, including uninitialized — only ``trace_printk`` uses it).
+    For ``map`` arguments, ``map_types`` restricts the accepted
+    ``map_type`` strings and ``byte_addressable`` additionally requires the
+    map's keys/values to be readable as raw bytes (prog arrays and
+    classifier handles are not). For ``ptr`` arguments the pointed-to size
+    is a fixed byte count (``size``), the key/value size of the map passed
+    in argument ``map_from`` (``size="map_key"``/``"map_value"``), or the
+    value of another argument (``size_from``, 0-based); ``writes`` marks
+    output buffers the helper fills.
+    """
+
+    kind: str
+    map_types: Tuple[str, ...] = ()
+    byte_addressable: bool = False
+    size: Optional[Union[int, str]] = None
+    size_from: Optional[int] = None
+    map_from: int = 0
+    writes: bool = False
+
+
+@dataclass(frozen=True)
+class HelperSig:
+    """A helper's declared signature: argument specs plus return range.
+
+    ``ret`` is either an inclusive u64 ``(lo, hi)`` interval — it must be a
+    sound over-approximation of every value the helper can return, since the
+    verifier prunes branches with it — or the string ``"map_value_or_null"``
+    for lookup-style helpers that return a maybe-NULL value pointer.
+    """
+
+    name: str
+    args: Tuple[ArgSpec, ...]
+    ret: Union[Tuple[int, int], str] = (0, U64_MAX)
+
+
+_SCALAR = ArgSpec("scalar")
+_BYTE_MAP = ArgSpec("map", byte_addressable=True)
+_KEY_PTR = ArgSpec("ptr", size="map_key")
+
+HELPER_SIGS: Dict[int, HelperSig] = {
+    1: HelperSig("map_lookup", (_BYTE_MAP, _KEY_PTR), ret=(0, 1)),
+    2: HelperSig("map_read", (_BYTE_MAP, _KEY_PTR, ArgSpec("ptr", size="map_value", writes=True)), ret=(0, 1)),
+    3: HelperSig("map_update", (_BYTE_MAP, _KEY_PTR, ArgSpec("ptr", size="map_value")), ret=(0, 1)),
+    4: HelperSig("map_delete", (_BYTE_MAP, _KEY_PTR), ret=(0, 1)),
+    5: HelperSig("ktime_get_ns", ()),
+    6: HelperSig("fib_lookup", (_SCALAR, ArgSpec("ptr", size=FIB_OUT_SIZE, writes=True)), ret=(0, 2)),
+    7: HelperSig("fdb_lookup", (_SCALAR,) * 5),
+    8: HelperSig("ipt_lookup", (_SCALAR, ArgSpec("ptr", size_from=2), _SCALAR, _SCALAR, _SCALAR), ret=(0, 2)),
+    9: HelperSig("conntrack_lookup", (_SCALAR,) * 4 + (ArgSpec("ptr", size=CT_OUT_SIZE, writes=True),), ret=(0, 1)),
+    10: HelperSig("redirect", (_SCALAR, _SCALAR)),
+    11: HelperSig("redirect_map", (ArgSpec("map", map_types=("devmap",)), _SCALAR, _SCALAR)),
+    12: HelperSig("trace_printk", (ArgSpec("any"),) * 3, ret=(0, 0)),
+    13: HelperSig("pcn_classify", (ArgSpec("map", map_types=("pcn_classifier",)), ArgSpec("ptr", size_from=2), _SCALAR)),
+}
+
+
 # ------------------------------------------------------------------ registry
 
 HELPERS: Dict[int, Tuple[str, HelperFn]] = {
@@ -379,13 +464,22 @@ def _register_af_xdp() -> None:
 
     HELPERS[14] = ("redirect_xsk", bpf_redirect_xsk)
     HELPER_IDS["redirect_xsk"] = 14
+    HELPER_SIGS[14] = HelperSig(
+        "redirect_xsk", (ArgSpec("map", map_types=("xskmap",)), _SCALAR, _SCALAR)
+    )
+    MAINLINE_HELPERS.add("redirect_xsk")  # AF_XDP redirect exists in mainline
 
 HELPER_IDS: Dict[str, int] = {name: hid for hid, (name, __) in HELPERS.items()}
-_register_af_xdp()
 
 # Helpers present in mainline Linux vs the ones the paper adds; the LinuxFP
-# Capability Manager consults this split (§V "Helper Functions").
+# Capability Manager consults this split (§V "Helper Functions"). Every
+# registered helper belongs to exactly one of these sets (a unit-tested
+# invariant); ``BASELINE_HELPERS`` holds the Polycube-baseline machinery that
+# models platform code rather than a kernel helper.
 MAINLINE_HELPERS = {"map_lookup", "map_read", "map_update", "map_delete",
                     "ktime_get_ns", "fib_lookup", "redirect", "redirect_map",
                     "trace_printk"}
 LINUXFP_HELPERS = {"fdb_lookup", "ipt_lookup", "conntrack_lookup"}
+BASELINE_HELPERS = {"pcn_classify"}
+
+_register_af_xdp()

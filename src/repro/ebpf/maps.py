@@ -23,6 +23,11 @@ class BpfMap:
     """Base class: fixed key/value sizes, bounded entry count."""
 
     map_type = "generic"
+    #: Whether the generic byte-oriented map helpers (``map_lookup`` /
+    #: ``map_read`` / ``map_update`` / ``map_delete``) may touch this map.
+    #: Prog arrays and classifier handles hold control-plane objects, not
+    #: byte values — the verifier rejects generic access to them statically.
+    byte_addressable = True
 
     def __init__(self, name: str, key_size: int, value_size: int, max_entries: int) -> None:
         if key_size <= 0 or value_size <= 0 or max_entries <= 0:
@@ -169,6 +174,7 @@ class ProgArray(BpfMap):
     """
 
     map_type = "prog_array"
+    byte_addressable = False
 
     def __init__(self, name: str, max_entries: int = 16) -> None:
         super().__init__(name, 4, 8, max_entries)

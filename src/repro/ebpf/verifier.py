@@ -1,28 +1,35 @@
 """The static verifier.
 
-A simplified analogue of the kernel's eBPF verifier, enforcing the
-properties that make loading synthesized code into the kernel safe:
+A simplified analogue of the kernel's eBPF verifier, in two passes:
 
-- bounded program size and **no backward jumps** (classic eBPF's
-  termination guarantee — synthesized FPMs are loop-free; iteration lives
-  inside helpers, as with real ``bpf_fib_lookup``);
-- all jump targets in range, no falling off the end;
-- loads/stores use valid access sizes; no writes to the frame pointer R10;
-  stack accesses stay within the 512-byte frame;
-- helper ids and map references resolve;
-- no register is read before it is written (forward dataflow with
-  intersection at join points);
-- R0 is initialized at every EXIT.
+1. **Structural** (:func:`check_structure`): bounded program size, no
+   backward jumps (the classic termination guarantee — synthesized FPMs are
+   loop-free; iteration lives inside helpers, as with real
+   ``bpf_fib_lookup``), jump targets in range, no falling off the end,
+   valid access sizes, no writes to the frame pointer R10, helper ids and
+   map references resolve.
 
-Memory bounds that the real verifier proves via range tracking are enforced
-at runtime by the VM's fat pointers (a documented simplification; the
-failure mode — program abort, packet drop — matches ``XDP_ABORTED``).
+2. **Range tracking** (:mod:`repro.ebpf.analysis.interp`): a path-sensitive
+   abstract interpretation that types every register (scalar, packet
+   pointer, packet length, stack pointer, map reference, map value) and
+   tracks u64 ranges refined at conditional branches. It proves packet and
+   map-value accesses in bounds, models fat-pointer spill/fill through the
+   stack, null-checks maybe-NULL map values, and enforces the declared
+   helper signatures in ``HELPER_SIGS`` — so any accepted program can never
+   raise a memory error in the VM. The fat pointers at runtime are
+   defense-in-depth, not the safety mechanism. See ``docs/verifier.md``.
+
+The entry ABI defaults to the hook convention (r1 = packet pointer,
+r2 = packet length, r3 = ifindex scalar); pass ``entry_kinds`` to verify
+programs with a different ABI, e.g. pure-scalar arithmetic kernels.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.ebpf.analysis.errors import VerifierError
+from repro.ebpf.analysis.interp import interpret
 from repro.ebpf.helpers import HELPERS
 from repro.ebpf.isa import (
     ALU_IMM_OPS,
@@ -39,34 +46,56 @@ from repro.ebpf.program import Program
 from repro.ebpf.vm import STACK_SIZE
 from repro.testing import faults
 
+__all__ = ["MAX_INSNS", "VerifierError", "check_structure", "verify"]
+
 MAX_INSNS = 4096
 
 
-class VerifierError(Exception):
-    """Program rejected."""
-
-
-def verify(program: Program, entry_regs: Tuple[int, ...] = (1, 2, 3)) -> None:
+def verify(
+    program: Program,
+    entry_regs: Tuple[int, ...] = (1, 2, 3),
+    entry_kinds: Optional[Tuple[str, ...]] = None,
+) -> None:
     """Statically check ``program``; raises :class:`VerifierError`."""
     faults.fire("verify", program.name)
+    check_structure(program)
+    interpret(program, entry_regs, entry_kinds)
+
+
+def check_structure(program: Program) -> None:
+    """The structural pass alone (shared with the lint driver)."""
     insns = program.insns
     if len(insns) > MAX_INSNS:
-        raise VerifierError(f"{program.name}: too many instructions ({len(insns)} > {MAX_INSNS})")
+        raise VerifierError(
+            f"{program.name}: too many instructions ({len(insns)} > {MAX_INSNS})",
+            program=program.name,
+            code="too-many-insns",
+        )
 
     for pc, insn in enumerate(insns):
         _check_structural(program, pc, insn)
 
     last = insns[-1]
     if last.op is not Op.EXIT and last.op is not Op.JA:
-        raise VerifierError(f"{program.name}: control can fall off the end (last insn is {last.op.value})")
-
-    _check_init_flow(program, entry_regs)
+        raise VerifierError(
+            f"{program.name}: control can fall off the end (last insn is {last.op.value})",
+            program=program.name,
+            pc=len(insns) - 1,
+            code="fall-off-end",
+            insn=repr(last),
+        )
 
 
 def _check_structural(program: Program, pc: int, insn: Insn) -> None:
     name = program.name
+
+    def fail(code: str, message: str) -> None:
+        raise VerifierError(
+            f"{name}@{pc}: {message}", program=name, pc=pc, code=code, insn=repr(insn)
+        )
+
     if not 0 <= insn.dst < NUM_REGS or not 0 <= insn.src < NUM_REGS:
-        raise VerifierError(f"{name}@{pc}: bad register")
+        fail("bad-register", "bad register")
 
     writes_dst = insn.op in ALU_IMM_OPS or insn.op in ALU_REG_OPS or insn.op in (
         Op.MOV_IMM,
@@ -76,114 +105,44 @@ def _check_structural(program: Program, pc: int, insn: Insn) -> None:
         Op.LD_MAP,
     )
     if writes_dst and insn.dst == R10:
-        raise VerifierError(f"{name}@{pc}: write to frame pointer r10")
+        fail("frame-pointer-write", "write to frame pointer r10")
 
     if insn.op in (Op.LDX, Op.STX):
         if insn.imm not in MEM_SIZES:
-            raise VerifierError(f"{name}@{pc}: bad access size {insn.imm}")
+            fail("bad-access-size", f"bad access size {insn.imm}")
     if insn.op is Op.ST_IMM and insn.src not in MEM_SIZES:
-        raise VerifierError(f"{name}@{pc}: bad access size {insn.src}")
+        fail("bad-access-size", f"bad access size {insn.src}")
 
     # static stack bounds for frame-pointer-relative access
     if insn.op is Op.LDX and insn.src == R10:
-        _check_stack_off(name, pc, insn.off, insn.imm)
+        _check_stack_off(name, pc, insn, insn.off, insn.imm)
     if insn.op in (Op.STX, Op.ST_IMM) and insn.dst == R10:
         size = insn.imm if insn.op is Op.STX else insn.src
-        _check_stack_off(name, pc, insn.off, size)
+        _check_stack_off(name, pc, insn, insn.off, size)
 
     if insn.op is Op.JA or insn.op in JMP_IMM_OPS or insn.op in JMP_REG_OPS:
         if insn.off < 0:
-            raise VerifierError(f"{name}@{pc}: backward jump (off={insn.off})")
+            fail("backward-jump", f"backward jump (off={insn.off})")
+        # A JA with off == 0 is a harmless no-op hop to pc+1 (the historical
+        # clause singling it out was dead code: only out-of-range targets
+        # are rejected).
         target = pc + 1 + insn.off
-        if target >= len(program.insns) or (insn.off == 0 and insn.op is Op.JA):
-            if target >= len(program.insns):
-                raise VerifierError(f"{name}@{pc}: jump target {target} out of range")
+        if target >= len(program.insns):
+            fail("jump-out-of-range", f"jump target {target} out of range")
 
     if insn.op is Op.CALL and insn.imm not in HELPERS:
-        raise VerifierError(f"{name}@{pc}: unknown helper id {insn.imm}")
+        fail("helper-unknown", f"unknown helper id {insn.imm}")
 
     if insn.op is Op.LD_MAP and not 0 <= insn.imm < len(program.maps):
-        raise VerifierError(f"{name}@{pc}: map index {insn.imm} unresolved")
+        fail("map-unresolved", f"map index {insn.imm} unresolved")
 
 
-def _check_stack_off(name: str, pc: int, off: int, size: int) -> None:
+def _check_stack_off(name: str, pc: int, insn: Insn, off: int, size: int) -> None:
     if off >= 0 or off + size > 0 or off < -STACK_SIZE:
-        raise VerifierError(f"{name}@{pc}: stack access [{off}, {off + size}) outside [-{STACK_SIZE}, 0)")
-
-
-def _check_init_flow(program: Program, entry_regs: Tuple[int, ...]) -> None:
-    """Forward may-be-uninitialized analysis (loop-free, so one DAG pass)."""
-    insns = program.insns
-    name = program.name
-    entry: FrozenSet[int] = frozenset(entry_regs) | {R10}
-    state: Dict[int, Optional[FrozenSet[int]]] = {pc: None for pc in range(len(insns))}
-    state[0] = entry
-
-    for pc in range(len(insns)):
-        current = state[pc]
-        if current is None:
-            continue  # unreachable
-        insn = insns[pc]
-        out = _transfer(name, pc, insn, current)
-        if out is None:
-            continue  # EXIT: no successors
-        for successor in _successors(pc, insn, len(insns)):
-            previous = state[successor]
-            state[successor] = out if previous is None else frozenset(previous & out)
-
-
-def _transfer(name: str, pc: int, insn: Insn, initialized: FrozenSet[int]) -> Optional[FrozenSet[int]]:
-    op = insn.op
-
-    def need(reg: int) -> None:
-        if reg not in initialized:
-            raise VerifierError(f"{name}@{pc}: r{reg} may be used uninitialized ({insn!r})")
-
-    reads: List[int] = []
-    if op in ALU_IMM_OPS or op is Op.NEG:
-        reads = [insn.dst]
-    elif op in ALU_REG_OPS:
-        reads = [insn.dst, insn.src]
-    elif op is Op.MOV_REG:
-        reads = [insn.src]
-    elif op is Op.LDX:
-        reads = [insn.src]
-    elif op is Op.STX:
-        reads = [insn.dst, insn.src]
-    elif op is Op.ST_IMM:
-        reads = [insn.dst]
-    elif op in JMP_IMM_OPS:
-        reads = [insn.dst]
-    elif op in JMP_REG_OPS:
-        reads = [insn.dst, insn.src]
-    elif op is Op.CALL:
-        # conservatively require the helper's declared arity? unknown; the
-        # VM validates argument kinds — here we only require r1 for helpers
-        # that take arguments (all but ktime_get_ns).
-        pass
-    elif op is Op.TAIL_CALL:
-        reads = [2, 3]
-    elif op is Op.EXIT:
-        need(0)
-        return None
-    for reg in reads:
-        need(reg)
-
-    out = set(initialized)
-    if op in ALU_IMM_OPS or op in ALU_REG_OPS or op in (Op.MOV_IMM, Op.MOV_REG, Op.LDX, Op.NEG, Op.LD_MAP):
-        out.add(insn.dst)
-    elif op is Op.CALL:
-        out.add(0)
-        for reg in (1, 2, 3, 4, 5):
-            out.discard(reg)
-    return frozenset(out)
-
-
-def _successors(pc: int, insn: Insn, length: int) -> List[int]:
-    if insn.op is Op.EXIT:
-        return []
-    if insn.op is Op.JA:
-        return [pc + 1 + insn.off]
-    if insn.op in JMP_IMM_OPS or insn.op in JMP_REG_OPS:
-        return [pc + 1, pc + 1 + insn.off]
-    return [pc + 1]
+        raise VerifierError(
+            f"{name}@{pc}: stack access [{off}, {off + size}) outside [-{STACK_SIZE}, 0)",
+            program=name,
+            pc=pc,
+            code="stack-out-of-bounds",
+            insn=repr(insn),
+        )

@@ -122,6 +122,7 @@ class ClassifierMap(BpfMap):
     """
 
     map_type = "pcn_classifier"
+    byte_addressable = False  # consulted via pcn_classify, never byte-read
 
     def __init__(self, name: str) -> None:
         super().__init__(name, key_size=4, value_size=4, max_entries=1)

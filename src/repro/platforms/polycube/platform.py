@@ -38,6 +38,7 @@ u32 main(u8* pkt, u64 len, u64 ifindex) {
     u64 ethertype = ld16(pkt, 12);
     u64 l3 = 14;
     if (ethertype == 0x8100) {                  // generic VLAN handling, always compiled in
+        if (len < 38) { return 2; }
         ethertype = ld16(pkt, 16);
         l3 = 18;
     }

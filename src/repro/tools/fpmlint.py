@@ -1,0 +1,107 @@
+"""fpmlint: verify and lint every FPM template configuration.
+
+CI gate for the synthesizer's template library: renders each representative
+configuration at both hooks, compiles it, runs the range-tracking verifier
+(which proves packet/map/stack safety), and reports lint findings — dead
+code, redundant bounds checks, unused map slots. The library is expected to
+be lint-clean; any finding (or verifier rejection) fails the run.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.fpmlint [-v]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Tuple
+
+from repro.core.fpm.library import render_dispatcher, render_fast_path
+from repro.ebpf.analysis.errors import VerifierError
+from repro.ebpf.analysis.lint import LintFinding, lint_program
+from repro.ebpf.maps import ProgArray
+from repro.ebpf.minic import compile_c
+
+HOOKS = ("xdp", "tc")
+
+
+def _configurations() -> Dict[str, Dict]:
+    bridge_conf = {
+        "bridge_ifindex": 7,
+        "STP_enabled": False,
+        "VLAN_enabled": False,
+        "ports": ["v0", "v1"],
+    }
+    vlan_conf = dict(bridge_conf, VLAN_enabled=True)
+    chain_conf = dict(bridge_conf, bridge_mac="02:00:00:00:00:07")
+    services = [
+        {"vip": "10.96.0.1", "port": 80, "proto": 6},
+        {"vip": "10.96.0.2", "port": 53, "proto": 17},
+    ]
+    return {
+        "router": {"router": {"conf": {"decrement_ttl": True}, "next_nf": None}},
+        "gateway": {
+            "filter": {"conf": {"chain": "FORWARD"}, "next_nf": "router"},
+            "router": {"conf": {"decrement_ttl": True}, "next_nf": None},
+        },
+        "bridge": {"bridge": {"conf": bridge_conf, "next_nf": None}},
+        "bridge-vlan": {"bridge": {"conf": vlan_conf, "next_nf": None}},
+        "bridge-l3": {
+            "bridge": {"conf": chain_conf, "next_nf": "router"},
+            "router": {"conf": {"decrement_ttl": True}, "next_nf": None},
+        },
+        "ipvs": {
+            "ipvs": {"conf": {"services": services}, "next_nf": "router"},
+            "router": {"conf": {"decrement_ttl": True}, "next_nf": None},
+        },
+    }
+
+
+def lint_library(verbose: bool = False) -> Tuple[int, List[str]]:
+    """Returns (programs checked, failure lines)."""
+    checked = 0
+    problems: List[str] = []
+
+    def check(label: str, source: str, hook: str, maps=None) -> None:
+        nonlocal checked
+        checked += 1
+        name = f"{label}@{hook}"
+        try:
+            program = compile_c(source, name=name, hook=hook, maps=maps)
+            findings: List[LintFinding] = lint_program(program)
+        except VerifierError as exc:
+            problems.append(f"{name}: verifier rejection: {exc}")
+            return
+        for finding in findings:
+            problems.append(str(finding))
+        if verbose and not findings:
+            print(f"  ok {name} ({len(program.insns)} insns)")
+
+    for label, nodes in _configurations().items():
+        for hook in HOOKS:
+            check(label, render_fast_path("eth0", hook, nodes), hook)
+    for hook in HOOKS:
+        check(
+            "dispatcher",
+            render_dispatcher("eth0", hook),
+            hook,
+            maps={"jmp": ProgArray("jmp")},
+        )
+    return checked, problems
+
+
+def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    verbose = "-v" in argv or "--verbose" in argv
+    checked, problems = lint_library(verbose=verbose)
+    if problems:
+        for line in problems:
+            print(line)
+        print(f"fpmlint: {len(problems)} finding(s) across {checked} program(s)")
+        return 1
+    print(f"fpmlint: {checked} program(s) verified, no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

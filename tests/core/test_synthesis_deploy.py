@@ -77,6 +77,16 @@ class TestSynthesizer:
         assert "return 0" in tc.source  # TC_ACT_OK
         assert xdp.program.hook == "xdp" and tc.program.hook == "tc"
 
+    def test_synthesized_paths_are_lint_clean(self):
+        # Library templates must not carry dead code, redundant checks, or
+        # unused maps after DCE — the lint pass proves it per synthesis.
+        topo = router_topo()
+        iptables(topo.dut, "-A FORWARD -s 172.16.0.0/24 -j DROP")
+        graph = build_graph(topo.dut)
+        for hook in ("xdp", "tc"):
+            for path in Synthesizer().synthesize(graph, hook=hook).values():
+                assert path.lint_findings == []
+
     def test_mainline_capabilities_prune_filter_and_router(self):
         """Correctness rule: no filter helper ⇒ no fast-path forwarding."""
         topo = router_topo()

@@ -13,7 +13,7 @@ XSK_PROG = """
 extern map xsks;
 u32 main(u8* pkt, u64 len, u64 ifindex) {
     // steer UDP port 9000 to userspace; everything else to the stack
-    if (len < 34) { return 2; }
+    if (len < 38) { return 2; }
     if (ld16(pkt, 12) != 0x0800) { return 2; }
     if (ld8(pkt, 23) != 17) { return 2; }
     if (ld16(pkt, 36) != 9000) { return 2; }

@@ -256,3 +256,64 @@ class TestProgramConstruction:
     def test_bad_hook_rejected(self):
         with pytest.raises(ProgramError):
             Program("x", [Insn(Op.EXIT)], hook="socket")
+
+
+class TestDifferentialFuzz:
+    """The verifier's prize property, checked differentially: a program the
+    range-tracking pass *accepts* can never fault memory at runtime. A
+    fat-pointer violation (VMError) on an accepted program is a verifier
+    soundness bug and fails the test — it is not an acceptable drop."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(insns=random_insns, frame=st.binary(max_size=64))
+    def test_accepted_programs_never_fault(self, insns, frame):
+        from repro.ebpf.memory import Pointer, Region
+
+        program = Program("fuzz", insns, hook="xdp")
+        try:
+            verify(program)
+        except VerifierError:
+            return
+        kernel = Kernel("fuzz")
+        vm = VM(kernel, insn_limit=10_000)
+        region = Region("pkt", bytearray(frame))
+        # run with the real hook ABI: r1=packet ptr, r2=length, r3=ifindex
+        result = vm.run(program, [Pointer(region, 0), len(frame), 4], Env(kernel, 4))
+        assert isinstance(result, int)
+
+    def test_rejected_template_mutant_fails_closed(self):
+        """Stripping the packet-length guard from a synthesized fast path
+        makes the verifier reject it; deploy() degrades instead of serving
+        the unsafe program, and traffic still forwards via the slow path."""
+        from repro.core.synthesizer import SynthesizedPath
+        from repro.ebpf.minic import compile_c
+
+        topo = LineTopology()
+        topo.install_prefixes(4)
+        controller = Controller(topo.dut, hook="xdp", flow_cache=False)
+        controller.start()
+        topo.prewarm_neighbors()
+        out = []
+        topo.sink_eth.nic.attach(lambda frame, q: out.append(frame))
+
+        deployer = controller.deployer
+        ifname, entry = next(
+            (name, e) for name, e in deployer.deployed.items() if e.current is not None
+        )
+        mutant_source = entry.current.source.replace("if (len < 34) { return 2; }", "")
+        assert mutant_source != entry.current.source
+        mutant = SynthesizedPath(
+            ifname=ifname,
+            program=compile_c(mutant_source, name="mutant", hook="xdp"),
+            source=mutant_source,
+            pruned_nfs=[],
+        )
+
+        assert deployer.deploy(mutant) is False
+        failure = deployer.failures[ifname]
+        assert failure.stage == "verify"
+        assert failure.detail is not None
+        assert failure.detail["code"] == "packet-out-of-bounds"
+
+        topo.dut_in.nic.receive_from_wire(_good_frame(topo))
+        assert out, "slow path must keep forwarding after a rejected deploy"

@@ -1,0 +1,85 @@
+"""Tests for the FPM lint pass and the fpmlint CI driver."""
+
+import pytest
+
+from repro.ebpf.analysis.lint import lint_program
+from repro.ebpf.isa import Insn, Op, exit_, ldx, mov_imm
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import VerifierError
+
+
+def prog(insns, maps=None, name="t"):
+    return Program(name, insns, hook="xdp", maps=maps or [])
+
+
+class TestLintFindings:
+    def test_clean_program_has_no_findings(self):
+        assert lint_program(prog([mov_imm(0, 0), exit_()])) == []
+
+    def test_dead_code_reported(self):
+        insns = [
+            mov_imm(0, 0),
+            exit_(),
+            mov_imm(0, 1),  # unreachable
+            exit_(),
+        ]
+        findings = lint_program(prog(insns))
+        assert [f.code for f in findings] == ["dead-code", "dead-code"]
+        assert findings[0].pc == 2
+
+    def test_redundant_check_reported(self):
+        # r0 = 5, then "if r0 > 3" can only be taken
+        insns = [
+            mov_imm(0, 5),
+            Insn(Op.JGT_IMM, dst=0, imm=3, off=1),
+            mov_imm(0, 0),  # dead: the branch is always taken
+            exit_(),
+        ]
+        findings = lint_program(prog(insns))
+        codes = {f.code for f in findings}
+        assert "redundant-check" in codes
+        redundant = next(f for f in findings if f.code == "redundant-check")
+        assert redundant.pc == 1
+        assert "always taken" in redundant.message
+
+    def test_feasible_both_ways_not_flagged(self):
+        insns = [
+            Insn(Op.JEQ_IMM, dst=3, imm=7, off=2),  # r3 is an unknown scalar
+            mov_imm(0, 0),
+            exit_(),
+            mov_imm(0, 1),
+            exit_(),
+        ]
+        assert lint_program(prog(insns)) == []
+
+    def test_unused_map_reported(self):
+        unused = HashMap("stale", 4, 8)
+        findings = lint_program(prog([mov_imm(0, 0), exit_()], maps=[unused]))
+        assert [f.code for f in findings] == ["unused-map"]
+        assert "stale" in findings[0].message
+
+    def test_lint_requires_a_verifiable_program(self):
+        with pytest.raises(VerifierError):
+            lint_program(prog([ldx(0, 1, 0, 4), exit_()]))
+
+    def test_finding_str_is_greppable(self):
+        unused = HashMap("stale", 4, 8)
+        (finding,) = lint_program(prog([mov_imm(0, 0), exit_()], maps=[unused]))
+        assert str(finding) == "t: unused-map: map 'stale' (slot 0) is never referenced"
+
+
+class TestFpmlintDriver:
+    def test_template_library_is_clean(self):
+        from repro.tools.fpmlint import lint_library
+
+        checked, problems = lint_library()
+        assert problems == []
+        # every configuration × both hooks, plus the dispatcher
+        assert checked == 14
+
+    def test_main_exit_code(self, capsys):
+        from repro.tools.fpmlint import main
+
+        assert main([]) == 0
+        assert "no findings" in capsys.readouterr().out

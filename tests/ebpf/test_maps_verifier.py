@@ -228,3 +228,275 @@ class TestVerifier:
             exit_(),
         ]
         verify(prog(insns))
+
+    def test_forward_ja_zero_is_noop(self):
+        # JA off=0 jumps to pc+1 — a harmless no-op, accepted (the old
+        # structural pass had a dead re-check singling this shape out)
+        insns = [mov_imm(0, 0), Insn(Op.JA, off=0), exit_()]
+        verify(prog(insns))
+
+
+class TestHelperRegistry:
+    """HELPERS / HELPER_IDS / HELPER_SIGS and the capability tiers must
+    stay mutually consistent (including the late-registered AF_XDP id)."""
+
+    def test_ids_are_a_bijection_over_the_registry(self):
+        from repro.ebpf.helpers import HELPERS, HELPER_IDS
+
+        assert set(HELPER_IDS.values()) == set(HELPERS)
+        assert len(set(HELPER_IDS.values())) == len(HELPER_IDS)
+        for name, hid in HELPER_IDS.items():
+            assert HELPERS[hid][0] == name
+
+    def test_capability_tiers_partition_the_registry(self):
+        from repro.ebpf.helpers import (
+            BASELINE_HELPERS,
+            HELPER_IDS,
+            LINUXFP_HELPERS,
+            MAINLINE_HELPERS,
+        )
+
+        assert MAINLINE_HELPERS | LINUXFP_HELPERS | BASELINE_HELPERS == set(HELPER_IDS)
+        assert not MAINLINE_HELPERS & LINUXFP_HELPERS
+        assert not MAINLINE_HELPERS & BASELINE_HELPERS
+        assert not LINUXFP_HELPERS & BASELINE_HELPERS
+
+    def test_every_helper_declares_a_signature(self):
+        from repro.ebpf.helpers import HELPERS, HELPER_IDS, HELPER_SIGS
+
+        assert set(HELPER_SIGS) == set(HELPERS)
+        for hid, sig in HELPER_SIGS.items():
+            assert HELPER_IDS[sig.name] == hid
+
+    def test_af_xdp_late_registration_is_complete(self):
+        from repro.ebpf.helpers import HELPER_SIGS, HELPERS, MAINLINE_HELPERS
+
+        assert HELPERS[14][0] == "redirect_xsk"
+        assert HELPER_SIGS[14].name == "redirect_xsk"
+        assert "redirect_xsk" in MAINLINE_HELPERS
+        assert HELPER_SIGS[14].args[0].map_types == ("xskmap",)
+
+    def test_ret_ranges_are_sound_for_map_helpers(self):
+        from repro.ebpf.helpers import HELPER_SIGS
+
+        for hid in (1, 2, 3, 4):
+            assert HELPER_SIGS[hid].ret == (0, 1)
+
+
+def guarded(min_len, body):
+    """Prefix: punt (return 0) unless len >= min_len, then run ``body``."""
+    return [
+        Insn(Op.JGE_IMM, dst=2, imm=min_len, off=2),
+        mov_imm(0, 0),
+        exit_(),
+    ] + body
+
+
+class TestAdversarialCorpus:
+    """Unsafe shapes the range-tracking pass must reject, each with a
+    precise structured diagnostic (and a near-identical safe twin that
+    must be accepted, to pin the rejection on the actual defect)."""
+
+    def test_oob_packet_read_past_data_end(self):
+        # len >= 34 is proven, but the read touches bytes [34, 36)
+        insns = guarded(34, [ldx(0, 1, 34, 2), exit_()])
+        with pytest.raises(VerifierError, match="packet access \\[34, 36\\)") as exc_info:
+            verify(prog(insns))
+        assert exc_info.value.code == "packet-out-of-bounds"
+        assert exc_info.value.pc == 3
+        safe = guarded(34, [ldx(0, 1, 32, 2), exit_()])
+        verify(prog(safe))
+
+    def test_unguarded_packet_read_names_the_guarantee(self):
+        insns = [ldx(0, 1, 0, 1), exit_()]
+        with pytest.raises(VerifierError, match="guaranteed length 0"):
+            verify(prog(insns))
+
+    def test_unchecked_map_lookup_deref(self):
+        # a helper returning a maybe-NULL map value must be null-checked
+        # before any dereference; register one for the duration of the test
+        from repro.ebpf.helpers import HELPERS, HELPER_IDS, HELPER_SIGS, ArgSpec, HelperSig
+
+        value_map = HashMap("vals", 4, 8)
+        HELPERS[99] = ("test_lookup_ptr", lambda env, args: 0)
+        HELPER_IDS["test_lookup_ptr"] = 99
+        HELPER_SIGS[99] = HelperSig(
+            "test_lookup_ptr",
+            (ArgSpec("map", byte_addressable=True),),
+            ret="map_value_or_null",
+        )
+        try:
+            deref_unchecked = [
+                Insn(Op.LD_MAP, dst=1, imm=0),
+                call(99),
+                ldx(0, 0, 0, 4),  # r0 may be NULL here
+                exit_(),
+            ]
+            with pytest.raises(VerifierError, match="null-check") as exc_info:
+                verify(prog(deref_unchecked, maps=[value_map]))
+            assert exc_info.value.code == "maybe-null-deref"
+
+            checked = [
+                Insn(Op.LD_MAP, dst=1, imm=0),
+                call(99),
+                Insn(Op.JNE_IMM, dst=0, imm=0, off=2),
+                mov_imm(0, 0),
+                exit_(),
+                ldx(0, 0, 0, 4),  # non-NULL branch: within value_size 8
+                exit_(),
+            ]
+            verify(prog(checked, maps=[value_map]))
+
+            beyond_value = [
+                Insn(Op.LD_MAP, dst=1, imm=0),
+                call(99),
+                Insn(Op.JNE_IMM, dst=0, imm=0, off=2),
+                mov_imm(0, 0),
+                exit_(),
+                ldx(0, 0, 6, 4),  # [6, 10) exceeds value_size 8
+                exit_(),
+            ]
+            with pytest.raises(VerifierError, match="value size") as exc_info:
+                verify(prog(beyond_value, maps=[value_map]))
+            assert exc_info.value.code == "map-value-out-of-bounds"
+        finally:
+            del HELPERS[99], HELPER_IDS["test_lookup_ptr"], HELPER_SIGS[99]
+
+    def test_pointer_leaks_into_scalar_op(self):
+        insns = [
+            Insn(Op.MUL_IMM, dst=1, imm=2),  # packet pointer * 2
+            mov_imm(0, 0),
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="pointer") as exc_info:
+            verify(prog(insns))
+        assert exc_info.value.code == "pointer-leak"
+
+    def test_pointer_cannot_reach_r0_at_exit(self):
+        insns = [mov_reg(0, 1), exit_()]
+        with pytest.raises(VerifierError, match="exit") as exc_info:
+            verify(prog(insns))
+        assert exc_info.value.code == "pointer-leak"
+
+    def test_spill_fill_round_trip(self):
+        # spilling the packet pointer and filling it back preserves its
+        # type and bounds facts (the guard dominates the post-fill load)
+        body = [
+            stx(10, 1, -8, 8),   # spill pkt ptr
+            ldx(3, 10, -8, 8),   # fill into r3
+            ldx(0, 3, 0, 1),     # deref: len >= 2 proven
+            exit_(),
+        ]
+        verify(prog(guarded(2, body)))
+
+    def test_narrow_spill_of_pointer_rejected(self):
+        body = [stx(10, 1, -8, 4), mov_imm(0, 0), exit_()]
+        with pytest.raises(VerifierError, match="spill") as exc_info:
+            verify(prog(guarded(2, body)))
+        assert exc_info.value.code == "pointer-spill"
+
+    def test_clobbered_spill_does_not_fill_a_pointer(self):
+        # a narrow scalar store over the spilled slot destroys the fat
+        # pointer; the fill must come back as a scalar, not a pointer
+        body = [
+            stx(10, 1, -8, 8),                       # spill pkt ptr
+            Insn(Op.ST_IMM, dst=10, src=8, off=-8, imm=7),  # overwrite slot
+            ldx(3, 10, -8, 8),                       # fill: now a scalar
+            ldx(0, 3, 0, 1),                         # deref through scalar
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="non-pointer") as exc_info:
+            verify(prog(guarded(2, body)))
+        assert exc_info.value.code == "bad-access"
+
+    def test_helper_scalar_where_pointer_required(self):
+        insns = [
+            mov_imm(1, 5),
+            mov_imm(2, 7),  # fib_lookup arg 2 must point at a result buffer
+            call(6),
+            mov_imm(0, 0),
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="fib_lookup.*must be a pointer") as exc_info:
+            verify(prog(insns))
+        assert exc_info.value.code == "helper-signature"
+
+    def test_helper_buffer_too_small(self):
+        insns = [
+            mov_imm(1, 5),
+            mov_reg(2, 10),
+            Insn(Op.ADD_IMM, dst=2, imm=-8),  # 8 bytes left; fib needs 18
+            call(6),
+            mov_imm(0, 0),
+            exit_(),
+        ]
+        with pytest.raises(VerifierError, match="fib_lookup") as exc_info:
+            verify(prog(insns))
+        assert exc_info.value.code == "stack-out-of-bounds"
+
+    def test_structured_diagnostics_round_trip(self):
+        insns = [ldx(0, 1, 0, 4), exit_()]
+        with pytest.raises(VerifierError) as exc_info:
+            verify(prog(insns))
+        detail = exc_info.value.to_dict()
+        assert detail["program"] == "t"
+        assert detail["pc"] == 0
+        assert detail["code"] == "packet-out-of-bounds"
+        assert "ldx" in detail["insn"]
+
+
+class TestMapHelperFailSoft:
+    """Map failure modes the verifier cannot see statically (full map, bad
+    LPM prefix, array index out of range) must surface to programs as error
+    codes, never as exceptions — otherwise an accepted program could still
+    blow up the VM and the verifier's safety contract would be a lie."""
+
+    @staticmethod
+    def _env():
+        from repro.ebpf.vm import Env
+        from repro.kernel import Kernel
+
+        kernel = Kernel("t")
+        return Env(kernel, 4)
+
+    @staticmethod
+    def _buf(data):
+        from repro.ebpf.memory import Pointer, Region
+
+        return Pointer(Region("b", bytearray(data)), 0)
+
+    def test_full_map_update_returns_error_code(self):
+        from repro.ebpf.helpers import bpf_map_update_elem
+
+        m = HashMap("h", 1, 1, max_entries=1)
+        m.update(b"a", b"x")
+        assert bpf_map_update_elem(self._env(), [m, self._buf(b"b"), self._buf(b"y")]) == 1
+        assert bpf_map_update_elem(self._env(), [m, self._buf(b"a"), self._buf(b"y")]) == 0
+
+    def test_array_index_out_of_range_fails_soft(self):
+        from repro.ebpf.helpers import bpf_map_lookup_elem, bpf_map_update_elem
+
+        m = ArrayMap("a", 4, 4)
+        big = (99).to_bytes(4, "little")
+        assert bpf_map_lookup_elem(self._env(), [m, self._buf(big)]) == 0
+        assert bpf_map_update_elem(self._env(), [m, self._buf(big), self._buf(b"\x00" * 4)]) == 1
+
+    def test_bad_lpm_prefix_fails_soft(self):
+        from repro.ebpf.helpers import bpf_map_delete_elem, bpf_map_read
+
+        m = LpmTrieMap("lpm", 4)
+        bad_key = (77).to_bytes(4, "little") + b"\x0a\x00\x00\x01"  # prefix 77 > 32
+        assert bpf_map_read(self._env(), [m, self._buf(bad_key), self._buf(b"\x00" * 4)]) == 0
+        assert bpf_map_delete_elem(self._env(), [m, self._buf(bad_key)]) == 1
+
+    def test_fault_injection_still_propagates(self):
+        # deliberate chaos-testing faults are NOT swallowed by the fail-soft
+        # paths: the self-healing suites depend on seeing them
+        from repro.ebpf.helpers import bpf_map_update_elem
+        from repro.testing import faults
+
+        m = HashMap("h", 1, 1)
+        with faults.injected() as injector:
+            injector.arm("map_update", count=1)
+            with pytest.raises(faults.InjectedFault):
+                bpf_map_update_elem(self._env(), [m, self._buf(b"a"), self._buf(b"x")])

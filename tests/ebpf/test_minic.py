@@ -137,19 +137,20 @@ class TestCodegenExecution:
 
     def test_packet_load_builtins(self, kernel):
         packet = bytes([0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99])
-        src = "u32 main(u8* pkt, u64 len, u64 ifindex) { return ld32(pkt, 1); }"
+        src = "u32 main(u8* pkt, u64 len, u64 ifindex) { if (len < 5) { return 0; } return ld32(pkt, 1); }"
         result, __ = run_c(kernel, src, packet=packet)
         assert result == 0x22334455
 
     def test_ld48_mac(self, kernel):
         packet = bytes([0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00])
-        src = "u32 main(u8* pkt, u64 len, u64 ifindex) { return ld48(pkt, 0); }"
+        src = "u32 main(u8* pkt, u64 len, u64 ifindex) { if (len < 6) { return 0; } return ld48(pkt, 0); }"
         result, __ = run_c(kernel, src, packet=packet)
         assert result == 0xAABBCCDDEEFF
 
     def test_store_builtins_rewrite_packet(self, kernel):
         src = """
         u32 main(u8* pkt, u64 len, u64 ifindex) {
+            if (len < 8) { return 0; }
             st16(pkt, 0, 0xBEEF);
             st48(pkt, 2, 0x020000000001);
             return 0;
@@ -161,6 +162,7 @@ class TestCodegenExecution:
     def test_dynamic_offset_load(self, kernel):
         src = """
         u32 main(u8* pkt, u64 len, u64 ifindex) {
+            if (len != 3) { return 0; }
             u64 off = len - 1;
             return ld8(pkt, off);
         }

@@ -149,7 +149,7 @@ class TestCodegenCorners:
         }
         """
         program = compile_c(source)
-        verify(program)
+        verify(program, entry_kinds=("scalar", "scalar", "scalar"))
         vm = VM(kernel)
         for a, expected in ((0, 10), (1, 11), (2, 12), (9, 13)):
             assert vm.run(program, [a, 0, 0], Env(kernel, 4)) == expected

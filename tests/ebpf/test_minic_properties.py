@@ -90,7 +90,7 @@ class TestMinicArithmeticProperty:
         kernel = Kernel("prop")
         source = f"u32 main(u64 a, u64 b, u64 c) {{ return {text}; }}"
         program = compile_c(source)
-        verify(program)
+        verify(program, entry_kinds=("scalar", "scalar", "scalar"))
         result = VM(kernel).run(program, [a, b, c], Env(kernel, 4))
         assert result == eval_reference(ast, {"a": a, "b": b, "c": c})
 
