@@ -354,6 +354,12 @@ class Controller:
     def last_reaction_seconds(self) -> Optional[float]:
         return self.reactions[-1].seconds if self.reactions else None
 
+    def metrics(self):
+        """The unified metrics registry over this kernel + control plane."""
+        from repro.observability.metrics import MetricsRegistry
+
+        return MetricsRegistry(self.kernel, controller=self)
+
     def dump_fast_path(self, ifname: str) -> Optional[str]:
         """Operator debugging: the synthesized C source plus the verified
         bytecode disassembly currently deployed on an interface."""

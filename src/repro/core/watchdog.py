@@ -74,8 +74,10 @@ class Watchdog:
         self.sampled += 1
         prediction = dev.xdp_prog.run_xdp(stack.kernel, dev, frame)
         if prediction.verdict == XDP_CONSUMED:
-            # Already delivered to the AF_XDP socket by the shadow run.
+            # Already delivered to the AF_XDP socket by the shadow run; no
+            # reference run happens, so settle the packet here.
             self.consumed += 1
+            stack.finish("xdp_consumed", dev)
             return
         captured = self._run_reference(stack, dev, frame, queue)
         if prediction.verdict == XDP_PASS:

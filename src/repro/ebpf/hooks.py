@@ -5,7 +5,8 @@ hook contract (:mod:`repro.kernel.hooks_api`). Entry ABI (a documented
 simplification of the real ctx structs): R1 = packet pointer, R2 = packet
 length, R3 = ingress ifindex. Programs may rewrite the packet in place;
 aborts (memory violations and the like) become drops, as with
-``XDP_ABORTED``.
+``XDP_ABORTED``, flagged on the result so drop accounting can tell a fault
+from a policy verdict.
 """
 
 from __future__ import annotations
@@ -24,6 +25,15 @@ from repro.kernel.hooks_api import (
 )
 
 
+def _observe_fpm(kernel, name: str, elapsed_ns: int) -> None:
+    obs = getattr(kernel, "observability", None)
+    if obs is None:
+        return
+    obs.record_fpm(name, elapsed_ns)
+    if obs.tracer.recording:
+        obs.tracer.event("fpm", name)
+
+
 class XdpAttachment:
     """An XDP-hook driver program (runs on the raw frame, pre-sk_buff)."""
 
@@ -40,12 +50,15 @@ class XdpAttachment:
         if env is None:
             env = Env(kernel, redirect_verdict=XDP_REDIRECT)
         vm = VM(kernel)
+        t0 = kernel.clock.now_ns
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), dev.ifindex], env)
         except VMError:
             self.aborts += 1
             env.aborted = True
-            return XdpResult(XDP_ABORTED, frame)
+            _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
+            return XdpResult(XDP_ABORTED, frame, aborted=True)
+        _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
         env.insns_executed = vm.insns_executed
         from repro.ebpf.af_xdp import XDP_REDIRECT_XSK
         from repro.kernel.hooks_api import XDP_CONSUMED
@@ -73,11 +86,14 @@ class TcAttachment:
         if env is None:
             env = Env(kernel, redirect_verdict=TC_ACT_REDIRECT)
         vm = VM(kernel)
+        t0 = kernel.clock.now_ns
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), skb.ifindex], env)
         except VMError:
             self.aborts += 1
             env.aborted = True
-            return TcResult(TC_ACT_SHOT, frame)
+            _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
+            return TcResult(TC_ACT_SHOT, frame, aborted=True)
+        _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
         env.insns_executed = vm.insns_executed
         return TcResult(int(verdict), bytes(region.data), env.redirect_ifindex)

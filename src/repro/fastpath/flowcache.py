@@ -235,28 +235,37 @@ class FlowCache:
 
     # ------------------------------------------------------------ hook entry
 
+    def _trace(self, event: str, detail: str = "") -> None:
+        obs = getattr(self.kernel, "observability", None)
+        if obs is not None and obs.tracer.recording:
+            obs.tracer.event(event, detail)
+
     def run_xdp(self, dev, frame: bytes) -> XdpResult:
         """Consult the cache for an XDP-hook frame; falls back to the prog."""
         attachment = dev.xdp_prog
         hit = self._lookup("xdp", dev.ifindex, frame)
         if hit is not None:
             entry, replayed = hit
+            self._trace("flow_cache", f"hit fpms={','.join(entry.fpms) or '-'}")
             return XdpResult(entry.verdict, replayed, entry.redirect_ifindex)
 
         key = self._key(frame, dev.ifindex)
         if key is None:
             self.stats.bypasses["xdp"] += 1
+            self._trace("flow_cache", "bypass")
             return attachment.run_xdp(self.kernel, dev, frame)
 
         cached = self._entries.get(("xdp", dev.ifindex, key))
         if cached is not None:
             # valid but unreplayable (uncacheable flow or TTL guard): full run
             self.stats.bypasses["xdp"] += 1
+            self._trace("flow_cache", "bypass")
             return attachment.run_xdp(self.kernel, dev, frame)
 
         from repro.ebpf.vm import Env
 
         self.stats.misses["xdp"] += 1
+        self._trace("flow_cache", "miss")
         env = Env(self.kernel, redirect_verdict=XDP_REDIRECT)
         t0 = self.kernel.clock.now_ns
         result = attachment.run_xdp(self.kernel, dev, frame, env=env)
@@ -271,21 +280,25 @@ class FlowCache:
         hit = self._lookup("tc", dev.ifindex, frame)
         if hit is not None:
             entry, replayed = hit
+            self._trace("flow_cache", f"hit fpms={','.join(entry.fpms) or '-'}")
             return TcResult(entry.verdict, replayed, entry.redirect_ifindex)
 
         key = self._key(frame, dev.ifindex)
         if key is None:
             self.stats.bypasses["tc"] += 1
+            self._trace("flow_cache", "bypass")
             return attachment.run_tc(self.kernel, dev, skb)
 
         cached = self._entries.get(("tc", dev.ifindex, key))
         if cached is not None:
             self.stats.bypasses["tc"] += 1
+            self._trace("flow_cache", "bypass")
             return attachment.run_tc(self.kernel, dev, skb)
 
         from repro.ebpf.vm import Env
 
         self.stats.misses["tc"] += 1
+        self._trace("flow_cache", "miss")
         env = Env(self.kernel, redirect_verdict=TC_ACT_REDIRECT)
         t0 = self.kernel.clock.now_ns
         result = attachment.run_tc(self.kernel, dev, skb, env=env)

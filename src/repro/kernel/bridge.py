@@ -204,8 +204,10 @@ class Bridge:
         (forwarded, flooded, or dropped).
         """
         self.kernel.costs_charge("bridge_rx")
+        stack = self.kernel.stack
         port = self.ports.get(ingress.ifindex)
         if port is None or port.state == STP_DISABLED:
+            stack.drop("bridge_port_disabled", ingress, skb)
             return None
 
         dst = skb.pkt.eth.dst
@@ -214,21 +216,26 @@ class Bridge:
         # Link-local control traffic (BPDUs) always goes to the control plane.
         if dst == STP_MULTICAST:
             self.process_bpdu(port, skb)
+            stack.finish("bridge_bpdu", ingress, skb)
             return None
 
         if self.stp_enabled:
             self.kernel.costs_charge("bridge_stp_check")
             if not port.learning:
+                stack.drop("bridge_stp_blocked", ingress, skb)
                 return None
 
         vlan = self.classify_vlan(port, skb)
         if vlan is None:
+            stack.drop("bridge_vlan_filtered", ingress, skb)
             return None
 
         self.fdb_learn(src, vlan, ingress.ifindex)
 
         if self.stp_enabled and not port.forwarding:
-            return None  # learning-only state: absorb data frames
+            # learning-only state: absorb data frames
+            stack.drop("bridge_stp_blocked", ingress, skb)
+            return None
 
         # Traffic addressed to the bridge itself continues up the stack.
         if dst == self.device.mac:
@@ -247,26 +254,39 @@ class Bridge:
         entry = self.fdb_lookup(dst, vlan)
         if entry is None:
             self.fdb_miss_count += 1
-            self.flood(skb, vlan, exclude_ifindex=ingress.ifindex)
+            if self.flood(skb, vlan, exclude_ifindex=ingress.ifindex):
+                stack.finish("bridge_flood", ingress, skb)
+            else:
+                stack.drop("bridge_flood_empty", ingress, skb)
             return None
         if entry.is_local:
             skb.bridge_port = ingress.ifindex
             skb.ifindex = self.device.ifindex
             return skb
         if entry.port_ifindex != ingress.ifindex:
-            self.forward(skb, vlan, entry.port_ifindex)
+            if self.forward(skb, vlan, entry.port_ifindex):
+                stack.finish("bridge_forward", ingress, skb)
+            else:
+                stack.drop("bridge_egress_filtered", ingress, skb)
+        else:
+            # FDB says the destination lives where the frame came from
+            stack.drop("bridge_same_port", ingress, skb)
         return None
 
-    def forward(self, skb: SKBuff, vlan: int, port_ifindex: int) -> None:
+    def forward(self, skb: SKBuff, vlan: int, port_ifindex: int) -> bool:
+        """Forward out one port; False when egress is blocked/filtered."""
         port = self.ports.get(port_ifindex)
         if port is None or not port.forwarding or not self.egress_allowed(port, vlan):
-            return
+            return False
         frame = self._egress_frame(skb, vlan, port)
         self.kernel.stack.emit_tx(port.device, frame)
         port.device.transmit(frame)
+        return True
 
-    def flood(self, skb: SKBuff, vlan: int, exclude_ifindex: Optional[int] = None) -> None:
+    def flood(self, skb: SKBuff, vlan: int, exclude_ifindex: Optional[int] = None) -> int:
+        """Flood to all eligible ports; returns the number of transmits."""
         self.flood_count += 1
+        sent = 0
         for ifindex, port in sorted(self.ports.items()):
             if ifindex == exclude_ifindex or not port.forwarding:
                 continue
@@ -275,6 +295,8 @@ class Bridge:
             frame = self._egress_frame(skb, vlan, port)
             self.kernel.stack.emit_tx(port.device, frame)
             port.device.transmit(frame)
+            sent += 1
+        return sent
 
     def transmit_from_upper(self, frame: bytes) -> None:
         """IP output on the bridge interface: FDB-forward or flood."""

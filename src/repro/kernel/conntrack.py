@@ -23,6 +23,9 @@ CT_CLOSED = "CLOSED"
 
 UDP_TIMEOUT_NS = 30 * 1_000_000_000
 TCP_TIMEOUT_NS = 300 * 1_000_000_000
+# FIN/RST-closed flows must not linger for the full established timeout;
+# mirrors nf_conntrack_tcp_timeout_close.
+TCP_CLOSE_TIMEOUT_NS = 10 * 1_000_000_000
 
 
 @dataclass(frozen=True)
@@ -56,7 +59,11 @@ class ConnEntry:
     dnat_to: Optional[Tuple[IPv4Addr, int]] = None
 
     def timeout_ns(self) -> int:
-        return TCP_TIMEOUT_NS if self.tuple.proto == IPPROTO_TCP else UDP_TIMEOUT_NS
+        if self.tuple.proto != IPPROTO_TCP:
+            return UDP_TIMEOUT_NS
+        if self.state == CT_CLOSED:
+            return TCP_CLOSE_TIMEOUT_NS
+        return TCP_TIMEOUT_NS
 
 
 class Conntrack:

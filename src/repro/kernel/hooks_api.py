@@ -33,12 +33,30 @@ TC_ACT_OK = 0
 TC_ACT_SHOT = 2
 TC_ACT_REDIRECT = 7
 
+XDP_ACTION_NAMES = {
+    XDP_ABORTED: "XDP_ABORTED",
+    XDP_DROP: "XDP_DROP",
+    XDP_PASS: "XDP_PASS",
+    XDP_TX: "XDP_TX",
+    XDP_REDIRECT: "XDP_REDIRECT",
+    XDP_CONSUMED: "XDP_CONSUMED",
+}
+
+TC_ACTION_NAMES = {
+    TC_ACT_OK: "TC_ACT_OK",
+    TC_ACT_SHOT: "TC_ACT_SHOT",
+    TC_ACT_REDIRECT: "TC_ACT_REDIRECT",
+}
+
 
 @dataclass
 class XdpResult:
     verdict: int
     frame: bytes  # possibly rewritten
     redirect_ifindex: Optional[int] = None
+    # True when the verdict came from a program fault rather than policy;
+    # lets drop accounting distinguish xdp_aborted from xdp_drop.
+    aborted: bool = False
 
 
 @dataclass
@@ -46,3 +64,4 @@ class TcResult:
     verdict: int
     frame: bytes  # possibly rewritten
     redirect_ifindex: Optional[int] = None
+    aborted: bool = False

@@ -90,6 +90,13 @@ class Kernel:
         self.ipvs = Ipvs(self.conntrack)
         self.sysctl = Sysctl()
         self.sockets = SocketTable(self)
+        from repro.observability.monitor import Observability
+
+        self.observability = Observability(self)
+        # the profiler feeds the packet tracer (stage events) and the
+        # per-stage latency histograms
+        self.profiler.tracer = self.observability.tracer
+        self.profiler.stage_observer = self.observability.record_stage
         self.stack = Stack(self)
         from repro.fastpath import FlowCache  # local import: cycle guard
 
@@ -435,10 +442,15 @@ class Kernel:
         from repro.kernel.interfaces import BridgeDevice as _Bridge
 
         aged = sum(d.bridge.age_fdb() for d in self.devices.all() if isinstance(d, _Bridge))
+        timed_out = self.stack.reassembler.gc()
+        # fragments settled as reasm_hold when received; record the reason
+        # without re-settling
+        for __ in range(timed_out):
+            self.stack.drop("frag_timeout", terminal=False)
         return {
             "fdb_aged": aged,
             "conntrack_expired": self.conntrack.gc(),
-            "fragments_timed_out": self.stack.reassembler.gc(),
+            "fragments_timed_out": timed_out,
         }
 
     def _notify_link(self, dev: NetDevice) -> None:

@@ -122,6 +122,10 @@ class Netfilter:
         self._next_handle = 1
         # Generation tag for the flow cache: bumped on every ruleset mutation.
         self.gen = 0
+        # Per-chain verdict counters (observability): chain -> verdict -> n.
+        from collections import Counter
+
+        self.verdicts: Dict[str, Counter] = {name: Counter() for name in BUILTIN_CHAINS}
 
     def chain(self, name: str) -> Chain:
         try:
@@ -191,6 +195,7 @@ class Netfilter:
         chain = self.chain(chain_name)
         ip = skb.pkt.ip
         if ip is None:
+            self.verdicts[chain_name][ACCEPT] += 1
             return ACCEPT, 0
         scanned = 0
         for rule in chain.rules:
@@ -202,5 +207,7 @@ class Netfilter:
                 rule.packets += 1
                 if rule.target == RETURN:
                     break
+                self.verdicts[chain_name][rule.target] += 1
                 return rule.target, scanned
+        self.verdicts[chain_name][chain.policy] += 1
         return chain.policy, scanned

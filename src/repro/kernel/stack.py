@@ -6,6 +6,15 @@ driver â†’ XDP hook â†’ sk_buff allocation â†’ TC ingress â†’ bridge handling â†
 TC egress â†’ driver. Stage names recorded in the profiler match the kernel
 functions a flame graph of real Linux forwarding shows (paper Fig 1), and
 every stage charges its calibrated cost to the simulated clock.
+
+Packet accounting follows the kernel's ``kfree_skb`` drop-reason model:
+every packet that enters the pipeline (``rx_packets`` at a driver,
+``tx_local_packets`` at the socket layer) reaches exactly one terminal â€”
+:meth:`finish` for a non-drop outcome or :meth:`drop` with a registered
+reason â€” or sits in a neighbor queue awaiting ARP (``pending_packets``).
+The conservation invariant ``rx + tx_local == settled + pending`` holds at
+all times; the differential test suite enforces it under randomized
+traffic.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from repro.kernel.fib import Route
 from repro.kernel.hooks_api import (
     TC_ACT_REDIRECT,
     TC_ACT_SHOT,
+    TC_ACTION_NAMES,
+    XDP_ACTION_NAMES,
     XDP_CONSUMED,
     XDP_DROP,
     XDP_PASS,
@@ -44,12 +55,19 @@ from repro.netsim.packet import (
     make_arp_request,
 )
 from repro.netsim.skbuff import SKBuff
+from repro.observability.drop_reasons import drop_reason
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
 
 VXLAN_HDR = struct.Struct("!B3xI")  # flags, reserved, (vni << 8)
 VXLAN_FLAG_VNI = 0x08
+
+
+def _is_martian_source(addr: IPv4Addr) -> bool:
+    """Sources that must never appear on the forward path (RFC 1812 Â§5.3.7,
+    narrowed to the unambiguous cases: loopback, multicast, broadcast)."""
+    return (addr.value >> 24) == 127 or addr.is_multicast or addr.is_broadcast
 
 
 class Stack:
@@ -62,6 +80,12 @@ class Stack:
         self.delivered_local = 0
         self.xdp_actions: Counter = Counter()
         self.tc_actions: Counter = Counter()
+        # --- the packet ledger ---
+        self.rx_packets = 0        # frames entering at a driver
+        self.tx_local_packets = 0  # locally-generated packets entering output
+        self.settled = 0           # packets that reached exactly one terminal
+        self.dropped = 0           # terminal settles that were drops
+        self.outcomes: Counter = Counter()  # non-drop terminals by name
         # Transmit observation taps: called as tap(ifindex, frame) for every
         # slow-path transmit. The differential watchdog installs one to
         # capture the plain kernel's output for a sampled packet.
@@ -75,10 +99,88 @@ class Stack:
         for tap in self.tx_taps:
             tap(dev.ifindex, frame)
 
+    # -------------------------------------------------------- the ledger
+
+    def drop(
+        self,
+        reason: str,
+        dev: Optional[NetDevice] = None,
+        skb: Optional[SKBuff] = None,
+        terminal: bool = True,
+    ) -> None:
+        """Discard a packet for a *registered* reason (``kfree_skb`` style).
+
+        Raises :class:`~repro.observability.drop_reasons.UnknownDropReason`
+        for an unregistered name, so silent unaccounted discards cannot be
+        introduced. ``terminal=False`` records the reason without settling â€”
+        used when the packet already settled (e.g. fragments that settled as
+        ``reasm_hold`` before their reassembly queue timed out).
+        """
+        info = drop_reason(reason)
+        self.drops[reason] += 1
+        obs = getattr(self.kernel, "observability", None)
+        if obs is not None:
+            obs.drops.record(info, dev.name if dev is not None else None)
+            if obs.tracer.recording:
+                obs.tracer.event("kfree_skb", reason)
+                obs.tracer.set_outcome(f"drop:{reason}")
+        if terminal and self._settle(skb):
+            self.dropped += 1
+
+    def finish(
+        self,
+        outcome: str,
+        dev: Optional[NetDevice] = None,
+        skb: Optional[SKBuff] = None,
+    ) -> None:
+        """A packet reached a non-drop terminal (transmitted, delivered,
+        consumed). Counted once per packet: re-finishing an already-settled
+        skb (a fragment piece, a drained neighbor-queue entry) is a no-op
+        for the ledger."""
+        obs = getattr(self.kernel, "observability", None)
+        if obs is not None and obs.tracer.recording:
+            obs.tracer.set_outcome(outcome)
+        if self._settle(skb):
+            self.outcomes[outcome] += 1
+
+    def _settle(self, skb: Optional[SKBuff]) -> bool:
+        if skb is not None:
+            if skb.accounted:
+                return False
+            skb.accounted = True
+        self.settled += 1
+        return True
+
+    def pending_packets(self) -> int:
+        """Packets queued in neighbor entries awaiting ARP resolution."""
+        return sum(len(e.queued) for e in self.kernel.neighbors.entries())
+
+    def _trace_event(self, stage: str, detail: str = "") -> None:
+        obs = getattr(self.kernel, "observability", None)
+        if obs is not None and obs.tracer.recording:
+            obs.tracer.event(stage, detail)
+
     # ------------------------------------------------------------------ RX
 
     def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
         """Entry point for a frame arriving on ``dev``."""
+        self.rx_packets += 1
+        obs = getattr(self.kernel, "observability", None)
+        token = None
+        if obs is not None and obs.tracer.armed:
+            pkt = None
+            try:
+                pkt = Packet.from_bytes(frame)
+            except PacketError:
+                pass
+            token = obs.tracer.begin("rx", dev.name, pkt)
+        try:
+            self._receive(dev, frame, queue)
+        finally:
+            if token is not None:
+                obs.tracer.end(token)
+
+    def _receive(self, dev: NetDevice, frame: bytes, queue: int) -> None:
         kernel = self.kernel
         if isinstance(dev, PhysicalDevice):
             kernel.costs_charge("driver_rx")
@@ -97,24 +199,28 @@ class Stack:
             else:
                 result = dev.xdp_prog.run_xdp(kernel, dev, frame)
             self.xdp_actions[result.verdict] += 1
+            self._trace_event("xdp", XDP_ACTION_NAMES.get(result.verdict, str(result.verdict)))
             if result.verdict == XDP_DROP:
-                self.drops["xdp_drop"] += 1
+                self.drop("xdp_drop", dev)
                 return
             if result.verdict == XDP_TX:
                 dev.transmit(result.frame)
+                self.finish("xdp_tx", dev)
                 return
             if result.verdict == XDP_REDIRECT:
                 kernel.costs_charge("xdp_redirect")
                 target = kernel.devices.by_index(result.redirect_ifindex)
                 target.transmit(result.frame)
+                self.finish("xdp_redirect", target)
                 return
             if result.verdict == XDP_CONSUMED:
+                self.finish("xdp_consumed", dev)
                 return  # e.g. delivered to an AF_XDP socket
             if result.verdict == XDP_PASS:
                 kernel.costs_charge("xdp_pass_to_stack")
                 frame = result.frame
             else:  # XDP_ABORTED or garbage
-                self.drops["xdp_aborted"] += 1
+                self.drop("xdp_aborted", dev)
                 return
 
         self.receive_after_xdp(dev, frame, queue)
@@ -132,7 +238,7 @@ class Stack:
         try:
             pkt = Packet.from_bytes(frame)
         except PacketError:
-            self.drops["malformed"] += 1
+            self.drop("malformed", dev)
             return
         skb = SKBuff(pkt=pkt, ifindex=dev.ifindex, rx_queue=queue)
 
@@ -148,20 +254,25 @@ class Stack:
             else:
                 result = dev.tc_ingress_prog.run_tc(kernel, dev, skb)
             self.tc_actions[result.verdict] += 1
+            self._trace_event("tc", TC_ACTION_NAMES.get(result.verdict, str(result.verdict)))
             if result.verdict == TC_ACT_SHOT:
-                self.drops["tc_shot"] += 1
+                if getattr(result, "aborted", False):
+                    self.drop("tc_aborted", dev, skb)
+                else:
+                    self.drop("tc_shot", dev, skb)
                 return
             if result.verdict == TC_ACT_REDIRECT:
                 kernel.costs_charge("tc_redirect")
                 target = kernel.devices.by_index(result.redirect_ifindex)
                 self.emit_tx(target, result.frame)
                 target.transmit(result.frame)
+                self.finish("tc_redirect", target, skb)
                 return
             if result.frame != frame:
                 try:
                     skb = SKBuff(pkt=Packet.from_bytes(result.frame), ifindex=dev.ifindex, rx_queue=queue)
                 except PacketError:
-                    self.drops["malformed"] += 1
+                    self.drop("malformed", dev)
                     return
 
         self.netif_receive(dev, skb)
@@ -178,7 +289,7 @@ class Stack:
                     with kernel.profiler.frame("br_handle_frame"):
                         passed_up = master.bridge.handle_frame(dev, skb)
                     if passed_up is None:
-                        return
+                        return  # the bridge settled it (forwarded or dropped)
                     skb = passed_up
                     dev = master
 
@@ -194,7 +305,7 @@ class Stack:
                 with kernel.profiler.frame("ip_rcv"):
                     self.ip_rcv(dev, skb)
                 return
-            self.drops["unknown_ethertype"] += 1
+            self.drop("unknown_ethertype", dev, skb)
 
     # ----------------------------------------------------------------- ARP
 
@@ -209,12 +320,12 @@ class Stack:
                 raw = reply.to_bytes()
                 self.emit_tx(dev, raw)
                 dev.transmit(raw)
-            return
-        if arp.opcode == ARP_REPLY:
+        elif arp.opcode == ARP_REPLY:
             drained = kernel.neighbors.update(dev.ifindex, arp.sender_ip, arp.sender_mac)
             for queued in drained:
                 queued_skb, route = queued
                 self.ip_finish_output(queued_skb, route)
+        self.finish("arp_rx", dev, skb)
 
     def arp_solicit(self, out_dev: NetDevice, target_ip: IPv4Addr) -> None:
         source_ip = out_dev.addresses[0].address if out_dev.addresses else IPv4Addr(0)
@@ -237,7 +348,7 @@ class Stack:
             and self._vxlan_for(skb) is not None
             and self._is_local(ip.dst)
         ):
-            self.vxlan_rcv(skb)
+            self.vxlan_rcv(skb, dev)
             return
 
         if self._is_local(ip.dst) or ip.dst.is_broadcast or self._is_local_broadcast(dev, ip.dst):
@@ -247,7 +358,10 @@ class Stack:
                     kernel.costs_charge("ip_rcv")
                     whole = self.reassembler.push(skb.pkt)
                 if whole is None:
-                    return  # waiting for more fragments
+                    # waiting for more fragments: this frame settles here;
+                    # the completing fragment carries the packet onward
+                    self.finish("reasm_hold", dev, skb)
+                    return
                 skb.pkt = whole
                 ip = skb.pkt.ip
             # ipvs virtual services intercept at local-in.
@@ -256,13 +370,16 @@ class Stack:
             with kernel.profiler.frame("nf_hook_slow[INPUT]"):
                 verdict, __ = kernel.netfilter.evaluate("INPUT", skb, in_name=dev.name)
             if verdict != "ACCEPT":
-                self.drops["nf_input"] += 1
+                self.drop("nf_input", dev, skb)
                 return
             self.local_deliver(skb)
             return
 
         if not kernel.sysctl.get_bool("net.ipv4.ip_forward"):
-            self.drops["not_forwarding"] += 1
+            self.drop("not_forwarding", dev, skb)
+            return
+        if kernel.sysctl.get_bool("net.ipv4.conf.all.rp_filter") and _is_martian_source(ip.src):
+            self.drop("martian_source", dev, skb)
             return
         self.ip_forward(dev, skb)
 
@@ -270,7 +387,7 @@ class Stack:
         kernel = self.kernel
         ip = skb.pkt.ip
         if ip.ttl <= 1:
-            self.drops["ttl_exceeded"] += 1
+            self.drop("ttl_exceeded", dev, skb)
             self._icmp_time_exceeded(dev, skb)
             return
         if ip.is_fragment:
@@ -282,7 +399,7 @@ class Stack:
             kernel.costs_charge("fib_lookup")
             route = kernel.fib.lookup(ip.dst)
         if route is None:
-            self.drops["no_route"] += 1
+            self.drop("no_route", dev, skb)
             self._icmp_unreachable(dev, skb)
             return
 
@@ -294,7 +411,7 @@ class Stack:
                 kernel.conntrack.track(skb)
             verdict, __ = kernel.netfilter.evaluate("FORWARD", skb, in_name=dev.name, out_name=out_dev.name)
         if verdict != "ACCEPT":
-            self.drops["nf_forward"] += 1
+            self.drop("nf_forward", dev, skb)
             return
 
         with kernel.profiler.frame("ip_forward"):
@@ -321,9 +438,11 @@ class Stack:
             if mac is None:
                 entry = kernel.neighbors.create_incomplete(out_dev.ifindex, next_hop)
                 if kernel.neighbors.queue_packet(entry, (skb, route)):
+                    # not settled: the packet is pending until ARP resolves
+                    self._trace_event("neigh_queued", str(next_hop))
                     self.arp_solicit(out_dev, next_hop)
                 else:
-                    self.drops["neigh_queue_full"] += 1
+                    self.drop("neigh_queue_full", out_dev, skb)
                 return
 
             skb.pkt.eth.src = out_dev.mac
@@ -341,10 +460,15 @@ class Stack:
                 kernel.costs_charge("ip_output")
                 pieces = fragment(skb.pkt, out_dev.mtu)
             if not pieces:
-                self.drops["frag_needed_df"] += 1
+                self.drop("frag_needed_df", out_dev, skb)
                 return
+            # the original datagram settles here; the pieces are already
+            # accounted so their transmits/drops don't settle again
+            self.finish("fragmented", out_dev, skb)
             for piece in pieces:
-                self._xmit_frame(out_dev, SKBuff(pkt=piece, ifindex=skb.ifindex))
+                piece_skb = SKBuff(pkt=piece, ifindex=skb.ifindex)
+                piece_skb.accounted = True
+                self._xmit_frame(out_dev, piece_skb)
             return
         self._xmit_frame(out_dev, skb)
 
@@ -357,11 +481,12 @@ class Stack:
                 result = out_dev.tc_egress_prog.run_tc(kernel, out_dev, skb)
                 self.tc_actions[result.verdict] += 1
                 if result.verdict == TC_ACT_SHOT:
-                    self.drops["tc_egress_shot"] += 1
+                    self.drop("tc_egress_shot", out_dev, skb)
                     return
                 frame = result.frame
             self.emit_tx(out_dev, frame)
             out_dev.transmit(frame)
+            self.finish("tx", out_dev, skb)
 
     # --------------------------------------------------------- local paths
 
@@ -375,27 +500,43 @@ class Stack:
             if ip.proto == IPPROTO_ICMP and isinstance(skb.pkt.l4, ICMP):
                 if skb.pkt.l4.icmp_type == ICMP_ECHO_REQUEST:
                     self._icmp_echo_reply(skb)
+                    self.finish("local_icmp", skb=skb)
                     return
             kernel.costs_charge("socket_wakeup")
             if kernel.sockets.deliver(skb):
                 self.delivered_local += 1
+                self.finish("local_socket", skb=skb)
             else:
-                self.drops["no_socket"] += 1
+                self.drop("no_socket", skb=skb)
 
     def send_ip(self, ip: IPv4, l4, payload: bytes = b"") -> None:
         """Transmit a locally-generated IP packet (the socket TX path)."""
         kernel = self.kernel
+        self.tx_local_packets += 1
         pkt = Packet(
             eth=_placeholder_eth(),
             ip=ip,
             l4=l4,
             payload=payload,
         )
+        obs = getattr(kernel, "observability", None)
+        token = None
+        if obs is not None and obs.tracer.armed:
+            token = obs.tracer.begin("tx", None, pkt)
+        try:
+            self._send_ip(pkt)
+        finally:
+            if token is not None:
+                obs.tracer.end(token)
+
+    def _send_ip(self, pkt: Packet) -> None:
+        kernel = self.kernel
         skb = SKBuff(pkt=pkt)
+        ip = pkt.ip
         with kernel.profiler.frame("nf_hook_slow[OUTPUT]"):
             verdict, __ = kernel.netfilter.evaluate("OUTPUT", skb)
         if verdict != "ACCEPT":
-            self.drops["nf_output"] += 1
+            self.drop("nf_output", skb=skb)
             return
         if self._is_local(ip.dst):
             # loopback delivery
@@ -404,7 +545,7 @@ class Stack:
         kernel.costs_charge("fib_lookup")
         route = kernel.fib.lookup(ip.dst)
         if route is None:
-            self.drops["no_route_out"] += 1
+            self.drop("no_route_out", skb=skb)
             return
         self.ip_finish_output(skb, route)
 
@@ -440,22 +581,22 @@ class Stack:
 
     # --------------------------------------------------------------- vxlan
 
-    def vxlan_rcv(self, skb: SKBuff) -> None:
+    def vxlan_rcv(self, skb: SKBuff, dev: Optional[NetDevice] = None) -> None:
         kernel = self.kernel
         kernel.costs_charge("vxlan_encap")
         payload = skb.pkt.payload
         if len(payload) < VXLAN_HDR.size:
-            self.drops["vxlan_malformed"] += 1
+            self.drop("vxlan_malformed", dev, skb)
             return
         flags, vni_field = VXLAN_HDR.unpack_from(payload)
         if not flags & VXLAN_FLAG_VNI:
-            self.drops["vxlan_malformed"] += 1
+            self.drop("vxlan_malformed", dev, skb)
             return
         vni = vni_field >> 8
         inner = payload[VXLAN_HDR.size :]
         vxlan_dev = self._vxlan_by_vni(vni)
         if vxlan_dev is None or not vxlan_dev.up:
-            self.drops["vxlan_no_vni"] += 1
+            self.drop("vxlan_no_vni", dev, skb)
             return
         # Learn the remote vtep for the inner source MAC.
         try:
@@ -463,6 +604,9 @@ class Stack:
             vxlan_dev.fdb_add(src_mac, skb.pkt.ip.src)
         except Exception:
             pass
+        # the outer packet terminates here; the decapsulated inner frame
+        # re-enters the pipeline as its own rx
+        self.finish("vxlan_decap", vxlan_dev, skb)
         vxlan_dev.deliver(inner)
 
     def vxlan_encap_out(self, vxlan_dev: VxlanDevice, inner_frame: bytes, remote: IPv4Addr) -> None:
@@ -506,7 +650,7 @@ class Stack:
             kernel.costs_charge("conntrack_create")
             dnat = kernel.ipvs.connect(tup)
             if dnat is None:
-                self.drops["ipvs_no_dest"] += 1
+                self.drop("ipvs_no_dest", dev, skb)
                 return True
         else:
             dnat = entry.dnat_to
@@ -516,7 +660,7 @@ class Stack:
         kernel.costs_charge("fib_lookup")
         route = kernel.fib.lookup(new_ip)
         if route is None:
-            self.drops["no_route"] += 1
+            self.drop("no_route", dev, skb)
             return True
         self.forwarded += 1
         self.ip_finish_output(skb, route)

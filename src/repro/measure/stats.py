@@ -45,9 +45,15 @@ def summarize(values: Sequence[float]) -> Summary:
 
 
 def flow_cache_summary(stats) -> Dict[str, object]:
-    """Flatten :class:`repro.fastpath.FlowCacheStats` for reporting."""
+    """Flatten :class:`repro.fastpath.FlowCacheStats` for reporting.
+
+    A hook with no lookups at all (present only in ``records``) has no hit
+    rate — it is omitted, and the overall rate is ``None``, rather than a
+    misleading 0.00%.
+    """
     data = stats.as_dict()
-    data["hit_rate"] = stats.hit_rate()
+    saw_traffic = any(stats.hits.values()) or any(stats.misses.values())
+    data["hit_rate"] = stats.hit_rate() if saw_traffic else None
     for hook in ("xdp", "tc"):
         if stats.hits[hook] or stats.misses[hook]:
             data[f"hit_rate_{hook}"] = stats.hit_rate(hook)
@@ -56,15 +62,21 @@ def flow_cache_summary(stats) -> Dict[str, object]:
 
 def format_flow_cache(stats) -> List[str]:
     """Human-readable report lines for the flow cache counters."""
+    saw_traffic = any(stats.hits.values()) or any(stats.misses.values())
+    overall = f"{stats.hit_rate() * 100:6.2f}%" if saw_traffic else "   n/a"
     lines = [
-        f"hit rate        {stats.hit_rate() * 100:6.2f}%  "
+        f"hit rate        {overall}  "
         f"(hits={sum(stats.hits.values())}, misses={sum(stats.misses.values())}, "
         f"bypasses={sum(stats.bypasses.values())})",
     ]
     for hook in sorted(set(stats.hits) | set(stats.misses) | set(stats.records)):
+        if stats.hits[hook] or stats.misses[hook]:
+            rate = f"{stats.hit_rate(hook) * 100:.2f}%"
+        else:
+            rate = "n/a"  # records exist but no lookups yet: no rate to report
         lines.append(
             f"  {hook:<4} hits={stats.hits[hook]} misses={stats.misses[hook]} "
-            f"records={stats.records[hook]} rate={stats.hit_rate(hook) * 100:.2f}%"
+            f"records={stats.records[hook]} rate={rate}"
         )
     for fpm, count in sorted(stats.fpm_hits.items()):
         lines.append(f"  fpm {fpm:<8} runs avoided: {count}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.netsim.clock import Clock
 
@@ -25,26 +25,42 @@ class Profiler:
         self.enabled = enabled
         self._stack: List[str] = []
         self._samples: Counter = Counter()  # tuple(stack) -> weight_ns
+        # Observability taps, wired by the kernel: the packet tracer records
+        # stage names on traced packets; the stage observer feeds the per-stage
+        # latency histograms. Both run regardless of `enabled` (flame-graph
+        # sampling stays opt-in; histograms/tracing have their own switches).
+        self.tracer = None
+        self.stage_observer: Optional[Callable[[str, int], None]] = None
 
     @contextmanager
     def frame(self, name: str) -> Iterator[None]:
         """Push ``name`` for the duration of the block, charging elapsed ns."""
-        if not self.enabled:
+        tracer = self.tracer
+        if tracer is not None and tracer.recording:
+            tracer.event("stage", name)
+        observer = self.stage_observer
+        if not self.enabled and observer is None:
             yield
             return
-        self._stack.append(name)
+        if self.enabled:
+            self._stack.append(name)
         start = self.clock.now_ns
         try:
             yield
         finally:
             elapsed = self.clock.now_ns - start
             if elapsed > 0:
-                self._samples[tuple(self._stack)] += elapsed
-            self._stack.pop()
+                if self.enabled and self._stack and self._stack[-1] == name:
+                    self._samples[tuple(self._stack)] += elapsed
+                if observer is not None:
+                    observer(name, elapsed)
+            if self.enabled and self._stack and self._stack[-1] == name:
+                self._stack.pop()
 
     def reset(self) -> None:
+        """Drop recorded samples. Safe mid-packet: the live frame chain is
+        preserved so in-flight ``frame()`` exits still pop their own entry."""
         self._samples.clear()
-        self._stack.clear()
 
     @property
     def samples(self) -> Dict[Tuple[str, ...], int]:

@@ -29,6 +29,10 @@ class SKBuff:
     priority: int = 0
     # Free-form scratch space (mirrors skb->cb) used by encapsulation layers.
     cb: Dict[str, Any] = field(default_factory=dict)
+    # Set when the packet reached its terminal in the stack's ledger; a
+    # settled skb re-entering a terminal (drained neighbor queue, fragment
+    # piece) must not be counted twice.
+    accounted: bool = False
 
     @property
     def frame_len(self) -> int:

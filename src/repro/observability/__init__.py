@@ -1,0 +1,45 @@
+"""Observability layer: drop reasons, packet tracing, latency histograms,
+and the unified metrics registry (paper §IV-C counters / Fig 1 / Table VI
+artifacts, regenerable via ``python -m repro.tools.fpmtool``)."""
+
+from repro.observability.drop_reasons import (
+    DropReason,
+    UnknownDropReason,
+    all_reasons,
+    drop_reason,
+    reason_names,
+    register_drop_reason,
+    scan_drop_sites,
+    self_check,
+)
+from repro.observability.histogram import HistogramSet, Log2Histogram
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.monitor import DropMonitor, Observability
+from repro.observability.tracer import (
+    PacketTrace,
+    PacketTracer,
+    TraceFilter,
+    TraceFilterError,
+    describe_packet,
+)
+
+__all__ = [
+    "DropReason",
+    "UnknownDropReason",
+    "all_reasons",
+    "drop_reason",
+    "reason_names",
+    "register_drop_reason",
+    "scan_drop_sites",
+    "self_check",
+    "HistogramSet",
+    "Log2Histogram",
+    "MetricsRegistry",
+    "DropMonitor",
+    "Observability",
+    "PacketTrace",
+    "PacketTracer",
+    "TraceFilter",
+    "TraceFilterError",
+    "describe_packet",
+]

@@ -1,0 +1,201 @@
+"""The unified metrics registry: one snapshot over everything observable.
+
+Collects the stack's packet ledger and drop counters, netfilter per-chain
+verdicts, flow-cache statistics, conntrack occupancy, the latency
+histograms, tracer state, and — when a controller is attached — control
+plane health, incidents, and watchdog verdicts. Exported two ways:
+Prometheus text exposition (``to_prometheus``) for scrape-style tooling and
+JSON (``to_json``) for scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.observability.drop_reasons import drop_reason
+
+_PROM_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_PROM_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _labels(**kwargs) -> str:
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in kwargs.items())
+    return f"{{{inner}}}" if inner else ""
+
+
+class MetricsRegistry:
+    """Snapshot/export facade over a kernel (and optional controller)."""
+
+    def __init__(self, kernel, controller=None) -> None:
+        self.kernel = kernel
+        self.controller = controller
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, object]:
+        kernel = self.kernel
+        stack = kernel.stack
+        obs = kernel.observability
+        data: Dict[str, object] = {
+            "host": kernel.hostname,
+            "now_ns": kernel.clock.now_ns,
+            "stack": {
+                "rx_packets": stack.rx_packets,
+                "tx_local_packets": stack.tx_local_packets,
+                "settled": stack.settled,
+                "pending": stack.pending_packets(),
+                "forwarded": stack.forwarded,
+                "delivered_local": stack.delivered_local,
+                "outcomes": dict(stack.outcomes),
+                "drops": dict(stack.drops),
+            },
+            "drops_by_device": {
+                f"{device}/{reason}": count
+                for (device, reason), count in sorted(obs.drops.by_device.items())
+            },
+            "drops_by_subsys": dict(obs.drops.by_subsys),
+            "netfilter": {
+                chain: dict(verdicts)
+                for chain, verdicts in sorted(kernel.netfilter.verdicts.items())
+                if verdicts
+            },
+            "conntrack": {
+                "entries": len(kernel.conntrack),
+                "states": dict(Counter(e.state for e in kernel.conntrack.entries())),
+            },
+            "stage_latency": obs.stage_latency.as_dict(),
+            "fpm_latency": obs.fpm_latency.as_dict(),
+            "tracer": obs.tracer.summary(),
+        }
+        cache = getattr(kernel, "flow_cache", None)
+        if cache is not None:
+            from repro.measure.stats import flow_cache_summary
+
+            data["flow_cache"] = {"enabled": cache.enabled, **flow_cache_summary(cache.stats)}
+        if self.controller is not None:
+            ctl = self.controller
+            data["controller"] = {
+                "health": ctl.health(),
+                "rebuilds": ctl.rebuilds,
+                "reactions": len(ctl.reactions),
+                "incidents_by_kind": dict(Counter(i.kind for i in ctl.incidents)),
+                "deployed": ctl.deployed_summary(),
+            }
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
+
+    # ------------------------------------------------------------ prometheus
+
+    def to_prometheus(self) -> str:
+        kernel = self.kernel
+        stack = kernel.stack
+        obs = kernel.observability
+        lines: List[str] = []
+
+        def family(name: str, kind: str, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        def sample(name: str, value, **labels) -> None:
+            lines.append(f"{name}{_labels(**labels)} {value}")
+
+        family("linuxfp_rx_packets_total", "counter", "Packets entering the pipeline at a driver.")
+        sample("linuxfp_rx_packets_total", stack.rx_packets)
+        family("linuxfp_tx_local_packets_total", "counter", "Locally-generated packets entering the output path.")
+        sample("linuxfp_tx_local_packets_total", stack.tx_local_packets)
+        family("linuxfp_settled_packets_total", "counter", "Packets that reached a terminal outcome (delivered, transmitted, or dropped).")
+        sample("linuxfp_settled_packets_total", stack.settled)
+        family("linuxfp_forwarded_packets_total", "counter", "Packets forwarded between interfaces.")
+        sample("linuxfp_forwarded_packets_total", stack.forwarded)
+        family("linuxfp_delivered_local_total", "counter", "Packets delivered to a local socket or ICMP handler.")
+        sample("linuxfp_delivered_local_total", stack.delivered_local)
+
+        family("linuxfp_outcomes_total", "counter", "Terminal non-drop outcomes by name.")
+        for outcome, count in sorted(stack.outcomes.items()):
+            sample("linuxfp_outcomes_total", count, outcome=outcome)
+
+        family("linuxfp_drops_total", "counter", "Dropped packets by registered drop reason.")
+        for name, count in sorted(stack.drops.items()):
+            try:
+                subsys = drop_reason(name).subsys
+            except KeyError:
+                subsys = "unknown"
+            sample("linuxfp_drops_total", count, reason=name, subsys=subsys)
+
+        family("linuxfp_device_drops_total", "counter", "Dropped packets by device and reason.")
+        for (device, reason), count in sorted(obs.drops.by_device.items()):
+            sample("linuxfp_device_drops_total", count, device=device, reason=reason)
+
+        family("linuxfp_netfilter_verdicts_total", "counter", "Netfilter chain traversals by final verdict.")
+        for chain, verdicts in sorted(kernel.netfilter.verdicts.items()):
+            for verdict, count in sorted(verdicts.items()):
+                sample("linuxfp_netfilter_verdicts_total", count, chain=chain, verdict=verdict)
+
+        family("linuxfp_conntrack_entries", "gauge", "Conntrack table occupancy by state.")
+        for state, count in sorted(Counter(e.state for e in kernel.conntrack.entries()).items()):
+            sample("linuxfp_conntrack_entries", count, state=state)
+
+        cache = getattr(kernel, "flow_cache", None)
+        if cache is not None:
+            stats = cache.stats
+            family("linuxfp_flow_cache_events_total", "counter", "Flow-cache lookups by hook and result.")
+            for result, counter in (("hit", stats.hits), ("miss", stats.misses), ("bypass", stats.bypasses)):
+                for hook, count in sorted(counter.items()):
+                    sample("linuxfp_flow_cache_events_total", count, hook=hook, result=result)
+            family("linuxfp_flow_cache_fpm_hits_total", "counter", "FPM executions avoided by flow-cache replay.")
+            for fpm, count in sorted(stats.fpm_hits.items()):
+                sample("linuxfp_flow_cache_fpm_hits_total", count, fpm=fpm)
+            family("linuxfp_flow_cache_invalidations_total", "counter", "Flow-cache invalidations by reason.")
+            for reason, count in sorted(stats.invalidations.items()):
+                sample("linuxfp_flow_cache_invalidations_total", count, reason=reason)
+
+        self._prom_histograms(lines, family, sample)
+
+        tracer = obs.tracer
+        family("linuxfp_tracer_captured", "gauge", "Completed traces currently held in the ring.")
+        sample("linuxfp_tracer_captured", len(tracer.ring))
+        family("linuxfp_tracer_matched_total", "counter", "Packets that matched the armed trace filter.")
+        sample("linuxfp_tracer_matched_total", tracer.matched)
+        family("linuxfp_tracer_overflowed_total", "counter", "Completed traces evicted from the full ring.")
+        sample("linuxfp_tracer_overflowed_total", tracer.overflowed)
+
+        if self.controller is not None:
+            ctl = self.controller
+            health = ctl.health()
+            family("linuxfp_controller_healthy", "gauge", "1 when no interface is degraded or quarantined.")
+            sample("linuxfp_controller_healthy", 1 if health["ok"] else 0)
+            family("linuxfp_controller_rebuilds_total", "counter", "Graph rebuilds executed.")
+            sample("linuxfp_controller_rebuilds_total", ctl.rebuilds)
+            family("linuxfp_controller_incidents_total", "counter", "Control-plane incidents by kind.")
+            for kind, count in sorted(Counter(i.kind for i in ctl.incidents).items()):
+                sample("linuxfp_controller_incidents_total", count, kind=kind)
+            if ctl.watchdog is not None:
+                wd = ctl.watchdog.summary()
+                family("linuxfp_watchdog_samples_total", "counter", "Differential watchdog samples by verdict.")
+                for key in ("agreements", "mismatches", "punts", "consumed"):
+                    sample("linuxfp_watchdog_samples_total", wd[key], verdict=key)
+
+        return "\n".join(lines) + "\n"
+
+    def _prom_histograms(self, lines, family, sample) -> None:
+        obs = self.kernel.observability
+        for metric, label, hist_set in (
+            ("linuxfp_stage_latency_ns", "stage", obs.stage_latency),
+            ("linuxfp_fpm_latency_ns", "fpm", obs.fpm_latency),
+        ):
+            if not len(hist_set):
+                continue
+            family(metric, "histogram", f"Simulated per-{label} latency, log2 buckets.")
+            for name in hist_set.names():
+                hist = hist_set[name]
+                for le, cumulative in hist.prom_buckets():
+                    sample(f"{metric}_bucket", cumulative, **{label: name, "le": le})
+                sample(f"{metric}_sum", hist.total, **{label: name})
+                sample(f"{metric}_count", hist.count, **{label: name})

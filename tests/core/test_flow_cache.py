@@ -306,6 +306,25 @@ class TestCounters:
         assert any("hit rate" in line for line in lines)
         assert any("router" in line for line in lines)
 
+    def test_stats_helpers_distinguish_no_traffic_from_zero(self):
+        """Regression: a cache with no lookups reported a misleading 0.00%
+        hit rate. No traffic means no rate at all."""
+        from repro.fastpath import FlowCacheStats
+        from repro.measure.stats import flow_cache_summary, format_flow_cache
+
+        stats = FlowCacheStats()
+        stats.records["xdp"] += 2  # warmed entries, but no lookup ever ran
+        summary = flow_cache_summary(stats)
+        assert summary["hit_rate"] is None
+        assert "hit_rate_xdp" not in summary
+        lines = format_flow_cache(stats)
+        assert "n/a" in lines[0]
+        assert any("xdp" in line and "rate=n/a" in line for line in lines)
+        # a genuinely cold cache that DID see traffic still reports 0.00%
+        stats.misses["xdp"] += 1
+        assert flow_cache_summary(stats)["hit_rate"] == 0.0
+        assert "0.00%" in format_flow_cache(stats)[0]
+
 
 class TestControllerIntegration:
     def test_cache_disabled_by_default(self):

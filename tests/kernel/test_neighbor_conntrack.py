@@ -8,6 +8,8 @@ from repro.kernel.conntrack import (
     CT_NEW,
     ConnTuple,
     Conntrack,
+    TCP_CLOSE_TIMEOUT_NS,
+    TCP_TIMEOUT_NS,
     UDP_TIMEOUT_NS,
 )
 from repro.kernel.neighbor import (
@@ -154,6 +156,39 @@ class TestConntrack:
         ct.track(tcp_skb())
         entry = ct.track(tcp_skb(flags=TCP.FIN | TCP.ACK))
         assert entry.state == CT_CLOSED
+
+    def test_closed_tcp_expires_at_close_timeout(self):
+        """Regression: FIN-closed flows must not linger for the full
+        established timeout — they use nf_conntrack_tcp_timeout_close."""
+        clock = Clock()
+        ct = Conntrack(clock)
+        ct.track(tcp_skb())
+        entry = ct.track(tcp_skb(flags=TCP.FIN | TCP.ACK))
+        assert entry.state == CT_CLOSED
+        assert entry.timeout_ns() == TCP_CLOSE_TIMEOUT_NS
+        clock.advance(TCP_CLOSE_TIMEOUT_NS + 1)
+        assert ct.lookup(ConnTuple.from_skb(tcp_skb())) is None
+        assert len(ct) == 0
+
+    def test_closed_tcp_gc_collected_early(self):
+        clock = Clock()
+        ct = Conntrack(clock)
+        ct.track(tcp_skb())
+        ct.track(tcp_skb(flags=TCP.RST))
+        gen_before = ct.gen
+        clock.advance(TCP_CLOSE_TIMEOUT_NS + 1)
+        assert ct.gc() == 1
+        assert ct.gen > gen_before
+
+    def test_established_tcp_keeps_long_timeout(self):
+        clock = Clock()
+        ct = Conntrack(clock)
+        ct.track(tcp_skb())
+        entry = ct.track(tcp_skb(src="10.0.0.2", dst="10.0.0.1", sport=200, dport=100))
+        assert entry.state == CT_ESTABLISHED
+        assert entry.timeout_ns() == TCP_TIMEOUT_NS
+        clock.advance(TCP_CLOSE_TIMEOUT_NS + 1)  # past close timeout only
+        assert ct.lookup(ConnTuple.from_skb(tcp_skb())) is entry
 
     def test_non_l4_packet_not_tracked(self):
         from repro.netsim.packet import make_arp_request

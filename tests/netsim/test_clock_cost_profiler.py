@@ -133,6 +133,27 @@ class TestProfiler:
         prof.reset()
         assert prof.samples == {}
 
+    def test_reset_inside_nested_frame_is_safe(self):
+        """Regression: reset() mid-packet used to clear the live frame stack,
+        so the enclosing frame() exits popped from an empty list."""
+        clock = Clock()
+        prof = Profiler(clock, enabled=True)
+        with prof.frame("rx"):
+            clock.advance(10)
+            with prof.frame("ip_rcv"):
+                clock.advance(5)
+                prof.reset()  # must not corrupt the in-flight chain
+                clock.advance(5)
+            clock.advance(10)
+        # samples taken before the reset are gone; frames that closed after
+        # it recorded cleanly against the preserved stack
+        assert prof.samples[("rx",)] == 30
+        assert prof.samples[("rx", "ip_rcv")] == 10
+        # and the stack fully unwound: a fresh top-level frame stands alone
+        with prof.frame("next"):
+            clock.advance(1)
+        assert ("next",) in prof.samples
+
     def test_many_siblings_subtract_from_parent(self):
         clock = Clock()
         prof = Profiler(clock, enabled=True)

@@ -1,0 +1,65 @@
+"""Tests for the SKB_DROP_REASON-style registry and its static audit."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.observability.drop_reasons import (
+    DropReason,
+    UnknownDropReason,
+    all_reasons,
+    drop_reason,
+    reason_names,
+    scan_drop_sites,
+    self_check,
+)
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        reason = drop_reason("ttl_exceeded")
+        assert isinstance(reason, DropReason)
+        assert reason.subsys == "ip"
+        assert reason.description
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownDropReason):
+            drop_reason("definitely_not_registered")
+
+    def test_catalog_is_nonempty_and_named(self):
+        reasons = all_reasons()
+        assert len(reasons) >= 20
+        assert set(reason_names()) == {r.name for r in reasons}
+        for r in reasons:
+            assert r.name == r.name.lower()
+
+    def test_stack_refuses_unregistered_reason(self):
+        kernel = Kernel("k")
+        with pytest.raises(UnknownDropReason):
+            kernel.stack.drop("bogus_reason")
+
+
+class TestStaticAudit:
+    def test_real_tree_is_clean(self):
+        assert self_check() == []
+
+    def test_every_reason_has_a_site(self):
+        sites = scan_drop_sites()
+        for name in reason_names():
+            assert name in sites, f"{name} has no drop() call site"
+
+    def test_unregistered_site_detected(self, tmp_path):
+        pkg = tmp_path / "kernel"
+        pkg.mkdir()
+        (pkg / "stack.py").write_text('self.drop("made_up_reason", dev)\n')
+        problems = self_check(src_root=str(tmp_path), extra_known=reason_names())
+        assert any("made_up_reason" in p for p in problems)
+
+    def test_orphan_registration_detected(self, tmp_path):
+        (tmp_path / "kernel").mkdir()
+        problems = self_check(src_root=str(tmp_path))
+        # no sites at all: every registered reason is flagged as orphaned
+        assert any("ttl_exceeded" in p for p in problems)
+
+    def test_extra_known_suppresses_orphans(self, tmp_path):
+        (tmp_path / "kernel").mkdir()
+        assert self_check(src_root=str(tmp_path), extra_known=reason_names()) == []

@@ -1,0 +1,101 @@
+"""CLI tests for ``python -m repro.tools.fpmtool``."""
+
+import json
+
+import pytest
+
+from repro.tools.fpmtool import main
+
+
+def run(capsys, argv):
+    rc = main(argv)
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestSelfCheck:
+    def test_clean_tree_passes(self, capsys):
+        rc, out = run(capsys, ["drops", "--self-check"])
+        assert rc == 0
+        assert "audit clean" in out
+
+    def test_needs_no_scenario(self, capsys):
+        # --self-check must not build topologies or inject traffic
+        rc, out = run(capsys, ["--packets", "999999", "drops", "--self-check"])
+        assert rc == 0
+
+
+class TestDrops:
+    def test_router_drop_table_and_ledger(self, capsys):
+        rc, out = run(capsys, ["--scenario", "router", "--packets", "24", "drops"])
+        assert rc == 0
+        assert "ttl_exceeded" in out
+        assert "no_route" in out
+        assert "malformed" in out
+        assert "balanced" in out
+
+    def test_gateway_includes_blacklist_drop(self, capsys):
+        rc, out = run(capsys, ["--scenario", "gateway", "--packets", "24", "drops"])
+        assert rc == 0
+        # the blacklisted source dies in the fast path (xdp_drop) or, on the
+        # slow path, in filter/FORWARD (nf_forward)
+        assert "xdp_drop" in out or "nf_forward" in out
+
+
+class TestTrace:
+    def test_filtered_trace(self, capsys):
+        rc, out = run(
+            capsys,
+            ["--scenario", "router", "--packets", "8", "trace",
+             "--filter", "proto=udp,dport=9", "--limit", "2"],
+        )
+        assert rc == 0
+        assert "matched" in out
+        assert "#" in out  # at least one rendered trace header
+
+    def test_bad_filter_rejected(self, capsys):
+        rc = main(["trace", "--filter", "color=red"])
+        assert rc == 2
+
+
+class TestMetrics:
+    def test_json_output_parses(self, capsys):
+        rc, out = run(
+            capsys, ["--scenario", "router", "--packets", "8", "metrics", "--format", "json"]
+        )
+        assert rc == 0
+        snap = json.loads(out)
+        assert snap["stack"]["rx_packets"] > 0
+        assert "controller" in snap
+
+    def test_prom_output(self, capsys):
+        rc, out = run(
+            capsys, ["--scenario", "router", "--packets", "8", "metrics", "--format", "prom"]
+        )
+        assert rc == 0
+        assert "# TYPE linuxfp_rx_packets_total counter" in out
+        assert "linuxfp_controller_healthy" in out
+
+
+class TestProgAndMap:
+    def test_prog_list_shows_deployed_fast_paths(self, capsys):
+        rc, out = run(capsys, ["--scenario", "router", "--packets", "8", "prog", "list"])
+        assert rc == 0
+        assert "eth0" in out and "eth1" in out
+        assert "linuxfp_" in out
+
+    def test_map_dump_shows_prog_array_slots(self, capsys):
+        rc, out = run(capsys, ["--scenario", "router", "--packets", "8", "map", "dump"])
+        assert rc == 0
+        assert "prog_array" in out
+        assert "slot 0" in out
+
+
+class TestArgs:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "mesh", "drops"])
