@@ -338,6 +338,9 @@ class Controller:
             "resyncs": self.resyncs,
             "incidents": len(self.incidents),
             "watchdog": self.watchdog.summary() if self.watchdog is not None else None,
+            "migrations": {
+                n: r.to_dict() for n, r in sorted(self.deployer.migrations.items())
+            },
         }
 
     def deployed_summary(self) -> Dict[str, str]:

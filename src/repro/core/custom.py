@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.ebpf.maps import BpfMap
 
@@ -42,6 +42,15 @@ class CustomFpm:
     fn_source: str  # minic `static u64 fpm_<name>(...) { ... }` (template)
     point: str = "ingress"
     maps: Dict[str, BpfMap] = field(default_factory=dict)
+    #: When True (the default), every synthesized program shares these map
+    #: *objects* — state trivially survives redeploys, like a bpffs-pinned
+    #: map. When False, each synthesis gets fresh clones and the Deployer
+    #: live-migrates compatible state from the old program's maps.
+    pin_maps: bool = True
+    #: Names of maps keyed by flow identity. Flow arrival is unbounded, so
+    #: the synthesizer upgrades these from plain hash to LRU-hash semantics
+    #: (evict-oldest instead of wedging at ``max_entries``).
+    flow_keyed: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):
@@ -50,6 +59,9 @@ class CustomFpm:
             raise CustomFpmError(f"bad injection point {self.point!r}; use one of {VALID_POINTS}")
         if f"fpm_{self.name}" not in self.fn_source:
             raise CustomFpmError(f"fn_source must define fpm_{self.name}(...)")
+        for map_name in self.flow_keyed:
+            if map_name not in self.maps:
+                raise CustomFpmError(f"flow_keyed names unknown map {map_name!r}")
 
     @property
     def decls(self) -> List[str]:
@@ -97,4 +109,66 @@ def read_protocol_counter(custom: CustomFpm, proto: int) -> int:
     counters = next(iter(custom.maps.values()))
     key = bytes([0, 0, 0, proto & 0xFF])
     value = counters.lookup(key)
+    return int.from_bytes(value, "big") if value else 0
+
+
+FLOW_COUNTER_TEMPLATE = """
+static u64 fpm_{name}(u8* pkt, u64 len, u64 ifindex) {{
+    // monitoring module: per-flow packet counters keyed by 4-tuple
+    if (len < 38) {{ return {{{{ CONTINUE }}}}; }}
+    if (ld16(pkt, 12) != 0x0800) {{ return {{{{ CONTINUE }}}}; }}
+    u64 proto = ld8(pkt, 23);
+    if (proto != 6) {{
+        if (proto != 17) {{ return {{{{ CONTINUE }}}}; }}
+    }}
+    u64 key[2];
+    st32(key, 0, ld32(pkt, 26));
+    st32(key, 4, ld32(pkt, 30));
+    st16(key, 8, ld16(pkt, 34));
+    st16(key, 10, ld16(pkt, 36));
+    u64 cnt[1];
+    st64(cnt, 0, 0);
+    map_read({map_name}, key, cnt);
+    st64(cnt, 0, ld64(cnt, 0) + 1);
+    map_update({map_name}, key, cnt);
+    return {{{{ CONTINUE }}}};
+}}
+"""
+
+
+def make_flow_counter(name: str = "flowmon", max_flows: int = 1024, pin_maps: bool = True) -> CustomFpm:
+    """A monitoring FPM counting packets per TCP/UDP flow.
+
+    The counter map is *flow-keyed* (src, dst, sport, dport — 12 bytes):
+    flows arrive without bound, so the module declares it in ``flow_keyed``
+    and the synthesizer upgrades the plain hash map to LRU semantics. With
+    ``pin_maps=False`` each redeploy gets fresh maps and relies on the
+    Deployer's live state migration instead of sharing.
+    """
+    from repro.ebpf.maps import HashMap
+
+    map_name = f"{name}_flows"
+    flows = HashMap(map_name, key_size=12, value_size=8, max_entries=max_flows)
+    return CustomFpm(
+        name=name,
+        fn_source=FLOW_COUNTER_TEMPLATE.format(name=name, map_name=map_name),
+        point="ingress",
+        maps={map_name: flows},
+        pin_maps=pin_maps,
+        flow_keyed=(map_name,),
+    )
+
+
+def flow_counter_key(src, dst, sport: int, dport: int) -> bytes:
+    """The map key ``fpm_flowmon`` builds for a flow (network byte order)."""
+    return (
+        src.to_bytes() + dst.to_bytes()
+        + (sport & 0xFFFF).to_bytes(2, "big") + (dport & 0xFFFF).to_bytes(2, "big")
+    )
+
+
+def read_flow_counter(custom: CustomFpm, src, dst, sport: int, dport: int) -> int:
+    """Userspace side: read one flow's packet count."""
+    flows = next(iter(custom.maps.values()))
+    value = flows.lookup(flow_counter_key(src, dst, sport, dport))
     return int.from_bytes(value, "big") if value else 0

@@ -17,6 +17,7 @@ from repro.core.capability import CapabilityManager
 from repro.core.fpm.library import render_fast_path
 from repro.core.graph import InterfaceGraph, ProcessingGraph
 from repro.ebpf.analysis.lint import lint_program
+from repro.ebpf.maps import BpfMap, HashMap, LruHashMap
 from repro.ebpf.minic import compile_c
 from repro.ebpf.program import Program
 from repro.ebpf.verifier import verify
@@ -32,12 +33,45 @@ class SynthesizedPath:
     #: checks, unused maps). Library templates synthesize clean; a finding
     #: here means a woven-in custom FPM carries code it does not need.
     lint_findings: List[str] = field(default_factory=list)
+    #: (custom, clones) for unpinned customs: the maps this synthesis
+    #: compiled against. The Deployer rebinds ``custom.maps`` to the clones
+    #: once this path is serving, so userspace reads live state.
+    custom_rebinds: List[tuple] = field(default_factory=list)
+
+    def rebind_custom_maps(self) -> None:
+        for custom, clones in self.custom_rebinds:
+            custom.maps = dict(clones)
 
 
 class Synthesizer:
     def __init__(self, capabilities: Optional[CapabilityManager] = None, customs: Optional[list] = None) -> None:
         self.capabilities = capabilities or CapabilityManager.linuxfp()
         self.customs = list(customs or [])  # CustomFpm modules to weave in
+
+    def _prepare_custom_maps(self) -> tuple:
+        """The map set a synthesis compiles against.
+
+        Flow-keyed maps are upgraded to LRU semantics first (in place on the
+        custom, so the choice is stable across redeploys). Pinned customs
+        contribute their own map objects — every synthesized program shares
+        them. Unpinned customs get fresh clones per synthesis; the returned
+        rebind list lets the Deployer point the custom at the clones that
+        actually went live (after migrating the old program's state in).
+        """
+        custom_maps: Dict[str, BpfMap] = {}
+        rebinds: List[tuple] = []
+        for custom in self.customs:
+            for name in getattr(custom, "flow_keyed", ()):
+                m = custom.maps.get(name)
+                if isinstance(m, HashMap) and not isinstance(m, LruHashMap):
+                    custom.maps[name] = LruHashMap.from_hash(m)
+            if getattr(custom, "pin_maps", True):
+                custom_maps.update(custom.maps)
+            else:
+                clones = {name: m.clone_empty() for name, m in custom.maps.items()}
+                custom_maps.update(clones)
+                rebinds.append((custom, clones))
+        return custom_maps, rebinds
 
     def synthesize_interface(self, iface_graph: InterfaceGraph, hook: str) -> Optional[SynthesizedPath]:
         nodes: Dict[str, dict] = {}
@@ -60,7 +94,7 @@ class Synthesizer:
         if not nodes and not self.customs:
             return None
         source = render_fast_path(iface_graph.ifname, hook, nodes, customs=self.customs)
-        custom_maps = {name: m for custom in self.customs for name, m in custom.maps.items()}
+        custom_maps, rebinds = self._prepare_custom_maps()
         program = compile_c(
             source, name=f"linuxfp_{iface_graph.ifname}_{hook}", hook=hook, maps=custom_maps
         )
@@ -71,6 +105,7 @@ class Synthesizer:
             source=source,
             pruned_nfs=pruned,
             lint_findings=[str(f) for f in lint_program(program)],
+            custom_rebinds=rebinds,
         )
 
     def synthesize(self, graph: ProcessingGraph, hook: str) -> Dict[str, SynthesizedPath]:

@@ -24,6 +24,7 @@ from repro.ebpf.memory import MemoryError_, Pointer
 from repro.netsim.addresses import IPv4Addr, MacAddr
 from repro.netsim.packet import Packet, PacketError
 from repro.netsim.skbuff import SKBuff
+from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ebpf.vm import Env
@@ -121,7 +122,12 @@ def bpf_map_update_elem(env: "Env", args: List[object]) -> int:
     value = value_ptr.region.read_bytes(value_ptr.offset, bpf_map.value_size)
     try:
         bpf_map.update(key, value)
-    except (MapError, NotImplementedError):
+    except (MapError, NotImplementedError, faults.InjectedFault):
+        # Totality: a full map, an injected fault, or a bad key is an error
+        # *code* for the program (it typically falls back to PASS), never an
+        # exception escaping the hook. The failure stays visible through the
+        # map's pressure counter.
+        bpf_map.update_errors += 1
         return 1
     return 0
 
@@ -134,7 +140,8 @@ def bpf_map_delete_elem(env: "Env", args: List[object]) -> int:
     key_ptr = _as_ptr(args[1], "map_delete key")
     try:
         bpf_map.delete(key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size))
-    except (MapError, NotImplementedError):
+    except (MapError, NotImplementedError, faults.InjectedFault):
+        bpf_map.update_errors += 1
         return 1
     return 0
 

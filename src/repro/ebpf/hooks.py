@@ -23,6 +23,7 @@ from repro.kernel.hooks_api import (
     XDP_REDIRECT,
     XdpResult,
 )
+from repro.testing import faults
 
 
 def _observe_fpm(kernel, name: str, elapsed_ns: int) -> None:
@@ -53,7 +54,10 @@ class XdpAttachment:
         t0 = kernel.clock.now_ns
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), dev.ifindex], env)
-        except VMError:
+        except (VMError, faults.InjectedFault):
+            # InjectedFault: a fault site fired inside a map op that the
+            # helper layer doesn't absorb; treated exactly like a runtime
+            # abort so nothing ever escapes the hook.
             self.aborts += 1
             env.aborted = True
             _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
@@ -89,7 +93,7 @@ class TcAttachment:
         t0 = kernel.clock.now_ns
         try:
             verdict = vm.run(self.program, [Pointer(region, 0), len(frame), skb.ifindex], env)
-        except VMError:
+        except (VMError, faults.InjectedFault):
             self.aborts += 1
             env.aborted = True
             _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)

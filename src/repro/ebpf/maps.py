@@ -1,15 +1,22 @@
-"""eBPF maps: hash, array, LPM trie, prog array, and devmap.
+"""eBPF maps: hash, LRU hash, array, LPM trie, prog array, and devmap.
 
 Keys and values are fixed-size byte strings, as in real eBPF. The LinuxFP
 design deliberately avoids using maps for *kernel state* (state is reached
 through helpers); maps remain for the dispatch machinery (prog arrays for
-atomic fast-path swaps and tail-call chains, devmaps for redirects) and for
-the Polycube baseline, which keeps its own map-based state.
+atomic fast-path swaps and tail-call chains, devmaps for redirects), for
+custom FPM state, and for the Polycube baseline, which keeps its own
+map-based state.
+
+Maps carry a ``schema`` (type + key/value size + ``schema_version``) that
+the deployer uses to decide whether accumulated state can migrate into a
+redeployed program's maps, and pressure counters (``update_errors``,
+``evictions``) so overload is visible as a metric rather than silent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import IPv4Addr
 from repro.testing import faults
@@ -29,13 +36,38 @@ class BpfMap:
     #: byte values — the verifier rejects generic access to them statically.
     byte_addressable = True
 
-    def __init__(self, name: str, key_size: int, value_size: int, max_entries: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        key_size: int,
+        value_size: int,
+        max_entries: int,
+        schema_version: int = 1,
+    ) -> None:
         if key_size <= 0 or value_size <= 0 or max_entries <= 0:
             raise MapError("map dimensions must be positive")
         self.name = name
         self.key_size = key_size
         self.value_size = value_size
         self.max_entries = max_entries
+        #: Bumped by an operator when the *meaning* of the bytes changes even
+        #: though the sizes did not; the deployer refuses to migrate state
+        #: across differing versions.
+        self.schema_version = schema_version
+        #: Set by the deployer while the map's state is being migrated into a
+        #: successor program's map: writes are refused so the snapshot cannot
+        #: tear mid-copy.
+        self.frozen = False
+        #: Rejected updates (full map, bad key shape, injected fault) —
+        #: every fast-path update failure is counted, never silent.
+        self.update_errors = 0
+        #: Entries displaced to make room (LRU maps only, but kept on the
+        #: base class so metrics can walk any map uniformly).
+        self.evictions = 0
+
+    def schema(self) -> Tuple[str, int, int, int]:
+        """The compatibility tuple the deployer matches for live migration."""
+        return (self.map_type, self.key_size, self.value_size, self.schema_version)
 
     def _check_key(self, key: bytes) -> None:
         if len(key) != self.key_size:
@@ -45,6 +77,10 @@ class BpfMap:
         if len(value) != self.value_size:
             raise MapError(f"{self.name}: value must be {self.value_size} bytes, got {len(value)}")
 
+    def _check_frozen(self) -> None:
+        if self.frozen:
+            raise MapError(f"{self.name}: frozen for state migration")
+
     def lookup(self, key: bytes) -> Optional[bytes]:
         raise NotImplementedError
 
@@ -54,12 +90,28 @@ class BpfMap:
     def delete(self, key: bytes) -> None:
         raise NotImplementedError
 
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        """(key, value) pairs for state migration; [] for stateless maps."""
+        return []
+
+    def clone_empty(self) -> "BpfMap":
+        """A fresh map with the same schema and no entries (a new program's
+        map before the deployer migrates state into it)."""
+        raise NotImplementedError
+
 
 class HashMap(BpfMap):
     map_type = "hash"
 
-    def __init__(self, name: str, key_size: int, value_size: int, max_entries: int = 1024) -> None:
-        super().__init__(name, key_size, value_size, max_entries)
+    def __init__(
+        self,
+        name: str,
+        key_size: int,
+        value_size: int,
+        max_entries: int = 1024,
+        schema_version: int = 1,
+    ) -> None:
+        super().__init__(name, key_size, value_size, max_entries, schema_version)
         self._data: Dict[bytes, bytes] = {}
 
     def lookup(self, key: bytes) -> Optional[bytes]:
@@ -68,13 +120,19 @@ class HashMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> None:
         faults.fire("map_update", self.name)
+        self._check_frozen()
         self._check_key(key)
         self._check_value(value)
         if key not in self._data and len(self._data) >= self.max_entries:
-            raise MapError(f"{self.name}: map full ({self.max_entries})")
+            self._make_room(key)
         self._data[key] = value
 
+    def _make_room(self, key: bytes) -> None:
+        """Plain hash maps reject inserts at capacity (``-E2BIG``)."""
+        raise MapError(f"{self.name}: map full ({self.max_entries})")
+
     def delete(self, key: bytes) -> None:
+        self._check_frozen()
         self._check_key(key)
         self._data.pop(key, None)
 
@@ -84,12 +142,75 @@ class HashMap(BpfMap):
     def keys(self) -> List[bytes]:
         return list(self._data)
 
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        return list(self._data.items())
+
+    def clone_empty(self) -> "HashMap":
+        return type(self)(
+            self.name, self.key_size, self.value_size, self.max_entries, self.schema_version
+        )
+
+
+class LruHashMap(HashMap):
+    """``BPF_MAP_TYPE_LRU_HASH``: inserting into a full map evicts the
+    least-recently-used entry instead of failing.
+
+    Recency follows the kernel's semantics closely enough for the
+    simulation: lookups and updates both refresh an entry. This is the map
+    type the synthesizer picks for *flow-keyed* state — flow arrival is
+    unbounded, so a plain hash map would wedge at ``max_entries`` and every
+    later flow's update would fail forever; an LRU map degrades instead
+    (old flows age out, the hot set stays resident) and the displacement is
+    counted in :attr:`~BpfMap.evictions`.
+    """
+
+    map_type = "lru_hash"
+
+    def __init__(
+        self,
+        name: str,
+        key_size: int,
+        value_size: int,
+        max_entries: int = 1024,
+        schema_version: int = 1,
+    ) -> None:
+        super().__init__(name, key_size, value_size, max_entries, schema_version)
+        self._data: "OrderedDict[bytes, bytes]" = OrderedDict()
+
+    @classmethod
+    def from_hash(cls, source: HashMap) -> "LruHashMap":
+        """Upgrade a plain hash map in place-of: same schema sizes and
+        contents, LRU insert semantics (the synthesizer's choice for
+        flow-keyed custom state)."""
+        lru = cls(
+            source.name, source.key_size, source.value_size, source.max_entries,
+            source.schema_version,
+        )
+        for key, value in source.items():
+            lru._data[key] = value
+        return lru
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def update(self, key: bytes, value: bytes) -> None:
+        super().update(key, value)
+        self._data.move_to_end(key)
+
+    def _make_room(self, key: bytes) -> None:
+        self._data.popitem(last=False)  # evict the least recently used
+        self.evictions += 1
+
 
 class ArrayMap(BpfMap):
     map_type = "array"
 
-    def __init__(self, name: str, value_size: int, max_entries: int) -> None:
-        super().__init__(name, 4, value_size, max_entries)
+    def __init__(self, name: str, value_size: int, max_entries: int, schema_version: int = 1) -> None:
+        super().__init__(name, 4, value_size, max_entries, schema_version)
         self._slots: List[bytes] = [b"\x00" * value_size for _ in range(max_entries)]
 
     def _index(self, key: bytes) -> int:
@@ -100,15 +221,33 @@ class ArrayMap(BpfMap):
         return index
 
     def lookup(self, key: bytes) -> Optional[bytes]:
-        return self._slots[self._index(key)]
+        # Real BPF array lookup with an out-of-range index returns NULL,
+        # not an error — only *writes* reject with -E2BIG.
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return None
+        return self._slots[index]
 
     def update(self, key: bytes, value: bytes) -> None:
         faults.fire("map_update", self.name)
+        self._check_frozen()
         self._check_value(value)
         self._slots[self._index(key)] = value
 
     def delete(self, key: bytes) -> None:
+        self._check_frozen()
         self._slots[self._index(key)] = b"\x00" * self.value_size
+
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        return [
+            (i.to_bytes(4, "little"), value)
+            for i, value in enumerate(self._slots)
+            if value != b"\x00" * self.value_size
+        ]
+
+    def clone_empty(self) -> "ArrayMap":
+        return ArrayMap(self.name, self.value_size, self.max_entries, self.schema_version)
 
 
 class LpmTrieMap(BpfMap):
@@ -117,8 +256,8 @@ class LpmTrieMap(BpfMap):
 
     map_type = "lpm_trie"
 
-    def __init__(self, name: str, value_size: int, max_entries: int = 1024) -> None:
-        super().__init__(name, 8, value_size, max_entries)
+    def __init__(self, name: str, value_size: int, max_entries: int = 1024, schema_version: int = 1) -> None:
+        super().__init__(name, 8, value_size, max_entries, schema_version)
         self._by_len: Dict[int, Dict[int, bytes]] = {}
         self._count = 0
 
@@ -140,6 +279,7 @@ class LpmTrieMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> None:
         faults.fire("map_update", self.name)
+        self._check_frozen()
         self._check_value(value)
         length, addr = self._parse_key(key)
         bucket = self._by_len.setdefault(length, {})
@@ -161,10 +301,21 @@ class LpmTrieMap(BpfMap):
         return None
 
     def delete(self, key: bytes) -> None:
+        self._check_frozen()
         length, addr = self._parse_key(key)
         bucket = self._by_len.get(length)
         if bucket is not None and bucket.pop(addr & self._mask(length), None) is not None:
             self._count -= 1
+
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        return [
+            (length.to_bytes(4, "little") + masked.to_bytes(4, "big"), value)
+            for length in sorted(self._by_len)
+            for masked, value in sorted(self._by_len[length].items())
+        ]
+
+    def clone_empty(self) -> "LpmTrieMap":
+        return LpmTrieMap(self.name, self.value_size, self.max_entries, self.schema_version)
 
 
 class ProgArray(BpfMap):

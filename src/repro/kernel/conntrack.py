@@ -5,6 +5,16 @@ timeout-based expiry on the simulated clock. Used by ipvs (NAT'd flows must
 hit the same real server) and available to stateful filtering. Per Table I
 of the paper, conntrack *lookup/update* is fast-path work while entry
 creation and lifecycle handling stay in the slow path.
+
+Pressure semantics mirror ``nf_conntrack_max``: the table has an optional
+capacity (wired to the ``net.netfilter.nf_conntrack_max`` sysctl by the
+kernel). At capacity, new insertions first attempt a Linux-style *early
+drop* — evicting a closing or unreplied (non-ESTABLISHED) entry — before
+giving up. Advisory tracking (:meth:`Conntrack.track`) fails *open*: the
+packet proceeds untracked and the refusal is counted in ``insert_failed``.
+Required allocation (:meth:`Conntrack.create`, used by ipvs NAT pinning)
+raises :class:`ConntrackFull`, which the stack converts to a counted
+``conntrack_full`` drop.
 """
 
 from __future__ import annotations
@@ -66,15 +76,48 @@ class ConnEntry:
         return TCP_TIMEOUT_NS
 
 
+class ConntrackFull(RuntimeError):
+    """The table is at ``nf_conntrack_max`` and early-drop found no victim."""
+
+
 class Conntrack:
     """The conntrack table for one kernel."""
 
-    def __init__(self, clock: Clock) -> None:
+    def __init__(self, clock: Clock, max_entries: Optional[int] = None) -> None:
         self._clock = clock
         self._table: Dict[ConnTuple, ConnEntry] = {}
         # Generation tag for the flow cache: bumped on entry create/remove
         # and state transitions, NOT on per-packet timestamp/counter updates.
         self.gen = 0
+        #: ``nf_conntrack_max``; None = unlimited.
+        self.max_entries = max_entries
+        #: Entries evicted early (closing/unreplied) to admit new flows.
+        self.early_drops = 0
+        #: Advisory insertions refused because the table was full.
+        self.insert_failed = 0
+
+    def _has_room(self) -> bool:
+        """True once there is room for one more entry, early-dropping a
+        closing or unreplied victim if the table is at capacity.
+
+        Mirrors nf_conntrack's early_drop(): ESTABLISHED entries are never
+        victims; among the rest, CLOSED flows go before unreplied NEW ones,
+        oldest (least-recently updated) first.
+        """
+        if self.max_entries is None or len(self._table) < self.max_entries:
+            return True
+        victim = None
+        for entry in self._table.values():
+            if entry.state == CT_ESTABLISHED:
+                continue
+            rank = (0 if entry.state == CT_CLOSED else 1, entry.updated_ns)
+            if victim is None or rank < victim[0]:
+                victim = (rank, entry)
+        if victim is None:
+            return False
+        self.remove(victim[1].tuple)
+        self.early_drops += 1
+        return len(self._table) < self.max_entries
 
     def __len__(self) -> int:
         return len(self._table)
@@ -97,6 +140,12 @@ class Conntrack:
         entry = self.lookup(tup)
         now = self._clock.now_ns
         if entry is None:
+            if not self._has_room():
+                # Advisory tracking fails open: the packet proceeds
+                # untracked (matches ct_state NEW deterministically) and the
+                # refusal stays visible in the pressure counter.
+                self.insert_failed += 1
+                return None
             entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
             self._table[tup] = entry
             self.gen += 1
@@ -112,6 +161,24 @@ class Conntrack:
             if entry.state != CT_CLOSED:
                 self.gen += 1
             entry.state = CT_CLOSED
+        return entry
+
+    def create(self, tup: ConnTuple) -> ConnEntry:
+        """Required allocation (ipvs NAT pinning): the caller cannot proceed
+        without an entry, so a full table raises :class:`ConntrackFull`
+        instead of failing open."""
+        entry = self.lookup(tup)
+        if entry is not None:
+            return entry
+        if not self._has_room():
+            self.insert_failed += 1
+            raise ConntrackFull(
+                f"conntrack table full ({self.max_entries} entries) and no early-drop victim"
+            )
+        now = self._clock.now_ns
+        entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
+        self._table[tup] = entry
+        self.gen += 1
         return entry
 
     def remove(self, tup: ConnTuple) -> None:

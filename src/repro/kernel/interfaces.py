@@ -11,11 +11,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.netsim.addresses import IfAddr, IPv4Addr, MacAddr
 from repro.netsim.nic import NIC
+from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kernel import Kernel
 
 VXLAN_PORT = 8472
+ETH_HDR_LEN = 14
 
 
 class DeviceError(ValueError):
@@ -69,6 +71,21 @@ class NetDevice:
         """Send a frame out of this interface (subclass responsibility)."""
         raise NotImplementedError
 
+    def drop(self, reason: str) -> None:
+        """Device-level discard of a frame already settled by the IP stack.
+
+        Mirrors a driver's ``kfree_skb`` after ``dev_queue_xmit`` accepted
+        the packet: the ledger outcome stays ``tx`` (the stack handed the
+        frame off), but the loss is recorded under a registered drop reason
+        and the device's ``dropped`` counter — never a silent discard.
+        """
+        self.dropped += 1
+        self.kernel.stack.drop(reason, self, terminal=False)
+
+    def carrier_flapped(self) -> bool:
+        """Fault site: an armed ``link_flap`` eats this transmit."""
+        return faults.decide("link_flap", self.name) is not None
+
     def deliver(self, frame: bytes, queue: int = 0) -> None:
         """A frame arrives at this device from 'below' (wire/peer/overlay)."""
         self.rx_packets += 1
@@ -93,6 +110,9 @@ class PhysicalDevice(NetDevice):
 
     def transmit(self, frame: bytes) -> None:
         self.tx_packets += 1
+        if self.carrier_flapped():
+            self.drop("dev_link_down")
+            return
         self.kernel.costs_charge("driver_tx")
         self.nic.transmit(frame)
 
@@ -125,7 +145,10 @@ class VethDevice(NetDevice):
     def transmit(self, frame: bytes) -> None:
         self.tx_packets += 1
         if self.peer is None or not self.peer.up:
-            self.dropped += 1
+            self.drop("dev_link_down")
+            return
+        if self.carrier_flapped():
+            self.drop("dev_link_down")
             return
         self.kernel.costs_charge("veth_xmit")
         self.peer.deliver(frame)
@@ -185,6 +208,9 @@ class VxlanDevice(NetDevice):
 
     def transmit(self, frame: bytes) -> None:
         self.tx_packets += 1
+        if len(frame) < ETH_HDR_LEN:
+            self.drop("malformed")
+            return
         dst_mac = MacAddr.from_bytes(frame[0:6])
         remote = self.vtep_fdb.get(dst_mac)
         if remote is None:
@@ -193,7 +219,7 @@ class VxlanDevice(NetDevice):
                 for unique_remote in sorted(set(self.vtep_fdb.values())):
                     self.kernel.stack.vxlan_encap_out(self, frame, unique_remote)
                 return
-            self.dropped += 1
+            self.drop("vxlan_no_remote")
             return
         self.kernel.stack.vxlan_encap_out(self, frame, remote)
 

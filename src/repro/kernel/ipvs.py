@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import AddrLike, IPv4Addr, ipv4
-from repro.kernel.conntrack import ConnEntry, ConnTuple, Conntrack
+from repro.kernel.conntrack import ConnTuple, Conntrack
 
 SCHEDULERS = ("rr", "wrr", "lc")
 
@@ -123,7 +123,12 @@ class Ipvs:
         """Slow-path scheduling for a flow's first packet.
 
         Pins the chosen real server into conntrack so the rest of the flow
-        (fast path) only needs a lookup.
+        (fast path) only needs a lookup. The pin is a *required* allocation:
+        a full conntrack table raises
+        :class:`~repro.kernel.conntrack.ConntrackFull` (the stack drops the
+        packet with reason ``conntrack_full``), because forwarding the flow
+        without the pin would let later packets reach a different real
+        server.
         """
         service = self.match(tup)
         if service is None:
@@ -134,11 +139,8 @@ class Ipvs:
         dest = service.schedule()
         if dest is None:
             return None
+        entry = self._conntrack.create(tup)
         dest.active_conns += 1
-        entry = self._conntrack.lookup(tup)
-        if entry is None:
-            entry = ConnEntry(tuple=tup)
-            self._conntrack._table[tup] = entry
         entry.dnat_to = (dest.ip, dest.port)
         self._conntrack.gen += 1  # pinning the NAT rewrite changes flow fate
         return entry.dnat_to

@@ -109,12 +109,22 @@ class Kernel:
                 GRP_SYSCTL, NetlinkMsg(msg.SYSCTL_SET, {"name": name, "value": value})
             )
         )
+        self.conntrack.max_entries = int(self.sysctl.get("net.netfilter.nf_conntrack_max"))
+        self.sysctl.add_listener(self._on_conntrack_sysctl)
         rtnetlink.register(self)
 
         lo = LoopbackDevice(self, self.devices.next_ifindex(), "lo", MacAddr(0))
         self.devices.register(lo)
         lo.up = True
         lo.add_address(IfAddr.parse("127.0.0.1/8"))
+
+    def _on_conntrack_sysctl(self, name: str, value: str) -> None:
+        if name != "net.netfilter.nf_conntrack_max":
+            return
+        try:
+            self.conntrack.max_entries = int(value)
+        except ValueError:
+            pass  # non-numeric write: keep the previous limit
 
     # ----------------------------------------------------------- accounting
 

@@ -638,7 +638,7 @@ class Stack:
         """DNAT packets addressed to an ipvs virtual service. Returns True
         when the packet was consumed (rescheduled toward a real server)."""
         kernel = self.kernel
-        from repro.kernel.conntrack import ConnTuple
+        from repro.kernel.conntrack import ConnTuple, ConntrackFull
 
         tup = ConnTuple.from_skb(skb)
         if tup is None or kernel.ipvs.match(tup) is None:
@@ -648,7 +648,13 @@ class Stack:
         if entry is None or entry.dnat_to is None:
             kernel.costs_charge("ipvs_schedule")
             kernel.costs_charge("conntrack_create")
-            dnat = kernel.ipvs.connect(tup)
+            try:
+                dnat = kernel.ipvs.connect(tup)
+            except ConntrackFull:
+                # NAT pinning needs a conntrack entry; without one later
+                # packets could reach a different real server, so drop.
+                self.drop("conntrack_full", dev, skb)
+                return True
             if dnat is None:
                 self.drop("ipvs_no_dest", dev, skb)
                 return True

@@ -14,6 +14,7 @@ DEFAULTS = {
     "net.ipv4.conf.all.rp_filter": "1",
     "net.bridge.bridge-nf-call-iptables": "1",
     "net.ipv4.vs.conntrack": "1",
+    "net.netfilter.nf_conntrack_max": "65536",
 }
 
 

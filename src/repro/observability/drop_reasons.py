@@ -70,6 +70,7 @@ register_drop_reason("tc_egress_shot", "tc", "TC egress program returned TC_ACT_
 # L2
 register_drop_reason("malformed", "l2", "frame failed to parse as ethernet/IPv4")
 register_drop_reason("unknown_ethertype", "l2", "no handler for the frame's ethertype")
+register_drop_reason("dev_link_down", "l2", "device transmit with no carrier (peer down or link flap)")
 
 # bridging
 register_drop_reason("bridge_port_disabled", "bridge", "ingress port missing or STP-disabled")
@@ -90,6 +91,7 @@ register_drop_reason("no_route_out", "ip", "FIB lookup failed for locally-genera
 register_drop_reason("nf_input", "netfilter", "filter/INPUT verdict DROP")
 register_drop_reason("nf_forward", "netfilter", "filter/FORWARD verdict DROP")
 register_drop_reason("nf_output", "netfilter", "filter/OUTPUT verdict DROP")
+register_drop_reason("conntrack_full", "netfilter", "conntrack table at nf_conntrack_max and early-drop found no victim")
 
 # neighbor resolution
 register_drop_reason("neigh_queue_full", "neigh", "ARP resolution queue overflowed")
@@ -101,6 +103,7 @@ register_drop_reason("frag_timeout", "frag", "reassembly queue expired before co
 # vxlan
 register_drop_reason("vxlan_malformed", "vxlan", "VXLAN header truncated or VNI flag missing")
 register_drop_reason("vxlan_no_vni", "vxlan", "no (up) vxlan device for the received VNI")
+register_drop_reason("vxlan_no_remote", "vxlan", "vtep FDB miss: no remote for the frame's dst MAC")
 
 # ipvs
 register_drop_reason("ipvs_no_dest", "ipvs", "virtual service has no usable real server")

@@ -67,6 +67,9 @@ class MetricsRegistry:
             "conntrack": {
                 "entries": len(kernel.conntrack),
                 "states": dict(Counter(e.state for e in kernel.conntrack.entries())),
+                "max_entries": kernel.conntrack.max_entries,
+                "early_drops": kernel.conntrack.early_drops,
+                "insert_failed": kernel.conntrack.insert_failed,
             },
             "stage_latency": obs.stage_latency.as_dict(),
             "fpm_latency": obs.fpm_latency.as_dict(),
@@ -86,7 +89,25 @@ class MetricsRegistry:
                 "incidents_by_kind": dict(Counter(i.kind for i in ctl.incidents)),
                 "deployed": ctl.deployed_summary(),
             }
+            data["map_pressure"] = {
+                name: stats for name, stats in self._map_pressure().items()
+            }
         return data
+
+    def _map_pressure(self) -> Dict[str, Dict[str, int]]:
+        """Pressure counters for every map a deployed program references."""
+        out: Dict[str, Dict[str, int]] = {}
+        if self.controller is None:
+            return out
+        for entry in self.controller.deployer.deployed.values():
+            if entry.current is None:
+                continue
+            for bpf_map in getattr(entry.current.program, "maps", []):
+                out[bpf_map.name] = {
+                    "update_errors": bpf_map.update_errors,
+                    "evictions": bpf_map.evictions,
+                }
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
@@ -141,6 +162,13 @@ class MetricsRegistry:
         family("linuxfp_conntrack_entries", "gauge", "Conntrack table occupancy by state.")
         for state, count in sorted(Counter(e.state for e in kernel.conntrack.entries()).items()):
             sample("linuxfp_conntrack_entries", count, state=state)
+        if kernel.conntrack.max_entries is not None:
+            family("linuxfp_conntrack_max_entries", "gauge", "nf_conntrack_max table capacity.")
+            sample("linuxfp_conntrack_max_entries", kernel.conntrack.max_entries)
+        family("linuxfp_conntrack_early_drops_total", "counter", "Closing/unreplied entries evicted to admit new flows under pressure.")
+        sample("linuxfp_conntrack_early_drops_total", kernel.conntrack.early_drops)
+        family("linuxfp_conntrack_insert_failed_total", "counter", "Tracking refusals: table full and early-drop found no victim.")
+        sample("linuxfp_conntrack_insert_failed_total", kernel.conntrack.insert_failed)
 
         cache = getattr(kernel, "flow_cache", None)
         if cache is not None:
@@ -155,6 +183,8 @@ class MetricsRegistry:
             family("linuxfp_flow_cache_invalidations_total", "counter", "Flow-cache invalidations by reason.")
             for reason, count in sorted(stats.invalidations.items()):
                 sample("linuxfp_flow_cache_invalidations_total", count, reason=reason)
+            family("linuxfp_flow_cache_evictions_total", "counter", "Entries displaced by LRU capacity pressure.")
+            sample("linuxfp_flow_cache_evictions_total", stats.evictions)
 
         self._prom_histograms(lines, family, sample)
 
@@ -181,6 +211,21 @@ class MetricsRegistry:
                 family("linuxfp_watchdog_samples_total", "counter", "Differential watchdog samples by verdict.")
                 for key in ("agreements", "mismatches", "punts", "consumed"):
                     sample("linuxfp_watchdog_samples_total", wd[key], verdict=key)
+            pressure = self._map_pressure()
+            if pressure:
+                family("linuxfp_map_update_errors_total", "counter", "Rejected fast-path map updates (full map, bad key, injected fault).")
+                for name, stats in sorted(pressure.items()):
+                    sample("linuxfp_map_update_errors_total", stats["update_errors"], map=name)
+                family("linuxfp_map_evictions_total", "counter", "LRU-map entries displaced under capacity pressure.")
+                for name, stats in sorted(pressure.items()):
+                    sample("linuxfp_map_evictions_total", stats["evictions"], map=name)
+            if ctl.deployer.migrations:
+                family("linuxfp_migrated_entries_total", "counter", "Map entries carried into the new program at the last redeploy.")
+                for ifname, report in sorted(ctl.deployer.migrations.items()):
+                    sample("linuxfp_migrated_entries_total", report.total_entries, interface=ifname)
+                family("linuxfp_migration_dropped_entries_total", "counter", "Map entries lost during the last redeploy's state migration.")
+                for ifname, report in sorted(ctl.deployer.migrations.items()):
+                    sample("linuxfp_migration_dropped_entries_total", report.dropped, interface=ifname)
 
         return "\n".join(lines) + "\n"
 

@@ -25,7 +25,18 @@ Sites
                           overrun flag is raised — real netlink ENOBUFS
                           semantics: there is no *silent* loss) and ``dup``
                           (the message is delivered twice)
+``link_flap``             device transmit (veth/physical): the frame is lost
+                          as if the carrier dropped for an instant; the
+                          device records a ``dev_link_down`` drop reason, so
+                          the loss is visible, never silent
 ========================  ====================================================
+
+``link_flap`` (and any future :data:`DATA_SITES` member) perturbs the *data
+plane*, so :meth:`FaultInjector.arm_everything` skips it by default —
+control-plane chaos must not silently turn into packet loss in differential
+suites that assert fast-vs-slow output equivalence. Arm it explicitly (or
+pass ``include_data_plane=True``) in suites that assert the conservation
+ledger instead of per-packet equality.
 
 Usage::
 
@@ -57,13 +68,21 @@ SITES = (
     "prog_array",
     "map_update",
     "netlink_deliver",
+    "link_flap",
 )
 
+#: Data-plane sites: firing one loses/perturbs *packets*, not control-plane
+#: work. Excluded from :meth:`FaultInjector.arm_everything` unless asked for.
+DATA_SITES = frozenset({"link_flap"})
+
 #: Sites whose armed action is raising :class:`InjectedFault` at the caller.
-RAISE_SITES = frozenset(s for s in SITES if s != "netlink_deliver")
+RAISE_SITES = frozenset(s for s in SITES if s != "netlink_deliver" and s not in DATA_SITES)
 
 #: Valid actions for the ``netlink_deliver`` site.
 NETLINK_ACTIONS = ("drop", "dup")
+
+#: Valid actions for the ``link_flap`` site (the frame is lost).
+LINK_FLAP_ACTIONS = ("drop",)
 
 
 class InjectedFault(RuntimeError):
@@ -118,6 +137,10 @@ class FaultInjector:
             if action not in (None, "raise"):
                 raise ValueError(f"site {site!r} only supports action 'raise'")
             action = "raise"
+        elif site in DATA_SITES:
+            action = action or "drop"
+            if action not in LINK_FLAP_ACTIONS:
+                raise ValueError(f"{site} action must be one of {LINK_FLAP_ACTIONS}")
         else:
             action = action or "drop"
             if action not in NETLINK_ACTIONS:
@@ -126,9 +149,21 @@ class FaultInjector:
         self._arms.append(arm)
         return arm
 
-    def arm_everything(self, probability: float, count: Optional[int] = None) -> None:
-        """Chaos mode: every site armed at the same probability."""
+    def arm_everything(
+        self,
+        probability: float,
+        count: Optional[int] = None,
+        include_data_plane: bool = False,
+    ) -> None:
+        """Chaos mode: every control-plane site armed at the same probability.
+
+        Data-plane sites (``link_flap``) drop packets, which would make the
+        chaos suites' fast-vs-slow equivalence assertions diverge for reasons
+        unrelated to the control plane — opt in with ``include_data_plane``.
+        """
         for site in SITES:
+            if site in DATA_SITES and not include_data_plane:
+                continue
             self.arm(site, probability=probability, count=count)
 
     def disarm(self, site: Optional[str] = None) -> None:

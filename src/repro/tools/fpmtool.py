@@ -183,7 +183,10 @@ def _dump_map(m, indent: str = "  ") -> None:
     count = getattr(m, "_count", None)
     if count is not None:
         entries = f" entries={count}/{m.max_entries}"
-    print(f"{indent}{m.name}: {m.map_type}{size}{entries}")
+    pressure = ""
+    if getattr(m, "update_errors", 0) or getattr(m, "evictions", 0):
+        pressure = f" update_errors={m.update_errors} evictions={m.evictions}"
+    print(f"{indent}{m.name}: {m.map_type}{size}{entries}{pressure}")
 
 
 def cmd_map(args) -> int:

@@ -1,0 +1,136 @@
+"""Conntrack under state pressure: ``nf_conntrack_max`` and early-drop.
+
+Linux semantics mirrored here: at capacity a new flow first tries to evict
+a closing or unreplied (non-ESTABLISHED) victim; ESTABLISHED entries are
+never sacrificed. Advisory tracking fails *open* (the packet proceeds
+untracked, counted in ``insert_failed``); required allocation (the ipvs
+NAT pin) raises ``ConntrackFull`` and the stack drops the packet with a
+registered reason.
+"""
+
+import pytest
+
+from repro.kernel.conntrack import (
+    CT_CLOSED,
+    CT_ESTABLISHED,
+    CT_NEW,
+    ConnTuple,
+    Conntrack,
+    ConntrackFull,
+)
+from repro.kernel.kernel import Kernel
+from repro.netsim.addresses import IPv4Addr, MacAddr
+from repro.netsim.clock import Clock
+from repro.netsim.packet import IPPROTO_UDP, TCP, make_tcp, make_udp
+from repro.netsim.skbuff import SKBuff
+
+MAC1 = MacAddr.parse("02:00:00:00:00:01")
+MAC2 = MacAddr.parse("02:00:00:00:00:02")
+
+
+def tup(i: int, proto: int = IPPROTO_UDP) -> ConnTuple:
+    return ConnTuple(
+        IPv4Addr.parse("10.0.0.1"), IPv4Addr.parse("10.0.1.1"), proto, 1000 + i, 53
+    )
+
+
+def udp_skb(sport: int):
+    return SKBuff(pkt=make_udp(MAC1, MAC2, "10.0.0.1", "10.0.1.1", sport=sport, dport=53))
+
+
+def tcp_skb(sport: int, flags=TCP.ACK, src="10.0.0.1", dst="10.0.1.1", dport=80):
+    return SKBuff(pkt=make_tcp(MAC1, MAC2, src, dst, sport=sport, dport=dport, flags=flags))
+
+
+class TestEarlyDrop:
+    def test_unlimited_by_default(self):
+        ct = Conntrack(Clock())
+        for i in range(5000):
+            ct.create(tup(i))
+        assert len(ct) == 5000
+        assert ct.early_drops == 0
+
+    def test_new_flow_evicts_oldest_unreplied(self):
+        clock = Clock()
+        ct = Conntrack(clock, max_entries=3)
+        victims = [ct.create(tup(i)) for i in range(3)]
+        clock.advance(1000)
+        ct.create(tup(99))
+        assert len(ct) == 3
+        assert ct.early_drops == 1
+        assert ct.lookup(victims[0].tuple) is None  # oldest NEW went first
+        assert ct.lookup(tup(99)) is not None
+
+    def test_closed_entries_evicted_before_unreplied(self):
+        clock = Clock()
+        ct = Conntrack(clock, max_entries=3)
+        ct.create(tup(0))  # oldest, but NEW
+        clock.advance(1000)
+        closed = ct.create(tup(1))
+        closed.state = CT_CLOSED  # newer but closing: preferred victim
+        clock.advance(1000)
+        ct.create(tup(2))
+        ct.create(tup(3))
+        assert ct.lookup(tup(1)) is None
+        assert ct.lookup(tup(0)) is not None
+        assert ct.early_drops == 1
+
+    def test_established_never_evicted(self):
+        ct = Conntrack(Clock(), max_entries=2)
+        for i in range(2):
+            ct.create(tup(i)).state = CT_ESTABLISHED
+        with pytest.raises(ConntrackFull):
+            ct.create(tup(9))
+        assert ct.insert_failed == 1
+        assert {e.state for e in ct.entries()} == {CT_ESTABLISHED}
+
+    def test_advisory_track_fails_open(self):
+        ct = Conntrack(Clock(), max_entries=1)
+        ct.create(tup(0)).state = CT_ESTABLISHED
+        skb = udp_skb(sport=2000)
+        entry = ct.track(skb)
+        assert entry is None  # untracked, not an exception
+        assert skb.conntrack is None
+        assert ct.insert_failed == 1
+        assert len(ct) == 1
+
+    def test_track_of_existing_flow_unaffected_by_pressure(self):
+        ct = Conntrack(Clock(), max_entries=1)
+        first = udp_skb(sport=3000)
+        assert ct.track(first) is not None
+        again = udp_skb(sport=3000)
+        assert ct.track(again) is first.conntrack  # update, not insert
+
+
+class TestSysctlWiring:
+    def test_default_limit_from_sysctl(self):
+        kernel = Kernel("dut")
+        assert kernel.conntrack.max_entries == 65536
+
+    def test_sysctl_write_updates_limit(self):
+        kernel = Kernel("dut")
+        kernel.sysctl.set("net.netfilter.nf_conntrack_max", "4")
+        assert kernel.conntrack.max_entries == 4
+
+    def test_non_numeric_write_keeps_previous(self):
+        kernel = Kernel("dut")
+        kernel.sysctl.set("net.netfilter.nf_conntrack_max", "bogus")
+        assert kernel.conntrack.max_entries == 65536
+
+
+class TestIpvsUnderPressure:
+    def test_ipvs_connect_raises_conntrack_full(self):
+        from repro.kernel.ipvs import Ipvs
+
+        clock = Clock()
+        ct = Conntrack(clock, max_entries=1)
+        ct.create(tup(0)).state = CT_ESTABLISHED
+        ipvs = Ipvs(ct)
+        ipvs.add_service("10.9.0.1", 80, 6, scheduler="rr")
+        ipvs.add_dest("10.9.0.1", 80, 6, "10.0.1.1", 8080)
+        flow = ConnTuple(IPv4Addr.parse("10.0.0.5"), IPv4Addr.parse("10.9.0.1"), 6, 5555, 80)
+        with pytest.raises(ConntrackFull):
+            ipvs.connect(flow)
+        # the scheduled dest must not leak an active connection
+        service = ipvs.require("10.9.0.1", 80, 6)
+        assert all(d.active_conns == 0 for d in service.dests)
