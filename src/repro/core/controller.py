@@ -90,7 +90,9 @@ class Controller:
         self.watchdog: Optional[Watchdog] = None
         self.target_interfaces = interfaces
         self.topology = TopologyManager(enable_ipvs=enable_ipvs)
-        self.synthesizer = Synthesizer(capabilities, customs=custom_fpms)
+        self.synthesizer = Synthesizer(
+            capabilities, customs=custom_fpms, num_cpus=kernel.num_cores
+        )
         self.deployer = Deployer(kernel, hook=hook)
         self.socket = kernel.bus.open_socket()
         self.introspection = ServiceIntrospection(self.socket)

@@ -221,12 +221,33 @@ class Deployer:
             old_map.frozen = True
             frozen.append(old_map)
             copied = 0
-            for key, value in old_map.items():
-                try:
-                    new_map.update(key, value)
-                    copied += 1
-                except (MapError, faults.InjectedFault):
-                    report.dropped += 1
+            if old_map.percpu and new_map.percpu and old_map.num_cpus == new_map.num_cpus:
+                # Slot-wise freeze-copy: each CPU's private values land in
+                # the same CPU's slot of the successor, so per-CPU locality
+                # (and the aggregate) survive the swap exactly.
+                for key, slots in old_map.percpu_items():
+                    ok = True
+                    for cpu, value in enumerate(slots):
+                        if value is None:
+                            continue
+                        try:
+                            new_map.update_cpu(cpu, key, value)
+                        except (MapError, faults.InjectedFault):
+                            ok = False
+                    if ok:
+                        copied += 1
+                    else:
+                        report.dropped += 1
+            else:
+                # Aggregate copy. For a percpu→percpu pair with differing
+                # CPU counts the summed value lands on the new map's CPU 0:
+                # totals are preserved even though locality is not.
+                for key, value in old_map.items():
+                    try:
+                        new_map.update(key, value)
+                        copied += 1
+                    except (MapError, faults.InjectedFault):
+                        report.dropped += 1
             report.migrated[new_map.name] = copied
         return report, frozen
 

@@ -17,7 +17,7 @@ from repro.core.capability import CapabilityManager
 from repro.core.fpm.library import render_fast_path
 from repro.core.graph import InterfaceGraph, ProcessingGraph
 from repro.ebpf.analysis.lint import lint_program
-from repro.ebpf.maps import BpfMap, HashMap, LruHashMap
+from repro.ebpf.maps import BpfMap, HashMap, LruHashMap, PercpuLruHashMap
 from repro.ebpf.minic import compile_c
 from repro.ebpf.program import Program
 from repro.ebpf.verifier import verify
@@ -44,19 +44,30 @@ class SynthesizedPath:
 
 
 class Synthesizer:
-    def __init__(self, capabilities: Optional[CapabilityManager] = None, customs: Optional[list] = None) -> None:
+    def __init__(
+        self,
+        capabilities: Optional[CapabilityManager] = None,
+        customs: Optional[list] = None,
+        num_cpus: int = 1,
+    ) -> None:
         self.capabilities = capabilities or CapabilityManager.linuxfp()
         self.customs = list(customs or [])  # CustomFpm modules to weave in
+        self.num_cpus = max(1, num_cpus)  # target kernel's data-plane CPUs
 
     def _prepare_custom_maps(self) -> tuple:
         """The map set a synthesis compiles against.
 
         Flow-keyed maps are upgraded to LRU semantics first (in place on the
-        custom, so the choice is stable across redeploys). Pinned customs
-        contribute their own map objects — every synthesized program shares
-        them. Unpinned customs get fresh clones per synthesis; the returned
-        rebind list lets the Deployer point the custom at the clones that
-        actually went live (after migrating the old program's state in).
+        custom, so the choice is stable across redeploys); on a multi-core
+        kernel they are upgraded further to the *per-CPU* LRU flavour —
+        per-flow counters are written on every packet, and RPS steering
+        already confines each flow to one CPU, so per-CPU slots remove the
+        only shared-map write on the fast path (the cross-CPU contention
+        charge). Pinned customs contribute their own map objects — every
+        synthesized program shares them. Unpinned customs get fresh clones
+        per synthesis; the returned rebind list lets the Deployer point the
+        custom at the clones that actually went live (after migrating the
+        old program's state in).
         """
         custom_maps: Dict[str, BpfMap] = {}
         rebinds: List[tuple] = []
@@ -64,7 +75,13 @@ class Synthesizer:
             for name in getattr(custom, "flow_keyed", ()):
                 m = custom.maps.get(name)
                 if isinstance(m, HashMap) and not isinstance(m, LruHashMap):
-                    custom.maps[name] = LruHashMap.from_hash(m)
+                    m = custom.maps[name] = LruHashMap.from_hash(m)
+                if (
+                    self.num_cpus > 1
+                    and isinstance(m, LruHashMap)
+                    and not isinstance(m, PercpuLruHashMap)
+                ):
+                    custom.maps[name] = PercpuLruHashMap.from_lru(m, self.num_cpus)
             if getattr(custom, "pin_maps", True):
                 custom_maps.update(custom.maps)
             else:

@@ -70,6 +70,21 @@ def _as_map(value: object, what: str) -> BpfMap:
 
 # --------------------------------------------------------------- map helpers
 
+def _charge_shared_map_write(env: "Env", bpf_map: BpfMap) -> None:
+    """The contention model: mutating a *shared* (non-per-CPU) map from a
+    multi-core data path bounces the bucket's cacheline/lock between CPUs,
+    so each such write is charged ``cross_cpu_lock`` on the executing CPU.
+    Per-CPU flavours write an unshared slot and pay nothing, and reads stay
+    free under RCU — which is exactly why the synthesizer upgrades per-flow
+    counter maps to per-CPU on multi-core kernels.
+    """
+    kernel = env.kernel
+    if bpf_map.percpu:
+        return
+    if kernel.cpus.num_cpus > 1 and kernel.cpus.current_cpu is not None:
+        kernel.costs_charge("cross_cpu_lock")
+
+
 def bpf_map_lookup_elem(env: "Env", args: List[object]) -> int:
     """(map, key_ptr) → 1 if present else 0; value copied to env scratch.
 
@@ -116,6 +131,7 @@ def bpf_map_update_elem(env: "Env", args: List[object]) -> int:
     env.kernel.costs_charge("ebpf_map_update")
     env.mark_uncacheable()  # mutates map state
     bpf_map = _as_map(args[0], "map_update")
+    _charge_shared_map_write(env, bpf_map)
     key_ptr = _as_ptr(args[1], "map_update key")
     value_ptr = _as_ptr(args[2], "map_update value")
     key = key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size)
@@ -137,6 +153,7 @@ def bpf_map_delete_elem(env: "Env", args: List[object]) -> int:
     env.kernel.costs_charge("ebpf_map_update")
     env.mark_uncacheable()  # mutates map state
     bpf_map = _as_map(args[0], "map_delete")
+    _charge_shared_map_write(env, bpf_map)
     key_ptr = _as_ptr(args[1], "map_delete key")
     try:
         bpf_map.delete(key_ptr.region.read_bytes(key_ptr.offset, bpf_map.key_size))
@@ -365,7 +382,7 @@ def pcn_classify(env: "Env", args: List[object]) -> int:
     classifier = getattr(classifier_map, "classifier", None)
     if classifier is None:
         raise HelperError("pcn_classify needs a ClassifierMap")
-    kernel.clock.advance(
+    kernel.charge_ns(
         kernel.costs.polycube_classifier + len(classifier) * kernel.costs.polycube_classifier_per_rule
     )
     pkt_ptr = _as_ptr(args[1], "pcn_classify pkt")

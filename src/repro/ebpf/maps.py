@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import IPv4Addr
+from repro.netsim.cpu import current_cpu
 from repro.testing import faults
 
 
@@ -35,6 +36,10 @@ class BpfMap:
     #: Prog arrays and classifier handles hold control-plane objects, not
     #: byte values — the verifier rejects generic access to them statically.
     byte_addressable = True
+    #: Per-CPU flavours keep one value slot per logical CPU: fast-path
+    #: access is uncontended (no cross-CPU cacheline bounce is charged),
+    #: and the control plane aggregates on read.
+    percpu = False
 
     def __init__(
         self,
@@ -204,6 +209,361 @@ class LruHashMap(HashMap):
     def _make_room(self, key: bytes) -> None:
         self._data.popitem(last=False)  # evict the least recently used
         self.evictions += 1
+
+
+class PercpuHashMap(BpfMap):
+    """``BPF_MAP_TYPE_PERCPU_HASH``: one value slot per logical CPU.
+
+    Fast-path access (inside a :meth:`~repro.netsim.cpu.CpuSet.on` context)
+    touches only the executing CPU's slot, so concurrent flows on different
+    CPUs never contend. From the control plane (no CPU context):
+
+    - ``lookup`` *aggregates on read*: the per-CPU values are summed as
+      big-endian unsigned integers of ``value_size`` bytes (the counter
+      convention of the custom-FPM templates, ``read_flow_counter``), which
+      is what ``bpf_map_lookup_elem`` + a userspace per-CPU sum does for
+      counter maps;
+    - ``update`` writes the value to CPU 0's slot and clears the key on all
+      other CPUs, so a subsequent aggregate read returns exactly the value
+      written;
+    - ``delete`` removes the key from every CPU.
+
+    ``max_entries`` bounds *distinct keys* across all CPUs, matching the
+    kernel's accounting for per-CPU hash maps.
+    """
+
+    map_type = "percpu_hash"
+    percpu = True
+
+    def __init__(
+        self,
+        name: str,
+        key_size: int,
+        value_size: int,
+        max_entries: int = 1024,
+        schema_version: int = 1,
+        num_cpus: int = 1,
+    ) -> None:
+        super().__init__(name, key_size, value_size, max_entries, schema_version)
+        if num_cpus < 1:
+            raise MapError("per-CPU map needs at least one CPU")
+        self.num_cpus = num_cpus
+        self._cpu_data: List[Dict[bytes, bytes]] = [self._empty_slot() for _ in range(num_cpus)]
+
+    def _empty_slot(self) -> Dict[bytes, bytes]:
+        return {}
+
+    @classmethod
+    def from_hash(cls, source: HashMap, num_cpus: int) -> "PercpuHashMap":
+        """Upgrade a plain hash map: same schema sizes, accumulated contents
+        land on CPU 0 (so aggregate reads preserve every value)."""
+        out = cls(
+            source.name, source.key_size, source.value_size, source.max_entries,
+            source.schema_version, num_cpus=num_cpus,
+        )
+        for key, value in source.items():
+            out._cpu_data[0][key] = value
+        return out
+
+    # --- capacity (distinct keys across the union of CPU slots) ---
+
+    def _known_keys(self) -> set:
+        keys: set = set()
+        for slot in self._cpu_data:
+            keys.update(slot)
+        return keys
+
+    def __len__(self) -> int:
+        return len(self._known_keys())
+
+    def keys(self) -> List[bytes]:
+        return sorted(self._known_keys())
+
+    def _make_room(self, cpu: int, key: bytes) -> None:
+        raise MapError(f"{self.name}: map full ({self.max_entries})")
+
+    # --- data path ---
+
+    def _this_cpu(self) -> Optional[int]:
+        cpu = current_cpu()
+        if cpu is None:
+            return None
+        # A kernel may run with fewer CPUs than a neighbour that is
+        # currently mid-softirq; clamp rather than crash.
+        return cpu % self.num_cpus
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        cpu = self._this_cpu()
+        if cpu is not None:
+            return self._cpu_data[cpu].get(key)
+        return self._aggregate(key)
+
+    def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
+        self._check_frozen()
+        self._check_key(key)
+        self._check_value(value)
+        cpu = self._this_cpu()
+        if cpu is not None:
+            slot = self._cpu_data[cpu]
+            if key not in self._known_keys() and len(self) >= self.max_entries:
+                self._make_room(cpu, key)
+            slot[key] = value
+            self._touch(cpu, key)
+            return
+        # Control plane: the written value becomes the aggregate.
+        if key not in self._known_keys() and len(self) >= self.max_entries:
+            self._make_room(0, key)
+        for cpu_index, slot in enumerate(self._cpu_data):
+            if cpu_index == 0:
+                slot[key] = value
+                self._touch(0, key)
+            else:
+                slot.pop(key, None)
+
+    def delete(self, key: bytes) -> None:
+        # Kernel percpu-hash delete removes the whole entry (all CPUs);
+        # there is no per-CPU partial delete.
+        self._check_frozen()
+        self._check_key(key)
+        for slot in self._cpu_data:
+            slot.pop(key, None)
+
+    def _touch(self, cpu: int, key: bytes) -> None:
+        """Recency hook for the LRU subclass; plain maps do nothing."""
+
+    # --- control plane / migration ---
+
+    def _aggregate(self, key: bytes) -> Optional[bytes]:
+        total = 0
+        found = False
+        for slot in self._cpu_data:
+            value = slot.get(key)
+            if value is not None:
+                found = True
+                total += int.from_bytes(value, "big")
+        if not found:
+            return None
+        mask = (1 << (8 * self.value_size)) - 1
+        return (total & mask).to_bytes(self.value_size, "big")
+
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        """(key, aggregated value) pairs — the control-plane view."""
+        out = []
+        for key in self.keys():
+            value = self._aggregate(key)
+            if value is not None:
+                out.append((key, value))
+        return out
+
+    def percpu_items(self) -> List[Tuple[bytes, List[Optional[bytes]]]]:
+        """(key, per-CPU slot values) — exact state for live migration."""
+        return [
+            (key, [slot.get(key) for slot in self._cpu_data])
+            for key in self.keys()
+        ]
+
+    def update_cpu(self, cpu: int, key: bytes, value: bytes) -> None:
+        """Write one CPU's slot directly (deployer migration path)."""
+        self._check_frozen()
+        self._check_key(key)
+        self._check_value(value)
+        if key not in self._known_keys() and len(self) >= self.max_entries:
+            self._make_room(cpu % self.num_cpus, key)
+        self._cpu_data[cpu % self.num_cpus][key] = value
+        self._touch(cpu % self.num_cpus, key)
+
+    def lookup_cpu(self, cpu: int, key: bytes) -> Optional[bytes]:
+        """Read one CPU's slot directly (tests / migration verification)."""
+        self._check_key(key)
+        return self._cpu_data[cpu % self.num_cpus].get(key)
+
+    def clone_empty(self) -> "PercpuHashMap":
+        return type(self)(
+            self.name, self.key_size, self.value_size, self.max_entries,
+            self.schema_version, num_cpus=self.num_cpus,
+        )
+
+
+class PercpuLruHashMap(PercpuHashMap):
+    """``BPF_MAP_TYPE_LRU_PERCPU_HASH``: per-CPU slots with per-CPU LRU
+    lists — each CPU evicts from its own shard of the entry budget
+    (``max_entries // num_cpus``), like the kernel's per-CPU LRU free
+    lists. The synthesizer's choice for flow-keyed custom state on
+    multi-core kernels.
+    """
+
+    map_type = "percpu_lru_hash"
+
+    def _empty_slot(self) -> "OrderedDict[bytes, bytes]":
+        return OrderedDict()
+
+    @property
+    def shard_budget(self) -> int:
+        return max(1, self.max_entries // self.num_cpus)
+
+    def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
+        self._check_frozen()
+        self._check_key(key)
+        self._check_value(value)
+        cpu = self._this_cpu()
+        if cpu is not None:
+            slot = self._cpu_data[cpu]
+            if key not in slot and len(slot) >= self.shard_budget:
+                self._make_room(cpu, key)
+            slot[key] = value
+            self._touch(cpu, key)
+            return
+        for cpu_index, slot in enumerate(self._cpu_data):
+            if cpu_index == 0:
+                if key not in slot and len(slot) >= self.shard_budget:
+                    self._make_room(0, key)
+                slot[key] = value
+                self._touch(0, key)
+            else:
+                slot.pop(key, None)
+
+    def update_cpu(self, cpu: int, key: bytes, value: bytes) -> None:
+        self._check_frozen()
+        self._check_key(key)
+        self._check_value(value)
+        slot = self._cpu_data[cpu % self.num_cpus]
+        if key not in slot and len(slot) >= self.shard_budget:
+            self._make_room(cpu % self.num_cpus, key)
+        slot[key] = value
+        self._touch(cpu % self.num_cpus, key)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        value = super().lookup(key)
+        cpu = self._this_cpu()
+        if value is not None and cpu is not None:
+            self._touch(cpu, key)
+        return value
+
+    def _make_room(self, cpu: int, key: bytes) -> None:
+        slot = self._cpu_data[cpu]
+        if slot:
+            slot.popitem(last=False)  # evict this CPU's least recently used
+            self.evictions += 1
+
+    def _touch(self, cpu: int, key: bytes) -> None:
+        slot = self._cpu_data[cpu]
+        if key in slot:
+            slot.move_to_end(key)
+
+    @classmethod
+    def from_lru(cls, source: LruHashMap, num_cpus: int) -> "PercpuLruHashMap":
+        """Upgrade a (single-core) LRU hash map: contents land on CPU 0."""
+        out = cls(
+            source.name, source.key_size, source.value_size, source.max_entries,
+            source.schema_version, num_cpus=num_cpus,
+        )
+        for key, value in source.items():
+            out.update_cpu(0, key, value)
+        return out
+
+
+class PercpuArrayMap(BpfMap):
+    """``BPF_MAP_TYPE_PERCPU_ARRAY``: fixed slots, one value per CPU each.
+
+    Same access rules as :class:`PercpuHashMap`: in-context access hits the
+    executing CPU's copy; control-plane reads aggregate (big-endian sum);
+    control-plane writes set CPU 0 and zero the rest.
+    """
+
+    map_type = "percpu_array"
+    percpu = True
+
+    def __init__(
+        self,
+        name: str,
+        value_size: int,
+        max_entries: int,
+        schema_version: int = 1,
+        num_cpus: int = 1,
+    ) -> None:
+        super().__init__(name, 4, value_size, max_entries, schema_version)
+        if num_cpus < 1:
+            raise MapError("per-CPU map needs at least one CPU")
+        self.num_cpus = num_cpus
+        self._zero = b"\x00" * value_size
+        self._cpu_slots: List[List[bytes]] = [
+            [self._zero] * max_entries for _ in range(num_cpus)
+        ]
+
+    def _index(self, key: bytes) -> int:
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            raise MapError(f"{self.name}: index {index} out of range")
+        return index
+
+    def _this_cpu(self) -> Optional[int]:
+        cpu = current_cpu()
+        return None if cpu is None else cpu % self.num_cpus
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return None  # array OOB read is NULL, not an error
+        cpu = self._this_cpu()
+        if cpu is not None:
+            return self._cpu_slots[cpu][index]
+        total = sum(int.from_bytes(slots[index], "big") for slots in self._cpu_slots)
+        mask = (1 << (8 * self.value_size)) - 1
+        return (total & mask).to_bytes(self.value_size, "big")
+
+    def update(self, key: bytes, value: bytes) -> None:
+        faults.fire("map_update", self.name)
+        self._check_frozen()
+        self._check_value(value)
+        index = self._index(key)
+        cpu = self._this_cpu()
+        if cpu is not None:
+            self._cpu_slots[cpu][index] = value
+            return
+        for cpu_index, slots in enumerate(self._cpu_slots):
+            slots[index] = value if cpu_index == 0 else self._zero
+
+    def delete(self, key: bytes) -> None:
+        self._check_frozen()
+        index = self._index(key)
+        for slots in self._cpu_slots:
+            slots[index] = self._zero
+
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        out = []
+        mask = (1 << (8 * self.value_size)) - 1
+        for index in range(self.max_entries):
+            total = sum(int.from_bytes(slots[index], "big") for slots in self._cpu_slots)
+            if total:
+                out.append((index.to_bytes(4, "little"), (total & mask).to_bytes(self.value_size, "big")))
+        return out
+
+    def percpu_items(self) -> List[Tuple[bytes, List[Optional[bytes]]]]:
+        out: List[Tuple[bytes, List[Optional[bytes]]]] = []
+        for index in range(self.max_entries):
+            values = [slots[index] for slots in self._cpu_slots]
+            if any(v != self._zero for v in values):
+                out.append((index.to_bytes(4, "little"), list(values)))
+        return out
+
+    def update_cpu(self, cpu: int, key: bytes, value: bytes) -> None:
+        self._check_frozen()
+        self._check_value(value)
+        self._cpu_slots[cpu % self.num_cpus][self._index(key)] = value
+
+    def lookup_cpu(self, cpu: int, key: bytes) -> Optional[bytes]:
+        return self._cpu_slots[cpu % self.num_cpus][self._index(key)]
+
+    def clone_empty(self) -> "PercpuArrayMap":
+        return PercpuArrayMap(
+            self.name, self.value_size, self.max_entries, self.schema_version,
+            num_cpus=self.num_cpus,
+        )
 
 
 class ArrayMap(BpfMap):

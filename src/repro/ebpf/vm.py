@@ -100,7 +100,7 @@ class VM:
         entry_args = list(args)
 
         if self.charge_costs:
-            kernel.clock.advance(costs.ebpf_prog_entry)
+            kernel.charge_ns(costs.ebpf_prog_entry)
 
         stack = Region("stack", bytearray(STACK_SIZE), allow_pointers=True)
         regs: List[Optional[Word]] = [None] * NUM_REGS
@@ -123,7 +123,7 @@ class VM:
             if executed > budget:
                 raise VMError(f"{program.name}: instruction budget exceeded")
             if insn_cost:
-                kernel.clock.advance(insn_cost)
+                kernel.charge_ns(insn_cost)
             insn = insns[pc]
             op = insn.op
 
@@ -216,7 +216,7 @@ class VM:
                 if tail_calls > TAIL_CALL_LIMIT:
                     raise VMError(f"{program.name}@{pc}: tail call limit exceeded")
                 if self.charge_costs:
-                    kernel.clock.advance(costs.ebpf_tail_call)
+                    kernel.charge_ns(costs.ebpf_tail_call)
                 target_prog = target.program if hasattr(target, "program") else target
                 program = target_prog
                 insns = program.insns

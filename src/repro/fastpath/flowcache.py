@@ -224,14 +224,31 @@ class FlowCache:
         self.capacity = capacity
         self.enabled = False
         self.stats = FlowCacheStats()
-        # (hook, ifindex, FlowKey) -> FlowEntry, LRU order (oldest first)
-        self._entries: "OrderedDict[Tuple[str, int, FlowKey], FlowEntry]" = OrderedDict()
+        # One shard per data-plane CPU, each (hook, ifindex, FlowKey) ->
+        # FlowEntry in LRU order (oldest first). RPS steering pins a flow to
+        # one CPU, so its entry only ever lives in (and is only looked up
+        # from) that CPU's shard — no cross-CPU sharing on the fast path.
+        # The global ``capacity`` budget is split evenly across shards.
+        self.num_shards = max(1, getattr(kernel, "num_cores", 1))
+        self._shards: List["OrderedDict[Tuple[str, int, FlowKey], FlowEntry]"] = [
+            OrderedDict() for _ in range(self.num_shards)
+        ]
         # (hook, ifindex) -> partition epoch; bumped by every flush touching
-        # the partition. Entries from older epochs never serve.
+        # the partition. Entries from older epochs never serve. Epochs are
+        # global across shards: a withdraw must silence every CPU at once.
         self._epochs: Counter = Counter()
 
+    def _shard(self) -> "OrderedDict[Tuple[str, int, FlowKey], FlowEntry]":
+        """The executing CPU's shard (control-plane context uses CPU 0's)."""
+        cpu = self.kernel.cpus.current_cpu
+        return self._shards[0 if cpu is None else cpu % self.num_shards]
+
+    @property
+    def shard_capacity(self) -> int:
+        return max(1, self.capacity // self.num_shards)
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard) for shard in self._shards)
 
     # ------------------------------------------------------------ hook entry
 
@@ -255,7 +272,7 @@ class FlowCache:
             self._trace("flow_cache", "bypass")
             return attachment.run_xdp(self.kernel, dev, frame)
 
-        cached = self._entries.get(("xdp", dev.ifindex, key))
+        cached = self._shard().get(("xdp", dev.ifindex, key))
         if cached is not None:
             # valid but unreplayable (uncacheable flow or TTL guard): full run
             self.stats.bypasses["xdp"] += 1
@@ -289,7 +306,7 @@ class FlowCache:
             self._trace("flow_cache", "bypass")
             return attachment.run_tc(self.kernel, dev, skb)
 
-        cached = self._entries.get(("tc", dev.ifindex, key))
+        cached = self._shard().get(("tc", dev.ifindex, key))
         if cached is not None:
             self.stats.bypasses["tc"] += 1
             self._trace("flow_cache", "bypass")
@@ -311,12 +328,15 @@ class FlowCache:
     def flush(self, hook: Optional[str] = None, ifindex: Optional[int] = None,
               reason: str = "flush") -> int:
         """Drop entries matching (hook, ifindex); None matches everything."""
-        doomed = [
-            k for k in self._entries
-            if (hook is None or k[0] == hook) and (ifindex is None or k[1] == ifindex)
-        ]
-        for k in doomed:
-            del self._entries[k]
+        doomed = []
+        for shard in self._shards:
+            shard_doomed = [
+                k for k in shard
+                if (hook is None or k[0] == hook) and (ifindex is None or k[1] == ifindex)
+            ]
+            for k in shard_doomed:
+                del shard[k]
+            doomed.extend(shard_doomed)
         self._bump_epochs(hook, ifindex, doomed)
         self.stats.flushes += 1
         self.stats.flushed_entries += len(doomed)
@@ -339,7 +359,7 @@ class FlowCache:
         return self._epochs[(hook, ifindex)]
 
     def entries(self) -> List[FlowEntry]:
-        return list(self._entries.values())
+        return [entry for shard in self._shards for entry in shard.values()]
 
     # ------------------------------------------------------------- internals
 
@@ -363,16 +383,17 @@ class FlowCache:
         if key is None:
             return None
         full_key = (hook, ifindex, key)
-        entry = self._entries.get(full_key)
+        shard = self._shard()
+        entry = shard.get(full_key)
         if entry is None:
             return None
         if entry.epoch != self._epochs[(hook, ifindex)]:
-            del self._entries[full_key]
+            del shard[full_key]
             self.stats.invalidations["epoch"] += 1
             return None
         reason = self._staleness(entry)
         if reason is not None:
-            del self._entries[full_key]
+            del shard[full_key]
             self.stats.invalidations[reason] += 1
             return None
         if entry.uncacheable:
@@ -387,7 +408,7 @@ class FlowCache:
         if replayed is None:
             return None  # TTL guard
         self.kernel.costs_charge("flow_cache_lookup")
-        self._entries.move_to_end(full_key)
+        shard.move_to_end(full_key)
         entry.hits += 1
         self.stats.hits[hook] += 1
         self.stats.fpm_hits.update(entry.fpms)
@@ -464,11 +485,12 @@ class FlowCache:
             epoch=self._epochs[(hook, ifindex)],
         )
         full_key = (hook, ifindex, key)
-        if full_key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)  # evict the global LRU entry
+        shard = self._shard()
+        if full_key not in shard and len(shard) >= self.shard_capacity:
+            shard.popitem(last=False)  # evict this shard's LRU entry
             self.stats.evictions += 1
-        self._entries[full_key] = entry
-        self._entries.move_to_end(full_key)
+        shard[full_key] = entry
+        shard.move_to_end(full_key)
         self.kernel.costs_charge("flow_cache_insert")
         self.stats.records[hook] += 1
 

@@ -81,11 +81,24 @@ class ConntrackFull(RuntimeError):
 
 
 class Conntrack:
-    """The conntrack table for one kernel."""
+    """The conntrack table for one kernel, sharded per data-plane CPU.
 
-    def __init__(self, clock: Clock, max_entries: Optional[int] = None) -> None:
+    Shard choice uses the *symmetric* flow hash — the same one RPS steering
+    uses to pick a CPU (:mod:`repro.netsim.rss`) — so with ``num_shards ==
+    num_cpus`` every data-plane access is shard-local: the CPU processing a
+    flow only ever touches its own shard, and both directions of a
+    connection land in one shard (the hash is direction-insensitive, which
+    is what keeps the bidirectional ``lookup`` shard-local too). Capacity
+    (``nf_conntrack_max``) stays a *global* budget across shards, like the
+    kernel's.
+    """
+
+    def __init__(self, clock: Clock, max_entries: Optional[int] = None, num_shards: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError("conntrack needs at least one shard")
         self._clock = clock
-        self._table: Dict[ConnTuple, ConnEntry] = {}
+        self.num_shards = num_shards
+        self._shards: List[Dict[ConnTuple, ConnEntry]] = [{} for _ in range(num_shards)]
         # Generation tag for the flow cache: bumped on entry create/remove
         # and state transitions, NOT on per-packet timestamp/counter updates.
         self.gen = 0
@@ -96,35 +109,52 @@ class Conntrack:
         #: Advisory insertions refused because the table was full.
         self.insert_failed = 0
 
+    def shard_of(self, tup: ConnTuple) -> int:
+        """The shard index for a tuple (same for both flow directions)."""
+        if self.num_shards == 1:
+            return 0
+        from repro.netsim.rss import symmetric_flow_hash
+
+        return symmetric_flow_hash(
+            tup.src.value, tup.dst.value, tup.proto, tup.sport, tup.dport
+        ) % self.num_shards
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self._shards]
+
     def _has_room(self) -> bool:
         """True once there is room for one more entry, early-dropping a
         closing or unreplied victim if the table is at capacity.
 
         Mirrors nf_conntrack's early_drop(): ESTABLISHED entries are never
         victims; among the rest, CLOSED flows go before unreplied NEW ones,
-        oldest (least-recently updated) first.
+        oldest (least-recently updated) first. The victim scan walks every
+        shard — the global ``nf_conntrack_max`` budget is shared, so a full
+        table must be relievable from any shard.
         """
-        if self.max_entries is None or len(self._table) < self.max_entries:
+        if self.max_entries is None or len(self) < self.max_entries:
             return True
         victim = None
-        for entry in self._table.values():
-            if entry.state == CT_ESTABLISHED:
-                continue
-            rank = (0 if entry.state == CT_CLOSED else 1, entry.updated_ns)
-            if victim is None or rank < victim[0]:
-                victim = (rank, entry)
+        for shard in self._shards:
+            for entry in shard.values():
+                if entry.state == CT_ESTABLISHED:
+                    continue
+                rank = (0 if entry.state == CT_CLOSED else 1, entry.updated_ns)
+                if victim is None or rank < victim[0]:
+                    victim = (rank, entry)
         if victim is None:
             return False
         self.remove(victim[1].tuple)
         self.early_drops += 1
-        return len(self._table) < self.max_entries
+        return len(self) < self.max_entries
 
     def __len__(self) -> int:
-        return len(self._table)
+        return sum(len(shard) for shard in self._shards)
 
     def lookup(self, tup: ConnTuple) -> Optional[ConnEntry]:
         """Find the entry for a tuple in either direction, expiring stale ones."""
-        entry = self._table.get(tup) or self._table.get(tup.reversed())
+        shard = self._shards[self.shard_of(tup)]
+        entry = shard.get(tup) or shard.get(tup.reversed())
         if entry is None:
             return None
         if self._clock.now_ns - entry.updated_ns > entry.timeout_ns():
@@ -147,7 +177,7 @@ class Conntrack:
                 self.insert_failed += 1
                 return None
             entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
-            self._table[tup] = entry
+            self._shards[self.shard_of(tup)][tup] = entry
             self.gen += 1
         else:
             # A packet in the reverse direction confirms the connection.
@@ -177,25 +207,29 @@ class Conntrack:
             )
         now = self._clock.now_ns
         entry = ConnEntry(tuple=tup, created_ns=now, updated_ns=now)
-        self._table[tup] = entry
+        self._shards[self.shard_of(tup)][tup] = entry
         self.gen += 1
         return entry
 
     def remove(self, tup: ConnTuple) -> None:
-        removed = self._table.pop(tup, None)
-        removed_rev = self._table.pop(tup.reversed(), None)
+        shard = self._shards[self.shard_of(tup)]
+        removed = shard.pop(tup, None)
+        removed_rev = shard.pop(tup.reversed(), None)
         if removed is not None or removed_rev is not None:
             self.gen += 1
 
     def gc(self) -> int:
         """Expire timed-out entries; returns count removed."""
         now = self._clock.now_ns
-        expired = [t for t, e in self._table.items() if now - e.updated_ns > e.timeout_ns()]
-        for tup in expired:
-            del self._table[tup]
-        if expired:
+        count = 0
+        for shard in self._shards:
+            expired = [t for t, e in shard.items() if now - e.updated_ns > e.timeout_ns()]
+            for tup in expired:
+                del shard[tup]
+            count += len(expired)
+        if count:
             self.gen += 1
-        return len(expired)
+        return count
 
     def entries(self) -> List[ConnEntry]:
-        return list(self._table.values())
+        return [entry for shard in self._shards for entry in shard.values()]

@@ -87,9 +87,12 @@ class NetDevice:
         return faults.decide("link_flap", self.name) is not None
 
     def deliver(self, frame: bytes, queue: int = 0) -> None:
-        """A frame arrives at this device from 'below' (wire/peer/overlay)."""
+        """A frame arrives at this device from 'below' (wire/peer/overlay).
+
+        Dispatch goes through the softirq layer, which picks the CPU that
+        processes the frame (queue ownership + RPS flow steering)."""
         self.rx_packets += 1
-        self.kernel.stack.receive(self, frame, queue)
+        self.kernel.softirq.rx(self, frame, queue)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, ifindex={self.ifindex})"

@@ -79,6 +79,9 @@ class Kernel:
         self.clock = clock if clock is not None else Clock()
         self.costs = costs if costs is not None else CostModel()
         self.num_cores = num_cores
+        from repro.netsim.cpu import CpuSet
+
+        self.cpus = CpuSet(num_cores)
         self.profiler = Profiler(self.clock, enabled=False)
         self.bus = NetlinkBus()
         self.devices = DeviceTable(self)
@@ -86,7 +89,7 @@ class Kernel:
         self.neighbors = NeighborTable(self.clock)
         self.ipsets = IpsetRegistry()
         self.netfilter = Netfilter(self)
-        self.conntrack = Conntrack(self.clock)
+        self.conntrack = Conntrack(self.clock, num_shards=num_cores)
         self.ipvs = Ipvs(self.conntrack)
         self.sysctl = Sysctl()
         self.sockets = SocketTable(self)
@@ -98,6 +101,9 @@ class Kernel:
         self.profiler.tracer = self.observability.tracer
         self.profiler.stage_observer = self.observability.record_stage
         self.stack = Stack(self)
+        from repro.kernel.softirq import SoftirqSet
+
+        self.softirq = SoftirqSet(self)
         from repro.fastpath import FlowCache  # local import: cycle guard
 
         self.flow_cache = FlowCache(self)
@@ -130,7 +136,15 @@ class Kernel:
 
     def costs_charge(self, name: str) -> None:
         """Charge one named operation's cost to the simulated clock."""
-        self.clock.advance(getattr(self.costs, name))
+        self.charge_ns(getattr(self.costs, name))
+
+    def charge_ns(self, ns: float) -> None:
+        """Charge ``ns`` of work: the global clock always advances (it
+        orders timeouts across the simulation); the busy time additionally
+        lands on whichever of this kernel's CPUs is executing, which is what
+        multi-core throughput is measured from."""
+        self.clock.advance(ns)
+        self.cpus.charge(ns)
 
     # ------------------------------------------------------------- devices
 

@@ -1,0 +1,88 @@
+"""Per-CPU softirq contexts: queue→CPU ownership and RPS flow steering.
+
+This is the kernel half of ``Documentation/networking/scaling.rst``. Each
+NIC RX queue is owned by one logical CPU (``queue % num_cpus`` — the
+"one queue per CPU" IRQ-affinity configuration), and every frame is then
+RPS-steered by a *symmetric* flow hash so all packets of a flow — in both
+directions — are processed on a single CPU. That invariant is what lets the
+conntrack table and flow cache shard per CPU without cross-CPU locking on
+the fast path.
+
+The simulation is single-threaded, so "processing on CPU n" means running
+the stack under :meth:`repro.netsim.cpu.CpuSet.on`, which attributes every
+charged cost to that CPU's busy-time counter. Per-flow packet order is
+preserved trivially (processing is synchronous and a flow always maps to
+one CPU); what multi-core buys is that *busy time* accumulates in parallel
+counters, and throughput is bounded by the bottleneck CPU only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.flowkey import extract_flow_key
+from repro.netsim.rss import symmetric_flow_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.interfaces import NetDevice
+    from repro.kernel.kernel import Kernel
+
+
+class SoftirqSet:
+    """Per-kernel NET_RX dispatch: picks the CPU a frame is processed on."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        #: frames whose RPS target differed from their RX-queue CPU (each
+        #: paid a backlog-enqueue + IPI cost)
+        self.rps_steered = 0
+        #: frames that arrived while already inside a softirq context for
+        #: this kernel (loopback, veth, vxlan decap re-injection) and were
+        #: processed inline on the current CPU
+        self.nested_rx = 0
+
+    def steer(self, frame: bytes, rx_cpu: int) -> int:
+        """The RPS target CPU for a frame (``get_rps_cpu``).
+
+        Keyable frames steer by the symmetric flow hash; everything else
+        (ARP, fragments, non-TCP/UDP) stays on the RX queue's CPU.
+        """
+        key = extract_flow_key(frame, 0)
+        if key is None:
+            return rx_cpu
+        flow_hash = symmetric_flow_hash(key.src, key.dst, key.proto, key.sport, key.dport)
+        return flow_hash % self.kernel.cpus.num_cpus
+
+    def rx(self, dev: "NetDevice", frame: bytes, queue: int = 0) -> None:
+        """Process one received frame on the CPU that owns it."""
+        kernel = self.kernel
+        cpus = kernel.cpus
+
+        # Nested delivery: the frame was re-injected while this kernel is
+        # already mid-softirq (veth crossing, loopback, tunnel decap). Linux
+        # processes these on the current CPU's backlog without another
+        # steering decision; re-steering here could also recurse forever.
+        if cpus.current_cpu is not None:
+            self.nested_rx += 1
+            kernel.stack.receive(dev, frame, queue)
+            return
+
+        if cpus.num_cpus == 1:
+            with cpus.on(0):
+                cpus.packets[0] += 1
+                kernel.stack.receive(dev, frame, queue)
+            return
+
+        rx_cpu = queue % cpus.num_cpus
+        target = self.steer(frame, rx_cpu)
+        with cpus.on(rx_cpu):
+            # The IRQ-owning CPU runs the hash + rps_map lookup; a cross-CPU
+            # steer additionally pays the backlog enqueue + IPI.
+            kernel.costs_charge("rss_hash")
+            kernel.costs_charge("rps_steer")
+            if target != rx_cpu:
+                kernel.costs_charge("rps_ipi")
+                self.rps_steered += 1
+        with cpus.on(target):
+            cpus.packets[target] += 1
+            kernel.stack.receive(dev, frame, queue)

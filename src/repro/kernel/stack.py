@@ -86,6 +86,14 @@ class Stack:
         self.settled = 0           # packets that reached exactly one terminal
         self.dropped = 0           # terminal settles that were drops
         self.outcomes: Counter = Counter()  # non-drop terminals by name
+        # Per-CPU ledger slices, keyed by the CPU a packet was counted on
+        # (-1 = host/control context, e.g. test-injected sends). Each global
+        # counter above always equals the sum of its per-CPU family — the
+        # multi-core conservation suite checks both levels.
+        self.rx_by_cpu: Counter = Counter()
+        self.tx_local_by_cpu: Counter = Counter()
+        self.settled_by_cpu: Counter = Counter()
+        self.dropped_by_cpu: Counter = Counter()
         # Transmit observation taps: called as tap(ifindex, frame) for every
         # slow-path transmit. The differential watchdog installs one to
         # capture the plain kernel's output for a sampled packet.
@@ -126,6 +134,7 @@ class Stack:
                 obs.tracer.set_outcome(f"drop:{reason}")
         if terminal and self._settle(skb):
             self.dropped += 1
+            self.dropped_by_cpu[self._ledger_cpu()] += 1
 
     def finish(
         self,
@@ -143,12 +152,18 @@ class Stack:
         if self._settle(skb):
             self.outcomes[outcome] += 1
 
+    def _ledger_cpu(self) -> int:
+        """The CPU this ledger event is attributed to (-1 = host context)."""
+        cpu = self.kernel.cpus.current_cpu
+        return -1 if cpu is None else cpu
+
     def _settle(self, skb: Optional[SKBuff]) -> bool:
         if skb is not None:
             if skb.accounted:
                 return False
             skb.accounted = True
         self.settled += 1
+        self.settled_by_cpu[self._ledger_cpu()] += 1
         return True
 
     def pending_packets(self) -> int:
@@ -165,6 +180,7 @@ class Stack:
     def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
         """Entry point for a frame arriving on ``dev``."""
         self.rx_packets += 1
+        self.rx_by_cpu[self._ledger_cpu()] += 1
         obs = getattr(self.kernel, "observability", None)
         token = None
         if obs is not None and obs.tracer.armed:
@@ -513,6 +529,7 @@ class Stack:
         """Transmit a locally-generated IP packet (the socket TX path)."""
         kernel = self.kernel
         self.tx_local_packets += 1
+        self.tx_local_by_cpu[self._ledger_cpu()] += 1
         pkt = Packet(
             eth=_placeholder_eth(),
             ip=ip,

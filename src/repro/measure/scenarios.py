@@ -118,6 +118,31 @@ def measure_throughput(
     return generator.throughput(cores=cores, packets=packets)
 
 
+def measure_scaling(
+    platform: str = "linuxfp",
+    core_counts=(1, 2, 4, 8),
+    num_flows: int = 256,
+    packets: int = 1500,
+    warmup: int = 150,
+):
+    """Measured throughput-vs-cores for the in-kernel platforms.
+
+    One fresh router topology per core count, each driven through the
+    RSS/RPS multi-core data plane (:meth:`Pktgen.measure_multicore`) — the
+    reported rate comes from the bottleneck CPU's busy time, not from the
+    modeled ``CORE_SCALING_LOSS`` extrapolation. Returns ``(topo, result)``
+    pairs so callers can audit the per-CPU conservation ledger.
+    """
+    if platform not in ("linux", "linuxfp"):
+        raise ValueError("measured scaling needs the kernel data plane")
+    runs = []
+    for cores in core_counts:
+        topo = setup_router(platform, num_queues=cores)
+        generator = Pktgen(topo, num_flows=num_flows)
+        runs.append((topo, generator.measure_multicore(packets=packets, warmup=warmup)))
+    return runs
+
+
 def measure_latency(
     topo: LineTopology,
     sessions: int = 128,

@@ -80,6 +80,13 @@ class CostModel:
     xdp_pass_to_stack: float = 90.0   # convert xdp_buff → sk_buff (extra)
     tc_redirect: float = 160.0        # tc egress redirect
 
+    # --- multi-core data plane (Documentation/networking/scaling.rst) ---
+    rss_hash: float = 0.0             # Toeplitz is computed by NIC hardware
+    rps_steer: float = 30.0           # get_rps_cpu: flow hash + table lookup
+    rps_ipi: float = 120.0            # cross-CPU backlog enqueue + IPI wakeup
+    cross_cpu_lock: float = 90.0      # contended cacheline bounce on a shared
+                                      # (non-per-CPU) map mutation
+
     # --- megaflow-style flow cache (extension beyond the paper) ---
     flow_cache_lookup: float = 40.0   # hash + gen revalidation + replay
     flow_cache_insert: float = 25.0   # record an entry after a full run

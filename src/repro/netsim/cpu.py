@@ -1,0 +1,104 @@
+"""Simulated logical CPUs.
+
+Multi-core throughput in this reproduction is *measured*, not modeled: every
+cost charged while a CPU context is active (``CpuSet.on``) accumulates in
+that CPU's busy-time counter, and a multi-core run's throughput is the
+packet count divided by the *bottleneck* CPU's busy time. The shared
+:class:`~repro.netsim.clock.Clock` still advances for every charge — it
+orders timeouts and expiry globally — but per-CPU busy time is what scales
+with parallelism.
+
+The simulation is single-threaded, so "which CPU is executing right now" is
+a simple context stack. The stack is simulation-global (module level): a
+frame processed on DUT CPU 2 may synchronously cross a wire into the sink
+kernel, whose own softirq context then pushes (sink, 0) on top — each
+kernel's charges land on that kernel's innermost active CPU. Per-CPU map
+flavours (:mod:`repro.ebpf.maps`) consult the *innermost* context of the
+whole stack, matching "the CPU this helper call is executing on".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+#: The active (cpuset, cpu) contexts, innermost last. Single-threaded
+#: simulation ⇒ a plain module-level stack is exact.
+_ACTIVE: List[Tuple["CpuSet", int]] = []
+
+
+def current_cpu() -> Optional[int]:
+    """The CPU id of the innermost active context, or None (host/control
+    context: the control plane, test setup, netlink handlers)."""
+    return _ACTIVE[-1][1] if _ACTIVE else None
+
+
+class CpuSet:
+    """The logical CPUs of one simulated kernel.
+
+    Tracks per-CPU busy nanoseconds and processed-packet counts. A
+    ``num_cpus == 1`` CpuSet behaves exactly like the pre-multicore
+    simulation: everything lands on CPU 0.
+    """
+
+    def __init__(self, num_cpus: int = 1) -> None:
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.num_cpus = num_cpus
+        self.busy_ns: List[float] = [0.0] * num_cpus
+        self.packets: List[int] = [0] * num_cpus
+
+    @contextmanager
+    def on(self, cpu: int):
+        """Execute the body on ``cpu``: charges to the owning kernel land in
+        ``busy_ns[cpu]`` until the context exits (contexts nest)."""
+        if not 0 <= cpu < self.num_cpus:
+            raise ValueError(f"no CPU {cpu} in a {self.num_cpus}-CPU set")
+        _ACTIVE.append((self, cpu))
+        try:
+            yield cpu
+        finally:
+            _ACTIVE.pop()
+
+    @property
+    def current_cpu(self) -> Optional[int]:
+        """The innermost active CPU owned by *this* set (None when this
+        kernel is running in host/control context)."""
+        for owner, cpu in reversed(_ACTIVE):
+            if owner is self:
+                return cpu
+        return None
+
+    def charge(self, ns: float) -> None:
+        """Account ``ns`` of work to this set's innermost active CPU.
+
+        Charges outside any context are control-plane work and scale with
+        none of the data-plane CPUs, so they are not accumulated here.
+        """
+        cpu = self.current_cpu
+        if cpu is not None:
+            self.busy_ns[cpu] += ns
+
+    def reset_busy(self) -> None:
+        """Zero the busy/packet counters (benchmark measurement windows)."""
+        self.busy_ns = [0.0] * self.num_cpus
+        self.packets = [0] * self.num_cpus
+
+    @property
+    def max_busy_ns(self) -> float:
+        """The bottleneck CPU's busy time — the multi-core elapsed time."""
+        return max(self.busy_ns)
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(self.busy_ns)
+
+    def imbalance(self) -> float:
+        """max/mean busy ratio (1.0 = perfectly balanced); 0 when idle."""
+        total = self.total_busy_ns
+        if total <= 0:
+            return 0.0
+        return self.max_busy_ns / (total / self.num_cpus)
+
+    def __repr__(self) -> str:
+        return f"CpuSet(n={self.num_cpus}, busy={[int(b) for b in self.busy_ns]})"

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
+from repro.netsim.rss import IndirectionTable
+
 # A driver handler receives (frame_bytes, rx_queue_index).
 DriverHandler = Callable[[bytes, int], None]
 
@@ -24,6 +26,7 @@ class NIC:
             raise ValueError("NIC needs at least one queue")
         self.name = name
         self.num_queues = num_queues
+        self.indirection = IndirectionTable(num_queues)
         self.wire: Optional["Wire"] = None
         self._handler: Optional[DriverHandler] = None
         self.rx_queues: List[Deque[bytes]] = [deque() for _ in range(num_queues)]
@@ -47,11 +50,11 @@ class NIC:
         self.bypass = enabled
 
     def rss_queue(self, frame: bytes) -> int:
-        """Pick an RX queue via a toy RSS hash over addressing bytes."""
+        """Pick an RX queue: Toeplitz-hash the 4-tuple, index the 128-entry
+        indirection table with the hash's low-order bits."""
         if self.num_queues == 1:
             return 0
-        key = frame[0:12] + frame[26:38] if len(frame) >= 38 else frame
-        return sum(key) % self.num_queues
+        return self.indirection.queue_for_frame(frame)
 
     def receive_from_wire(self, frame: bytes) -> None:
         """Called by the wire when a frame arrives at this NIC."""

@@ -54,6 +54,20 @@ class MetricsRegistry:
                 "outcomes": dict(stack.outcomes),
                 "drops": dict(stack.drops),
             },
+            "cpus": {
+                "num_cpus": kernel.cpus.num_cpus,
+                "busy_ns": list(kernel.cpus.busy_ns),
+                "packets": list(kernel.cpus.packets),
+                "imbalance": kernel.cpus.imbalance(),
+                "rps_steered": kernel.softirq.rps_steered,
+                "nested_rx": kernel.softirq.nested_rx,
+                # Per-CPU ledger slices (cpu -1 = host/control context); each
+                # global stack counter is the sum of its per-CPU family.
+                "rx_by_cpu": {str(c): n for c, n in sorted(stack.rx_by_cpu.items())},
+                "settled_by_cpu": {str(c): n for c, n in sorted(stack.settled_by_cpu.items())},
+                "dropped_by_cpu": {str(c): n for c, n in sorted(stack.dropped_by_cpu.items())},
+                "conntrack_shard_sizes": kernel.conntrack.shard_sizes(),
+            },
             "drops_by_device": {
                 f"{device}/{reason}": count
                 for (device, reason), count in sorted(obs.drops.by_device.items())
@@ -138,6 +152,21 @@ class MetricsRegistry:
         family("linuxfp_delivered_local_total", "counter", "Packets delivered to a local socket or ICMP handler.")
         sample("linuxfp_delivered_local_total", stack.delivered_local)
 
+        family("linuxfp_cpu_busy_ns_total", "counter", "Simulated busy time per data-plane CPU.")
+        for cpu, busy in enumerate(kernel.cpus.busy_ns):
+            sample("linuxfp_cpu_busy_ns_total", busy, cpu=str(cpu))
+        family("linuxfp_cpu_packets_total", "counter", "Packets processed per data-plane CPU (softirq dispatch).")
+        for cpu, count in enumerate(kernel.cpus.packets):
+            sample("linuxfp_cpu_packets_total", count, cpu=str(cpu))
+        family("linuxfp_rps_steered_total", "counter", "Frames RPS-steered to a CPU other than their RX queue's owner.")
+        sample("linuxfp_rps_steered_total", kernel.softirq.rps_steered)
+        family("linuxfp_rx_packets_by_cpu_total", "counter", "Per-CPU slice of the packet ledger's rx counter (cpu -1 = host context).")
+        for cpu, count in sorted(stack.rx_by_cpu.items()):
+            sample("linuxfp_rx_packets_by_cpu_total", count, cpu=str(cpu))
+        family("linuxfp_settled_packets_by_cpu_total", "counter", "Per-CPU slice of the packet ledger's settled counter (cpu -1 = host context).")
+        for cpu, count in sorted(stack.settled_by_cpu.items()):
+            sample("linuxfp_settled_packets_by_cpu_total", count, cpu=str(cpu))
+
         family("linuxfp_outcomes_total", "counter", "Terminal non-drop outcomes by name.")
         for outcome, count in sorted(stack.outcomes.items()):
             sample("linuxfp_outcomes_total", count, outcome=outcome)
@@ -169,6 +198,10 @@ class MetricsRegistry:
         sample("linuxfp_conntrack_early_drops_total", kernel.conntrack.early_drops)
         family("linuxfp_conntrack_insert_failed_total", "counter", "Tracking refusals: table full and early-drop found no victim.")
         sample("linuxfp_conntrack_insert_failed_total", kernel.conntrack.insert_failed)
+        if kernel.conntrack.num_shards > 1:
+            family("linuxfp_conntrack_shard_entries", "gauge", "Conntrack occupancy per CPU shard.")
+            for shard, count in enumerate(kernel.conntrack.shard_sizes()):
+                sample("linuxfp_conntrack_shard_entries", count, shard=str(shard))
 
         cache = getattr(kernel, "flow_cache", None)
         if cache is not None:

@@ -1,0 +1,247 @@
+"""Per-CPU map flavours: slot isolation, aggregate-on-read, migration.
+
+The semantics under test mirror ``BPF_MAP_TYPE_PERCPU_*``: fast-path access
+(inside a CPU context) touches only the executing CPU's slot; control-plane
+reads aggregate the per-CPU values; control-plane writes make the written
+value the aggregate. The Hypothesis property is the PR's correctness claim:
+for any interleaving of per-CPU counter updates, aggregate-on-read equals
+the true sum.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf.helpers import _charge_shared_map_write
+from repro.ebpf.maps import (
+    HashMap,
+    LruHashMap,
+    MapError,
+    PercpuArrayMap,
+    PercpuHashMap,
+    PercpuLruHashMap,
+)
+from repro.kernel.kernel import Kernel
+from repro.netsim.cpu import CpuSet
+
+
+def k(i: int) -> bytes:
+    return i.to_bytes(4, "little")
+
+
+def v(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+class TestPercpuHashSemantics:
+    def test_in_context_access_is_slot_local(self):
+        cpus = CpuSet(4)
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=4)
+        with cpus.on(1):
+            m.update(k(1), v(10))
+        with cpus.on(3):
+            m.update(k(1), v(32))
+            assert m.lookup(k(1)) == v(32)  # own slot only
+        with cpus.on(0):
+            assert m.lookup(k(1)) is None  # never wrote here
+        assert m.lookup_cpu(1, k(1)) == v(10)
+
+    def test_control_plane_lookup_aggregates(self):
+        cpus = CpuSet(4)
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=4)
+        for cpu, inc in ((0, 5), (1, 7), (3, 30)):
+            with cpus.on(cpu):
+                m.update(k(1), v(inc))
+        assert m.lookup(k(1)) == v(42)
+        assert m.items() == [(k(1), v(42))]
+
+    def test_aggregate_wraps_at_value_width(self):
+        m = PercpuHashMap("ctrs", 4, 1, max_entries=4, num_cpus=2)
+        m.update_cpu(0, k(1), bytes([200]))
+        m.update_cpu(1, k(1), bytes([100]))
+        assert m.lookup(k(1)) == bytes([44])  # (200+100) mod 256
+
+    def test_control_plane_update_becomes_the_aggregate(self):
+        cpus = CpuSet(2)
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=2)
+        with cpus.on(1):
+            m.update(k(1), v(99))
+        m.update(k(1), v(7))  # control plane: reset the counter
+        assert m.lookup(k(1)) == v(7)
+        assert m.lookup_cpu(1, k(1)) is None
+
+    def test_delete_removes_every_cpu(self):
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=3)
+        for cpu in range(3):
+            m.update_cpu(cpu, k(1), v(cpu))
+        m.delete(k(1))
+        assert m.lookup(k(1)) is None
+        assert len(m) == 0
+
+    def test_capacity_counts_distinct_keys_across_cpus(self):
+        cpus = CpuSet(2)
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=2, num_cpus=2)
+        with cpus.on(0):
+            m.update(k(1), v(1))
+        with cpus.on(1):
+            m.update(k(1), v(1))  # same key: no new entry
+            m.update(k(2), v(2))
+        with cpus.on(0), pytest.raises(MapError):
+            m.update(k(3), v(3))
+
+    def test_from_hash_preserves_aggregates(self):
+        src = HashMap("ctrs", 4, 8, max_entries=16)
+        src.update(k(1), v(41))
+        m = PercpuHashMap.from_hash(src, num_cpus=4)
+        assert m.lookup(k(1)) == v(41)
+        clone = m.clone_empty()
+        assert clone.num_cpus == 4 and len(clone) == 0
+
+
+class TestPercpuLru:
+    def test_each_cpu_evicts_from_its_own_shard(self):
+        cpus = CpuSet(2)
+        m = PercpuLruHashMap("flows", 4, 8, max_entries=4, num_cpus=2)
+        assert m.shard_budget == 2
+        with cpus.on(0):
+            m.update(k(1), v(1))
+            m.update(k(2), v(2))
+        with cpus.on(1):
+            m.update(k(3), v(3))
+        with cpus.on(0):
+            m.update(k(4), v(4))  # CPU 0 at budget: evicts its own LRU (k1)
+        assert m.evictions == 1
+        assert m.lookup_cpu(0, k(1)) is None
+        assert m.lookup_cpu(1, k(3)) == v(3)  # CPU 1's shard untouched
+
+    def test_lookup_refreshes_recency_in_context(self):
+        cpus = CpuSet(1)
+        m = PercpuLruHashMap("flows", 4, 8, max_entries=2, num_cpus=1)
+        with cpus.on(0):
+            m.update(k(1), v(1))
+            m.update(k(2), v(2))
+            assert m.lookup(k(1)) == v(1)  # k1 now most recent
+            m.update(k(3), v(3))
+            assert m.lookup(k(2)) is None  # k2 was the LRU victim
+            assert m.lookup(k(1)) == v(1)
+
+    def test_from_lru_upgrade(self):
+        src = LruHashMap("flows", 4, 8, max_entries=8)
+        src.update(k(1), v(11))
+        m = PercpuLruHashMap.from_lru(src, num_cpus=4)
+        assert m.map_type == "percpu_lru_hash"
+        assert m.lookup(k(1)) == v(11)
+
+
+class TestPercpuArray:
+    def test_slots_and_aggregate(self):
+        cpus = CpuSet(2)
+        m = PercpuArrayMap("stats", 8, max_entries=4, num_cpus=2)
+        with cpus.on(0):
+            m.update(k(2), v(10))
+        with cpus.on(1):
+            m.update(k(2), v(5))
+            assert m.lookup(k(2)) == v(5)
+        assert m.lookup(k(2)) == v(15)  # control plane sums
+
+    def test_missing_index_aggregates_to_zero_not_none(self):
+        m = PercpuArrayMap("stats", 8, max_entries=2, num_cpus=2)
+        assert m.lookup(k(1)) == v(0)  # arrays are pre-populated
+
+    def test_out_of_bounds(self):
+        m = PercpuArrayMap("stats", 8, max_entries=2, num_cpus=2)
+        assert m.lookup(k(7)) is None  # OOB read is NULL
+        with pytest.raises(MapError):
+            m.update(k(7), v(1))
+        m.delete(k(1))  # in-bounds delete zeroes
+        assert m.lookup(k(1)) == v(0)
+
+    def test_control_update_zeroes_other_cpus(self):
+        cpus = CpuSet(2)
+        m = PercpuArrayMap("stats", 8, max_entries=2, num_cpus=2)
+        with cpus.on(1):
+            m.update(k(0), v(9))
+        m.update(k(0), v(3))
+        assert m.lookup(k(0)) == v(3)
+
+
+# ------------------------------------------------------------- contention
+
+class TestSharedMapContentionCharge:
+    """The modeled cross-CPU cost: mutating a *shared* map from a multi-core
+    data path pays ``cross_cpu_lock``; per-CPU flavours pay nothing."""
+
+    def charge_ns(self, kernel, bpf_map, cpu=None):
+        env = SimpleNamespace(kernel=kernel)
+        before = kernel.cpus.total_busy_ns
+        if cpu is None:
+            _charge_shared_map_write(env, bpf_map)
+        else:
+            with kernel.cpus.on(cpu):
+                _charge_shared_map_write(env, bpf_map)
+        return kernel.cpus.total_busy_ns - before
+
+    def test_shared_map_write_pays_on_multicore_data_path(self):
+        kernel = Kernel("dut", num_cores=4)
+        shared = HashMap("ct", 4, 8, max_entries=8)
+        assert self.charge_ns(kernel, shared, cpu=2) == kernel.costs.cross_cpu_lock
+
+    def test_percpu_map_and_control_plane_pay_nothing(self):
+        kernel = Kernel("dut", num_cores=4)
+        percpu = PercpuHashMap("ctrs", 4, 8, max_entries=8, num_cpus=4)
+        assert self.charge_ns(kernel, percpu, cpu=2) == 0
+        shared = HashMap("ct", 4, 8, max_entries=8)
+        assert self.charge_ns(kernel, shared, cpu=None) == 0  # control plane
+
+    def test_single_core_kernel_pays_nothing(self):
+        kernel = Kernel("dut", num_cores=1)
+        shared = HashMap("ct", 4, 8, max_entries=8)
+        assert self.charge_ns(kernel, shared, cpu=0) == 0
+
+
+# ------------------------------------------------- the aggregation property
+
+op = st.tuples(
+    st.integers(0, 3),            # executing CPU
+    st.integers(0, 5),            # key
+    st.integers(1, 1000),         # increment
+)
+
+
+class TestAggregationProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(op, min_size=1, max_size=60))
+    def test_aggregate_on_read_equals_true_sum(self, ops):
+        """Fetch-add counters from any CPU interleaving sum exactly."""
+        cpus = CpuSet(4)
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=4)
+        true_sum = {}
+        per_cpu = {}
+        for cpu, key, inc in ops:
+            with cpus.on(cpu):
+                cur = m.lookup(k(key))
+                cur = int.from_bytes(cur, "big") if cur else 0
+                m.update(k(key), v(cur + inc))
+            true_sum[key] = true_sum.get(key, 0) + inc
+            per_cpu[(cpu, key)] = per_cpu.get((cpu, key), 0) + inc
+        for key, total in true_sum.items():
+            assert m.lookup(k(key)) == v(total)  # control-plane aggregate
+        for (cpu, key), total in per_cpu.items():
+            with cpus.on(cpu):
+                assert m.lookup(k(key)) == v(total)  # slot view
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(op, min_size=1, max_size=40))
+    def test_array_aggregate_matches(self, ops):
+        cpus = CpuSet(4)
+        m = PercpuArrayMap("stats", 8, max_entries=6, num_cpus=4)
+        true_sum = {}
+        for cpu, idx, inc in ops:
+            with cpus.on(cpu):
+                cur = int.from_bytes(m.lookup(k(idx)), "big")
+                m.update(k(idx), v(cur + inc))
+            true_sum[idx] = true_sum.get(idx, 0) + inc
+        for idx, total in true_sum.items():
+            assert m.lookup(k(idx)) == v(total)

@@ -1,0 +1,96 @@
+"""Scaling linearity: measured multi-core throughput at 1/2/4/8 CPUs.
+
+The acceptance bar for the multi-core data plane: ≥1.6x pipeline throughput
+at 2 simulated CPUs versus 1 and monotonic gains through 8, for both the
+plain-Linux slow path and the LinuxFP fast path, with the packet-
+conservation ledger balancing across all CPUs at every point. The measured
+trajectory is written to ``benchmarks/results/BENCH_scaling.json`` — the
+perf artifact CI uploads.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.measure.scenarios import measure_scaling
+
+CORE_COUNTS = (1, 2, 4, 8)
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "results",
+    "BENCH_scaling.json",
+)
+
+
+def assert_ledger_balanced(stack):
+    pending = stack.pending_packets()
+    assert stack.rx_packets + stack.tx_local_packets == stack.settled + pending
+    assert sum(stack.rx_by_cpu.values()) == stack.rx_packets
+    assert sum(stack.settled_by_cpu.values()) == stack.settled
+    assert sum(stack.dropped_by_cpu.values()) == stack.dropped
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    out = {}
+    for platform in ("linux", "linuxfp"):
+        runs = measure_scaling(platform, core_counts=CORE_COUNTS)
+        rows = []
+        for (topo, result), cores in zip(runs, CORE_COUNTS):
+            assert result.cores == cores
+            assert result.delivered == result.sent  # no loss while scaling
+            assert_ledger_balanced(topo.dut.stack)
+            rows.append({
+                "cores": cores,
+                "mpps": round(result.mpps, 4),
+                "per_packet_ns": round(result.per_packet_ns, 2),
+                "imbalance": round(result.imbalance, 4),
+                "busy_ns": [round(b, 1) for b in result.busy_ns],
+                "delivered": result.delivered,
+                "sent": result.sent,
+                "ledger_balanced": True,
+            })
+        base = rows[0]["mpps"]
+        for row in rows:
+            row["speedup"] = round(row["mpps"] / base, 4)
+        out[platform] = rows
+    return out
+
+
+class TestScalingLinearity:
+    @pytest.mark.parametrize("platform", ["linux", "linuxfp"])
+    def test_two_cpus_give_at_least_1_6x(self, trajectories, platform):
+        rows = {r["cores"]: r for r in trajectories[platform]}
+        assert rows[2]["speedup"] >= 1.6, rows
+
+    @pytest.mark.parametrize("platform", ["linux", "linuxfp"])
+    def test_gains_are_monotonic_through_8(self, trajectories, platform):
+        speedups = [r["speedup"] for r in trajectories[platform]]
+        assert speedups == sorted(speedups), speedups
+        assert speedups[-1] > speedups[-2]  # 8 CPUs beat 4, strictly
+
+    @pytest.mark.parametrize("platform", ["linux", "linuxfp"])
+    def test_load_stays_balanced(self, trajectories, platform):
+        for row in trajectories[platform]:
+            assert row["imbalance"] < 1.5, row
+
+    def test_fast_path_advantage_survives_multicore(self, trajectories):
+        linux = {r["cores"]: r["mpps"] for r in trajectories["linux"]}
+        linuxfp = {r["cores"]: r["mpps"] for r in trajectories["linuxfp"]}
+        for cores in CORE_COUNTS:
+            assert linuxfp[cores] > 1.4 * linux[cores]
+
+    def test_writes_the_bench_artifact(self, trajectories):
+        payload = {
+            "bench": "scaling",
+            "core_counts": list(CORE_COUNTS),
+            "packet_size": 64,
+            "platforms": trajectories,
+        }
+        os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+        with open(RESULTS_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        with open(RESULTS_PATH) as handle:
+            back = json.load(handle)
+        assert back["platforms"]["linuxfp"][0]["speedup"] == 1.0

@@ -1,0 +1,183 @@
+"""RSS hardware model: Toeplitz vectors, indirection table, queue balance.
+
+The Toeplitz implementation is checked against the Microsoft RSS
+verification suite (the vectors every conformant NIC must reproduce), and
+the load-balance tests pin the bugfix this PR ships: the old
+``sum(key) % num_queues`` hash correlated with addressing bytes, so flow
+populations whose byte-sums stride by the queue count collapsed onto a
+subset of queues.
+"""
+
+import socket
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.nic import NIC
+from repro.netsim.packet import make_arp_request, make_tcp, make_udp
+from repro.netsim.rss import (
+    INDIRECTION_TABLE_SIZE,
+    IndirectionTable,
+    l2_input,
+    rss_input,
+    symmetric_flow_hash,
+    toeplitz_hash,
+)
+
+SRC_MAC, DST_MAC = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def ip(dotted: str) -> bytes:
+    return socket.inet_aton(dotted)
+
+
+def port(p: int) -> bytes:
+    return p.to_bytes(2, "big")
+
+
+# Microsoft RSS verification suite: (src, sport, dst, dport, with-ports
+# hash, addresses-only hash). Input order is src | dst | sport | dport in
+# network byte order.
+MS_VECTORS = [
+    ("66.9.149.187", 2794, "161.142.100.80", 1766, 0x51CCC178, 0x323E8FC2),
+    ("199.92.111.2", 14230, "65.69.140.83", 4739, 0xC626B0EA, 0xD718262A),
+    ("24.19.198.95", 12898, "12.22.207.184", 38024, 0x5C2B394A, 0xD2D0A5DE),
+]
+
+
+class TestToeplitz:
+    @pytest.mark.parametrize("src,sport,dst,dport,h4,h2", MS_VECTORS)
+    def test_microsoft_verification_vectors(self, src, sport, dst, dport, h4, h2):
+        assert toeplitz_hash(ip(src) + ip(dst) + port(sport) + port(dport)) == h4
+        assert toeplitz_hash(ip(src) + ip(dst)) == h2
+
+    def test_empty_and_zero_inputs_hash_to_zero(self):
+        assert toeplitz_hash(b"") == 0
+        assert toeplitz_hash(b"\x00" * 12) == 0
+
+    def test_single_bit_change_flips_the_hash(self):
+        base = ip("10.0.1.2") + ip("10.100.0.1") + port(1024) + port(9)
+        flipped = bytes([base[0] ^ 0x01]) + base[1:]
+        assert toeplitz_hash(base) != toeplitz_hash(flipped)
+
+
+class TestRssInput:
+    def frame(self, **kwargs):
+        kwargs.setdefault("src_ip", "10.0.1.2")
+        kwargs.setdefault("dst_ip", "10.100.0.1")
+        return make_udp(SRC_MAC, DST_MAC, **kwargs).to_bytes()
+
+    def test_udp_and_tcp_yield_the_4_tuple(self):
+        udp = self.frame(sport=2794, dport=1766)
+        expected = ip("10.0.1.2") + ip("10.100.0.1") + port(2794) + port(1766)
+        assert rss_input(udp) == expected
+        tcp = make_tcp(SRC_MAC, DST_MAC, "10.0.1.2", "10.100.0.1",
+                       sport=2794, dport=1766).to_bytes()
+        assert rss_input(tcp) == expected
+
+    def test_unkeyable_frames_fall_back(self):
+        arp = make_arp_request(SRC_MAC, "10.0.1.2", "10.0.1.1").to_bytes()
+        assert rss_input(arp) is None
+        base = bytearray(self.frame())
+        fragment = bytearray(base)
+        fragment[20] |= 0x20  # MF flag: L4 header not in later fragments
+        icmp = bytearray(base)
+        icmp[23] = 1  # not TCP/UDP
+        options = bytearray(base)
+        options[14] = 0x46  # IHL=6 shifts the L4 offsets
+        for mutated in (fragment, icmp, options, base[:20]):
+            assert rss_input(bytes(mutated)) is None
+        # the L2 fallback still gives the hardware something stable to hash
+        assert l2_input(arp) == arp[:12]
+
+    def test_l2_input_tolerates_runts(self):
+        assert l2_input(b"\x01\x02") == b"\x01\x02"
+
+
+class TestIndirectionTable:
+    def test_default_population_is_round_robin(self):
+        tbl = IndirectionTable(4)
+        assert len(tbl.table) == INDIRECTION_TABLE_SIZE
+        assert tbl.table[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_queue_for_masks_the_low_seven_bits(self):
+        tbl = IndirectionTable(4)
+        assert tbl.queue_for(0x51CCC178) == tbl.table[0x51CCC178 & 127]
+        assert tbl.queue_for(0x80) == tbl.table[0]  # bit 7 masked off
+
+    def test_set_entry_repoints_and_validates(self):
+        tbl = IndirectionTable(2)
+        tbl.set_entry(5, 1)
+        assert tbl.table[5] == 1
+        with pytest.raises(ValueError):
+            tbl.set_entry(0, 2)
+        with pytest.raises(ValueError):
+            IndirectionTable(0)
+
+
+def stride_frames(count: int, stride: int):
+    """Flows whose addressing byte-sums all stride by ``stride``: the old
+    ``sum(key) % num_queues`` hash maps them onto ≤2 of ``stride`` queues."""
+    frames = []
+    for i in range(count):
+        frames.append(make_udp(
+            SRC_MAC, DST_MAC, "10.0.1.2", f"10.100.0.{1 + stride * (i % 60)}",
+            sport=1024 + stride * i, dport=9,
+        ).to_bytes())
+    return frames
+
+
+class TestQueueLoadBalance:
+    """The satellite bugfix: NIC.rss_queue must not skew under structured
+    addressing."""
+
+    def test_old_toy_hash_collapses_on_stride_population(self):
+        # documents the bug being fixed: byte-sum hashing confines a
+        # stride-4 population to half the queues
+        hit = {sum(f[26:38]) % 4 for f in stride_frames(128, 4)}
+        assert len(hit) <= 2
+
+    def test_toeplitz_spreads_the_stride_population(self):
+        nic = NIC("eth0", num_queues=4)
+        counts = [0, 0, 0, 0]
+        for f in stride_frames(128, 4):
+            counts[nic.rss_queue(f)] += 1
+        assert all(c > 0 for c in counts)
+        assert max(counts) <= 2 * min(counts)
+
+    def test_pktgen_style_population_balances(self):
+        for nq in (2, 4, 8):
+            nic = NIC("eth0", num_queues=nq)
+            counts = [0] * nq
+            for flow in range(512):
+                f = make_udp(
+                    SRC_MAC, DST_MAC, "10.0.1.2",
+                    f"10.{100 + (flow % 50)}.0.{(flow % 250) + 1}",
+                    sport=1024 + flow, dport=9,
+                ).to_bytes()
+                counts[nic.rss_queue(f)] += 1
+            mean = 512 / nq
+            assert max(counts) < 1.5 * mean, counts
+            assert min(counts) > 0.5 * mean, counts
+
+    def test_single_queue_nic_skips_hashing(self):
+        nic = NIC("eth0", num_queues=1)
+        assert nic.rss_queue(b"") == 0
+
+
+class TestSymmetricFlowHash:
+    @given(
+        src=st.integers(0, 2**32 - 1), dst=st.integers(0, 2**32 - 1),
+        sport=st.integers(0, 65535), dport=st.integers(0, 65535),
+        proto=st.sampled_from([6, 17]),
+    )
+    def test_direction_insensitive(self, src, dst, sport, dport, proto):
+        fwd = symmetric_flow_hash(src, dst, proto, sport, dport)
+        rev = symmetric_flow_hash(dst, src, proto, dport, sport)
+        assert fwd == rev
+
+    def test_distinguishes_protocols_and_flows(self):
+        a = symmetric_flow_hash(0x0A000102, 0x0A640001, 17, 1024, 9)
+        assert a != symmetric_flow_hash(0x0A000102, 0x0A640001, 6, 1024, 9)
+        assert a != symmetric_flow_hash(0x0A000102, 0x0A640001, 17, 1025, 9)
