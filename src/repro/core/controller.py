@@ -158,6 +158,12 @@ class Controller:
     def _on_change(self, msg: NetlinkMsg) -> None:
         if not self.started:
             return
+        if msg.type_name in ("CPU_OFFLINE", "CPU_ONLINE"):
+            # Hotplug does not change the processing graph (programs are not
+            # per-CPU), so no rebuild — but deployed per-CPU map state must
+            # be rehomed, and operators need the incident on record.
+            self._on_cpu_event(msg)
+            return
         if self._reacting:
             # Deployment itself can cause notifications in exotic setups;
             # never recurse — but never *drop* the update either: latch it
@@ -165,6 +171,24 @@ class Controller:
             self._pending = True
             return
         self._run_reaction(msg.type_name)
+
+    def _on_cpu_event(self, msg: NetlinkMsg) -> None:
+        cpu = msg.attrs.get("cpu", -1)
+        online = msg.attrs.get("num_online", self.kernel.cpus.num_online)
+        if msg.type_name == "CPU_OFFLINE":
+            self._incident("cpu-offline", f"cpu{cpu} offline, {online} online")
+            try:
+                target = self.kernel._hotplug_target(cpu)
+                moved = self.deployer.drain_cpu(cpu, target)
+            except Exception as exc:  # noqa: BLE001 — survive anything
+                self._incident("cpu-drain-error", f"{type(exc).__name__}: {exc}")
+            else:
+                if moved:
+                    self._incident(
+                        "cpu-map-drain", f"cpu{cpu} -> cpu{target}: {moved} map values rehomed"
+                    )
+        else:
+            self._incident("cpu-online", f"cpu{cpu} online, {online} online")
 
     def _run_reaction(self, trigger: str, force: bool = False, record: bool = True) -> None:
         """One reaction plus any trailing rebuilds latched while reacting."""
@@ -339,6 +363,7 @@ class Controller:
             "overruns": self.socket.overruns,
             "resyncs": self.resyncs,
             "incidents": len(self.incidents),
+            "offline_cpus": self.kernel.cpus.offline_cpus(),
             "watchdog": self.watchdog.summary() if self.watchdog is not None else None,
             "migrations": {
                 n: r.to_dict() for n, r in sorted(self.deployer.migrations.items())

@@ -287,6 +287,29 @@ class Deployer:
         q = self.quarantined.get(ifname)
         return q is not None and self._now_ns() < q.until_ns
 
+    def drain_cpu(self, dead: int, target: int) -> int:
+        """CPU hotplug: rehome per-CPU map slots of every deployed program.
+
+        The dead CPU will never execute again, so flow state parked in its
+        slots would be invisible to single-CPU fast-path probes from the new
+        owner (aggregate control-plane reads stay correct regardless). Walks
+        every serving program's per-CPU maps; per-map failures degrade to a
+        skip, never an exception. Returns total values moved.
+        """
+        moved = 0
+        for entry in self.deployed.values():
+            if entry.current is None:
+                continue
+            for bpf_map in getattr(entry.current.program, "maps", []):
+                drain = getattr(bpf_map, "drain_cpu", None)
+                if drain is None:
+                    continue
+                try:
+                    moved += drain(dead, target)
+                except Exception:  # noqa: BLE001 — a frozen/faulted map must not wedge hotplug
+                    continue
+        return moved
+
     def teardown(self) -> None:
         """Detach every dispatcher (full LinuxFP removal).
 

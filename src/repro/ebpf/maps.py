@@ -379,6 +379,39 @@ class PercpuHashMap(BpfMap):
         self._check_key(key)
         return self._cpu_data[cpu % self.num_cpus].get(key)
 
+    def drain_cpu(self, dead: int, target: int) -> int:
+        """CPU hotplug: rehome the ``dead`` CPU's slot values onto ``target``.
+
+        A value moves only when the target CPU has no value for that key;
+        otherwise it stays where it is — control-plane reads aggregate
+        across *all* slots, so totals are preserved either way, and moving
+        would clobber live state. (The kernel has no analogue: per-CPU map
+        slots simply persist across hotplug. We move what we safely can so
+        single-CPU probes from the new owner see the flow's state.)
+        Returns values moved.
+        """
+        self._check_frozen()
+        dead %= self.num_cpus
+        target %= self.num_cpus
+        if dead == target:
+            return 0
+        dead_slot = self._cpu_data[dead]
+        target_slot = self._cpu_data[target]
+        moved = 0
+        for key in list(dead_slot):
+            if key in target_slot or not self._slot_has_room(target_slot):
+                continue
+            target_slot[key] = dead_slot.pop(key)
+            self._touch(target, key)
+            moved += 1
+        return moved
+
+    def _slot_has_room(self, slot: Dict[bytes, bytes]) -> bool:
+        """Whether a drain move may add a key to ``slot`` (distinct-key
+        capacity is global for plain per-CPU hashes, so a move never grows
+        it; the LRU subclass enforces its per-CPU shard budget instead)."""
+        return True
+
     def clone_empty(self) -> "PercpuHashMap":
         return type(self)(
             self.name, self.key_size, self.value_size, self.max_entries,
@@ -452,6 +485,11 @@ class PercpuLruHashMap(PercpuHashMap):
         slot = self._cpu_data[cpu]
         if key in slot:
             slot.move_to_end(key)
+
+    def _slot_has_room(self, slot: Dict[bytes, bytes]) -> bool:
+        # Never evict the target CPU's live entries to make room for a
+        # hotplug drain; stranded values still aggregate correctly.
+        return len(slot) < self.shard_budget
 
     @classmethod
     def from_lru(cls, source: LruHashMap, num_cpus: int) -> "PercpuLruHashMap":
@@ -558,6 +596,26 @@ class PercpuArrayMap(BpfMap):
 
     def lookup_cpu(self, cpu: int, key: bytes) -> Optional[bytes]:
         return self._cpu_slots[cpu % self.num_cpus][self._index(key)]
+
+    def drain_cpu(self, dead: int, target: int) -> int:
+        """CPU hotplug: move the dead CPU's non-zero slots onto ``target``
+        where the target's slot is still zero (aggregate reads preserve the
+        totals either way). Returns values moved."""
+        self._check_frozen()
+        dead %= self.num_cpus
+        target %= self.num_cpus
+        if dead == target:
+            return 0
+        dead_slots = self._cpu_slots[dead]
+        target_slots = self._cpu_slots[target]
+        moved = 0
+        for index in range(self.max_entries):
+            if dead_slots[index] == self._zero or target_slots[index] != self._zero:
+                continue
+            target_slots[index] = dead_slots[index]
+            dead_slots[index] = self._zero
+            moved += 1
+        return moved
 
     def clone_empty(self) -> "PercpuArrayMap":
         return PercpuArrayMap(

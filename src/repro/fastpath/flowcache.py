@@ -354,6 +354,23 @@ class FlowCache:
         for p in partitions:
             self._epochs[p] += 1
 
+    def drop_shard(self, cpu: int, reason: str = "cpu_offline") -> int:
+        """Discard one CPU's shard (hotplug offline).
+
+        After the CPU goes offline RPS never steers to it again, so its
+        entries could only go stale — and when the CPU comes *back*, flows
+        that re-steer there must re-record rather than find pre-offline
+        verdicts. Cache entries are pure derived state, so dropping them is
+        always safe (the next packet takes the full run). Returns entries
+        dropped.
+        """
+        shard = self._shards[cpu % self.num_shards]
+        dropped = len(shard)
+        shard.clear()
+        if dropped:
+            self.stats.invalidations[reason] += dropped
+        return dropped
+
     def epoch(self, hook: str, ifindex: int) -> int:
         """The current epoch of a (hook, ifindex) partition."""
         return self._epochs[(hook, ifindex)]

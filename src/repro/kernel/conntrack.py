@@ -99,6 +99,10 @@ class Conntrack:
         self._clock = clock
         self.num_shards = num_shards
         self._shards: List[Dict[ConnTuple, ConnEntry]] = [{} for _ in range(num_shards)]
+        # Hash-slot → shard indirection. Normally the identity map; CPU
+        # hotplug repoints a dead CPU's slot at a live shard so lookups for
+        # its flows keep resolving (see merge_shard / split_shard).
+        self._shard_map: List[int] = list(range(num_shards))
         # Generation tag for the flow cache: bumped on entry create/remove
         # and state transitions, NOT on per-packet timestamp/counter updates.
         self.gen = 0
@@ -115,12 +119,48 @@ class Conntrack:
             return 0
         from repro.netsim.rss import symmetric_flow_hash
 
-        return symmetric_flow_hash(
+        slot = symmetric_flow_hash(
             tup.src.value, tup.dst.value, tup.proto, tup.sport, tup.dport
         ) % self.num_shards
+        return self._shard_map[slot]
 
     def shard_sizes(self) -> List[int]:
         return [len(shard) for shard in self._shards]
+
+    def merge_shard(self, dead: int, target: int) -> int:
+        """CPU hotplug: rehome the ``dead`` CPU's shard into ``target``.
+
+        Moves every entry and repoints all hash slots that resolved to
+        ``dead`` (its own slot plus any earlier-merged ones) at ``target``,
+        so both directions of every flow keep resolving. Returns entries
+        moved.
+        """
+        if dead == target:
+            raise ValueError("cannot merge a shard into itself")
+        moved = len(self._shards[dead])
+        self._shards[target].update(self._shards[dead])
+        self._shards[dead] = {}
+        for slot, shard in enumerate(self._shard_map):
+            if shard == dead:
+                self._shard_map[slot] = target
+        if moved:
+            self.gen += 1
+        return moved
+
+    def split_shard(self, cpu: int) -> int:
+        """CPU back online: restore its hash slot and pull home the entries
+        that hash there (the inverse of :meth:`merge_shard`). Returns
+        entries moved."""
+        self._shard_map[cpu] = cpu
+        moved = 0
+        for index, shard in enumerate(self._shards):
+            misplaced = [tup for tup in shard if self.shard_of(tup) != index]
+            for tup in misplaced:
+                self._shards[self.shard_of(tup)][tup] = shard.pop(tup)
+                moved += 1
+        if moved:
+            self.gen += 1
+        return moved
 
     def _has_room(self) -> bool:
         """True once there is room for one more entry, early-dropping a

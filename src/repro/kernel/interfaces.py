@@ -107,9 +107,16 @@ class PhysicalDevice(NetDevice):
         super().__init__(kernel, ifindex, name, mac, num_queues)
         self.nic = NIC(name, num_queues=num_queues)
         self.nic.attach(self._on_nic_rx)
+        self.nic.attach_burst(self._on_nic_rx_burst)
 
     def _on_nic_rx(self, frame: bytes, queue: int) -> None:
         self.deliver(frame, queue)
+
+    def _on_nic_rx_burst(self, batch) -> None:
+        """An interrupt-coalesced batch: hand the whole burst to softirq at
+        once so per-CPU backlog bounds see its full depth."""
+        self.rx_packets += len(batch)
+        self.kernel.softirq.rx_burst(self, batch)
 
     def transmit(self, frame: bytes) -> None:
         self.tx_packets += 1

@@ -455,6 +455,64 @@ class Kernel:
     def sysctl_set(self, name: str, value: str) -> None:
         self.sysctl.set(name, value)  # listener emits the notification
 
+    # ---------------------------------------------------------- CPU hotplug
+
+    def cpu_offline(self, cpu: int) -> None:
+        """Hot-unplug a data-plane CPU (the ``cpuhp`` teardown path).
+
+        Ordering matters for conservation: the CPU's backlog is drained
+        *while it is still online* (``dev_cpu_dead`` replays the dead CPU's
+        queue), so no queued frame is lost; then steering, RSS indirection,
+        the conntrack shard, and the flow-cache shard are all retargeted at
+        the surviving CPUs. The controller hears about it via a ``CPU_OFFLINE``
+        notification and rehomes deployed per-CPU map state.
+        """
+        self.softirq.drain_cpu(cpu)
+        self.cpus.offline(cpu)  # raises on the last online CPU / mid-execution
+        target = self._hotplug_target(cpu)
+        self._retarget_rss()
+        self.conntrack.merge_shard(cpu % self.conntrack.num_shards, target % self.conntrack.num_shards)
+        self.flow_cache.drop_shard(cpu)
+        self.bus.notify(
+            msg.GRP_CPU,
+            NetlinkMsg(msg.CPU_OFFLINE, {"cpu": cpu, "num_online": self.cpus.num_online}),
+        )
+
+    def cpu_online(self, cpu: int) -> None:
+        """Bring a hot-unplugged CPU back: restore its conntrack shard and
+        the default RSS spread, and announce ``CPU_ONLINE``."""
+        self.cpus.online(cpu)
+        self.conntrack.split_shard(cpu % self.conntrack.num_shards)
+        self._retarget_rss()
+        self.bus.notify(
+            msg.GRP_CPU,
+            NetlinkMsg(msg.CPU_ONLINE, {"cpu": cpu, "num_online": self.cpus.num_online}),
+        )
+
+    def _hotplug_target(self, dead: int) -> int:
+        """The surviving CPU that inherits a dead CPU's sharded state."""
+        online = self.cpus.online_cpus()
+        return online[dead % len(online)]
+
+    def _retarget_rss(self) -> None:
+        """Point every physical NIC's RSS indirection table at queues whose
+        owning CPU is online (IRQ-affinity migration). With every CPU online
+        this restores the default even spread."""
+        for dev in self.devices.all():
+            nic = getattr(dev, "nic", None)
+            if nic is None or nic.num_queues <= 1:
+                continue
+            if self.cpus.num_online == self.cpus.num_cpus:
+                nic.indirection.reset()
+                continue
+            dead_queues = [
+                q for q in range(nic.num_queues)
+                if not self.cpus.is_online(q % self.cpus.num_cpus)
+            ]
+            live_queues = [q for q in range(nic.num_queues) if q not in dead_queues]
+            if dead_queues and live_queues:
+                nic.indirection.retarget(dead_queues, live_queues)
+
     # ----------------------------------------------------------- primitives
 
     def send_ip(self, ip, l4, payload: bytes = b"") -> None:

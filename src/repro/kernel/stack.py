@@ -177,10 +177,17 @@ class Stack:
 
     # ------------------------------------------------------------------ RX
 
-    def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
-        """Entry point for a frame arriving on ``dev``."""
+    def account_rx(self) -> None:
+        """Count one frame into the rx side of the ledger on the executing
+        CPU. Split out of :meth:`receive` because a frame refused at softirq
+        enqueue (``backlog_overflow``) never reaches :meth:`receive`, yet
+        must still enter the ledger so it can settle as a drop."""
         self.rx_packets += 1
         self.rx_by_cpu[self._ledger_cpu()] += 1
+
+    def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
+        """Entry point for a frame arriving on ``dev``."""
+        self.account_rx()
         obs = getattr(self.kernel, "observability", None)
         token = None
         if obs is not None and obs.tracer.armed:

@@ -15,6 +15,10 @@ DEFAULTS = {
     "net.bridge.bridge-nf-call-iptables": "1",
     "net.ipv4.vs.conntrack": "1",
     "net.netfilter.nf_conntrack_max": "65536",
+    # Per-CPU softirq backlog bound (frames queued awaiting NET_RX
+    # processing); the Linux default. Overflow drops the frame under the
+    # ``backlog_overflow`` drop reason.
+    "net.core.netdev_max_backlog": "1000",
 }
 
 

@@ -10,6 +10,7 @@ from repro.measure.topology import LineTopology
 from repro.measure.pktgen import Pktgen, ThroughputResult
 from repro.measure.netperf import Netperf, LatencyResult
 from repro.measure.stats import summarize
+from repro.measure.storm import StormConfig, StormReport, run_storm, write_report
 
 __all__ = [
     "LineTopology",
@@ -18,4 +19,8 @@ __all__ = [
     "Netperf",
     "LatencyResult",
     "summarize",
+    "StormConfig",
+    "StormReport",
+    "run_storm",
+    "write_report",
 ]

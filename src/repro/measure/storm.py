@@ -1,0 +1,379 @@
+"""Storm harness: trace-driven overload + chaos for the reliability story.
+
+Where :mod:`repro.measure.pktgen` asks "how fast", this module asks "does
+anything break": it replays a seeded, heavy-tailed traffic storm — flash
+crowd bursts, rolling kube-proxy/Flannel-style reconfiguration mid-storm,
+every fault site armed, a CPU hot-unplugged and replugged while frames are
+in flight — against a multi-core LinuxFP gateway, and scores the run on the
+invariants the stack promises rather than on throughput:
+
+- **conservation** — ``rx + tx_local == settled + pending`` must hold at the
+  end of the storm no matter what was dropped, flapped, or unplugged;
+- **no unhandled exception** — every failure surfaces as a counted drop, a
+  controller incident, or a degradation, never a traceback;
+- **recovery** — once faults stop, bounded simulated time brings
+  ``Controller.health()`` back to ok (or an honest quarantine).
+
+Every run is fully determined by ``StormConfig.seed``; the report
+(:class:`StormReport`) is JSON-serializable and becomes the
+``BENCH_reliability.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.measure.scenarios import blacklist_address, setup_gateway
+from repro.measure.topology import LineTopology
+from repro.netsim.packet import TCP, make_tcp, make_udp
+from repro.testing import faults
+from repro.tools import ip, iptables
+
+#: Advance applied between storm phases so timeouts/backoffs are reachable.
+PHASE_ADVANCE_NS = 2_000_000
+#: Reconvergence budget after the storm: 12 rounds of 6 simulated seconds.
+RECONVERGE_ROUNDS = 12
+RECONVERGE_STEP_NS = 6_000_000_000
+
+
+@dataclass
+class StormConfig:
+    """One seeded storm. Every knob is deterministic given ``seed``."""
+
+    seed: int = 0
+    num_cpus: int = 8
+    hook: str = "xdp"
+    num_prefixes: int = 50
+    num_rules: int = 60
+    num_flows: int = 192
+    #: total frames injected (bursts draw from this budget)
+    packets: int = 4000
+    #: Pareto shape for flow sizes — ~1.3 gives the heavy tail where a few
+    #: elephant flows carry most bytes while most flows are mice
+    pareto_alpha: float = 1.3
+    #: flash-crowd burst sizing (frames per coalesced NIC burst)
+    burst_min: int = 16
+    burst_max: int = 384
+    #: ``net.core.netdev_max_backlog`` for the run — tightened from the
+    #: Linux default so flash crowds genuinely overflow
+    max_backlog: int = 48
+    #: every N bursts, apply one rolling reconfiguration step
+    reconfigure_every: int = 6
+    #: (burst_index_fraction, action, cpu): mid-storm hotplug schedule
+    hotplug: Tuple[Tuple[float, str, int], ...] = ((0.3, "offline", 1), (0.7, "online", 1))
+    #: arm every fault site (including the data plane) at this probability
+    fault_probability: float = 0.02
+    #: cap on chaos-initiated hotplug events (the scheduled ones above are
+    #: separate); keeps the storm from grinding every CPU away
+    cpu_offline_faults: int = 2
+    #: fraction of flows sourced from blacklisted addresses (guaranteed
+    #: nf_forward drops, exercising the drop ledger under pressure)
+    blacklisted_fraction: float = 0.1
+    arm_faults: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "num_cpus": self.num_cpus,
+            "hook": self.hook,
+            "num_prefixes": self.num_prefixes,
+            "num_rules": self.num_rules,
+            "num_flows": self.num_flows,
+            "packets": self.packets,
+            "pareto_alpha": self.pareto_alpha,
+            "burst_min": self.burst_min,
+            "burst_max": self.burst_max,
+            "max_backlog": self.max_backlog,
+            "reconfigure_every": self.reconfigure_every,
+            "hotplug": [list(h) for h in self.hotplug],
+            "fault_probability": self.fault_probability,
+            "cpu_offline_faults": self.cpu_offline_faults,
+            "blacklisted_fraction": self.blacklisted_fraction,
+            "arm_faults": self.arm_faults,
+        }
+
+
+@dataclass
+class StormReport:
+    """The reliability scorecard for one storm run."""
+
+    config: StormConfig
+    injected: int = 0
+    bursts: int = 0
+    reconfigurations: int = 0
+    hotplug_events: List[str] = field(default_factory=list)
+    # conservation ledger at end of run
+    rx_packets: int = 0
+    tx_local_packets: int = 0
+    settled: int = 0
+    pending: int = 0
+    conserved: bool = False
+    # breakdowns
+    drops_by_reason: Dict[str, int] = field(default_factory=dict)
+    incidents_by_kind: Dict[str, int] = field(default_factory=dict)
+    backlog_high_water: List[int] = field(default_factory=list)
+    backlog_drops: List[int] = field(default_factory=list)
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    # recovery: simulated ns from each health-not-ok onset back to ok
+    recovery_ns: List[int] = field(default_factory=list)
+    recovered: bool = False
+    quarantined: bool = False
+    final_health_ok: bool = False
+    offline_cpus: List[int] = field(default_factory=list)
+    unhandled_exceptions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The headline verdict: conserved, exception-free, and ended in an
+        honest state (healthy or explicitly quarantined — never wedged)."""
+        return (
+            self.conserved
+            and not self.unhandled_exceptions
+            and (self.final_health_ok or self.quarantined)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "ok": self.ok,
+            "injected": self.injected,
+            "bursts": self.bursts,
+            "reconfigurations": self.reconfigurations,
+            "hotplug_events": list(self.hotplug_events),
+            "conservation": {
+                "rx_packets": self.rx_packets,
+                "tx_local_packets": self.tx_local_packets,
+                "settled": self.settled,
+                "pending": self.pending,
+                "conserved": self.conserved,
+            },
+            "drops_by_reason": dict(self.drops_by_reason),
+            "incidents_by_kind": dict(self.incidents_by_kind),
+            "backlog_high_water": list(self.backlog_high_water),
+            "backlog_drops": list(self.backlog_drops),
+            "faults_fired": dict(self.faults_fired),
+            "recovery_ns": list(self.recovery_ns),
+            "recovered": self.recovered,
+            "quarantined": self.quarantined,
+            "final_health_ok": self.final_health_ok,
+            "offline_cpus": list(self.offline_cpus),
+            "unhandled_exceptions": list(self.unhandled_exceptions),
+        }
+
+
+class _HealthTracker:
+    """Measures not-ok → ok windows on the simulated clock."""
+
+    def __init__(self, topo: LineTopology) -> None:
+        self.topo = topo
+        self.down_since_ns: Optional[int] = None
+        self.recovery_ns: List[int] = []
+
+    def observe(self) -> None:
+        health = self.topo.controller.health()
+        now = self.topo.clock.now_ns
+        if health["ok"]:
+            if self.down_since_ns is not None:
+                self.recovery_ns.append(now - self.down_since_ns)
+                self.down_since_ns = None
+        elif self.down_since_ns is None:
+            self.down_since_ns = now
+
+
+def _build_flows(topo: LineTopology, config: StormConfig, rng: random.Random) -> List[List[bytes]]:
+    """Per-flow frame lists with Pareto-tailed sizes; a slice of flows comes
+    from blacklisted sources so the storm exercises netfilter drops too."""
+    flows: List[List[bytes]] = []
+    blacklisted = max(0, int(config.num_flows * config.blacklisted_fraction))
+    for flow in range(config.num_flows):
+        size = max(1, int(rng.paretovariate(config.pareto_alpha)))
+        if flow < blacklisted:
+            src = blacklist_address(flow % config.num_rules)
+        else:
+            src = f"10.0.1.{(flow % 200) + 2}"
+        dst = topo.flow_destination(flow, config.num_prefixes)
+        sport = 1024 + (flow % 40000)
+        dport = 9 if flow % 3 else 80
+        if flow % 4 == 0:
+            frame = make_tcp(
+                topo.src_eth.mac, topo.dut_in.mac, src, dst,
+                sport=sport, dport=dport, flags=TCP.ACK, payload=b"\x00" * 8,
+            ).to_bytes()
+        else:
+            frame = make_udp(
+                topo.src_eth.mac, topo.dut_in.mac, src, dst,
+                sport=sport, dport=dport, payload=b"\x00" * 8,
+            ).to_bytes()
+        flows.append([frame] * size)
+    return flows
+
+
+def _trace(config: StormConfig, flows: List[List[bytes]], rng: random.Random) -> List[List[bytes]]:
+    """Interleave the flows into flash-crowd bursts totalling ``packets``."""
+    pool: List[bytes] = []
+    flow_order = list(range(len(flows)))
+    while len(pool) < config.packets:
+        rng.shuffle(flow_order)
+        for flow in flow_order:
+            pool.extend(flows[flow])
+            if len(pool) >= config.packets:
+                break
+    pool = pool[: config.packets]
+    bursts: List[List[bytes]] = []
+    i = 0
+    while i < len(pool):
+        n = rng.randint(config.burst_min, config.burst_max)
+        bursts.append(pool[i : i + n])
+        i += n
+    return bursts
+
+
+def _reconfigure(topo: LineTopology, config: StormConfig, rng: random.Random, step: int) -> None:
+    """One rolling-update step, kube-proxy/Flannel style: rules and routes
+    are churned in place while traffic flows."""
+    dut = topo.dut
+    choice = step % 3
+    if choice == 0:
+        # rotate a blacklist rule (delete one, append a fresh equivalent)
+        rules = dut.netfilter.chain("FORWARD").rules
+        if rules:
+            victim = rules[rng.randrange(len(rules))]
+            iptables(dut, f"-D FORWARD {victim.handle}")
+        addr = blacklist_address(rng.randrange(config.num_rules))
+        iptables(dut, f"-A FORWARD -s {addr}/32 -j DROP")
+    elif choice == 1:
+        # shadow then restore a prefix with a more specific route
+        prefix_index = rng.randrange(config.num_prefixes)
+        shadow = f"10.{100 + prefix_index}.128.0/17"
+        try:
+            ip(dut, f"route add {shadow} via 10.0.2.2")
+        except Exception:
+            pass  # already shadowed by an earlier step: fine
+        if step % 6 == 4:
+            try:
+                ip(dut, f"route del {shadow}")
+            except Exception:
+                pass
+    else:
+        # sysctl churn: wobble the backlog bound (stays >= burst floor)
+        wobble = config.max_backlog + rng.choice((-8, 0, 8, 16))
+        dut.sysctl_set("net.core.netdev_max_backlog", str(max(16, wobble)))
+
+
+def run_storm(config: StormConfig) -> StormReport:
+    """Run one seeded storm; never raises — failures land in the report."""
+    rng = random.Random(config.seed)
+    topo = setup_gateway(
+        "linuxfp",
+        num_rules=config.num_rules,
+        num_prefixes=config.num_prefixes,
+        num_queues=config.num_cpus,
+        hook=config.hook,
+    )
+    dut = topo.dut
+    dut.sysctl_set("net.core.netdev_max_backlog", str(config.max_backlog))
+    report = StormReport(config=config)
+    tracker = _HealthTracker(topo)
+
+    flows = _build_flows(topo, config, rng)
+    bursts = _trace(config, flows, rng)
+    hotplug_at = {
+        max(0, min(len(bursts) - 1, int(fraction * len(bursts)))): (action, cpu)
+        for fraction, action, cpu in config.hotplug
+    }
+
+    injector = faults.FaultInjector(seed=config.seed)
+    if config.arm_faults:
+        injector.arm_everything(config.fault_probability, include_data_plane=False)
+        injector.arm("link_flap", probability=config.fault_probability)
+        injector.arm("backlog_overflow", probability=config.fault_probability)
+        injector.arm("cpu_offline", probability=config.fault_probability / 4,
+                     count=config.cpu_offline_faults)
+        injector.arm("netlink_deliver", probability=config.fault_probability / 2, action="dup")
+
+    with faults.injected(injector=injector):
+        for index, burst in enumerate(bursts):
+            event = hotplug_at.get(index)
+            if event is not None:
+                action, cpu = event
+                try:
+                    if action == "offline":
+                        dut.cpu_offline(cpu)
+                    else:
+                        dut.cpu_online(cpu)
+                    report.hotplug_events.append(f"{action}:cpu{cpu}@burst{index}")
+                except ValueError as exc:
+                    # e.g. a chaos fault already unplugged it, or it is the
+                    # last CPU standing — an honest refusal, not a failure
+                    report.hotplug_events.append(f"{action}:cpu{cpu}@burst{index}:refused({exc})")
+            if config.reconfigure_every and index and index % config.reconfigure_every == 0:
+                try:
+                    _reconfigure(topo, config, rng, step=index // config.reconfigure_every)
+                    report.reconfigurations += 1
+                except faults.InjectedFault:
+                    pass  # a config tool losing to chaos is part of the storm
+                except Exception as exc:  # noqa: BLE001 — score it, don't die
+                    report.unhandled_exceptions.append(f"reconfigure: {type(exc).__name__}: {exc}")
+            try:
+                topo.dut_in.nic.receive_burst(burst)
+                report.injected += len(burst)
+                report.bursts += 1
+            except Exception as exc:  # noqa: BLE001 — the invariant under test
+                report.unhandled_exceptions.append(f"burst{index}: {type(exc).__name__}: {exc}")
+            topo.clock.advance(PHASE_ADVANCE_NS)
+            try:
+                topo.controller.tick()
+            except Exception as exc:  # noqa: BLE001
+                report.unhandled_exceptions.append(f"tick: {type(exc).__name__}: {exc}")
+            tracker.observe()
+            if index % 16 == 0:
+                dut.run_housekeeping()
+
+    # storm over, faults disarmed: reconverge
+    for _ in range(RECONVERGE_ROUNDS):
+        topo.clock.advance(RECONVERGE_STEP_NS)
+        try:
+            topo.controller.tick()
+        except Exception as exc:  # noqa: BLE001
+            report.unhandled_exceptions.append(f"reconverge-tick: {type(exc).__name__}: {exc}")
+        tracker.observe()
+        if topo.controller.health()["ok"]:
+            break
+
+    health = topo.controller.health()
+    report.rx_packets = dut.stack.rx_packets
+    report.tx_local_packets = dut.stack.tx_local_packets
+    report.settled = dut.stack.settled
+    report.pending = dut.stack.pending_packets()
+    report.conserved = (
+        report.rx_packets + report.tx_local_packets == report.settled + report.pending
+    )
+    report.drops_by_reason = dict(dut.stack.drops)
+    report.incidents_by_kind = dict(Counter(i.kind for i in topo.controller.incidents))
+    report.backlog_high_water = list(dut.softirq.backlog_high_water)
+    report.backlog_drops = list(dut.softirq.backlog_drops)
+    report.faults_fired = dict(Counter(site for site, _, _ in injector.fired))
+    report.recovery_ns = tracker.recovery_ns
+    report.final_health_ok = bool(health["ok"])
+    report.quarantined = bool(health["quarantined"])
+    report.recovered = report.final_health_ok or report.quarantined
+    report.offline_cpus = list(health["offline_cpus"])
+    return report
+
+
+def write_report(reports: List[StormReport], path: str) -> Dict[str, object]:
+    """Write the BENCH_reliability.json artifact (one entry per seed)."""
+    payload = {
+        "benchmark": "reliability",
+        "runs": [r.to_dict() for r in reports],
+        "all_ok": all(r.ok for r in reports),
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return payload

@@ -56,6 +56,11 @@ IPVS_DELDEST = 84
 # documented divergence, see DESIGN.md)
 SYSCTL_SET = 96
 SYSCTL_GET = 97
+# CPU hotplug notifications (real Linux announces these through the cpuhp
+# state machine + udev, not netlink; carried on the bus so the controller
+# keeps a single event source — same documented divergence as sysctl)
+CPU_OFFLINE = 104
+CPU_ONLINE = 105
 
 # --- flags ---
 NLM_F_REQUEST = 0x01
@@ -76,6 +81,7 @@ NFNLGRP_IPTABLES = "iptables"
 NFNLGRP_IPSET = "ipset"
 GRP_IPVS = "ipvs"
 GRP_SYSCTL = "sysctl"
+GRP_CPU = "cpu"
 
 ALL_GROUPS = (
     RTNLGRP_LINK,
@@ -87,6 +93,7 @@ ALL_GROUPS = (
     NFNLGRP_IPSET,
     GRP_IPVS,
     GRP_SYSCTL,
+    GRP_CPU,
 )
 
 # --- attribute schemas per family ---
@@ -214,6 +221,12 @@ SYSCTL_SCHEMA = schema(
     value=(2, "string"),
 )
 
+CPU_SCHEMA = schema(
+    "cpu",
+    cpu=(1, "u32"),
+    num_online=(2, "u32"),
+)
+
 ERROR_SCHEMA = schema(
     "error",
     code=(1, "s32"),
@@ -257,12 +270,14 @@ SCHEMA_BY_TYPE: Dict[int, AttrSchema] = {
     IPVS_DELDEST: IPVS_SCHEMA,
     SYSCTL_SET: SYSCTL_SCHEMA,
     SYSCTL_GET: SYSCTL_SCHEMA,
+    CPU_OFFLINE: CPU_SCHEMA,
+    CPU_ONLINE: CPU_SCHEMA,
 }
 
 TYPE_NAMES = {
     value: name
     for name, value in globals().items()
-    if name.startswith(("RTM_", "NFT_", "IPSET_", "IPVS_", "SYSCTL_", "NLMSG_")) and isinstance(value, int)
+    if name.startswith(("RTM_", "NFT_", "IPSET_", "IPVS_", "SYSCTL_", "CPU_", "NLMSG_")) and isinstance(value, int)
 }
 
 NLMSG_HDR = struct.Struct("<IHHII")  # length, type, flags, seq, pid

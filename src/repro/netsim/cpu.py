@@ -47,6 +47,51 @@ class CpuSet:
         self.num_cpus = num_cpus
         self.busy_ns: List[float] = [0.0] * num_cpus
         self.packets: List[int] = [0] * num_cpus
+        # Hotplug state: a possible CPU that is offline keeps its counters
+        # (busy time already spent is history) but must not execute anything
+        # new — ``on()`` refuses it, so stray steering to a dead CPU is a
+        # loud bug rather than silent misaccounting.
+        self._online: List[bool] = [True] * num_cpus
+
+    # ------------------------------------------------------------- hotplug
+
+    def is_online(self, cpu: int) -> bool:
+        return 0 <= cpu < self.num_cpus and self._online[cpu]
+
+    def online_cpus(self) -> List[int]:
+        """The online CPU ids, ascending (the dispatchable set)."""
+        return [c for c in range(self.num_cpus) if self._online[c]]
+
+    def offline_cpus(self) -> List[int]:
+        return [c for c in range(self.num_cpus) if not self._online[c]]
+
+    @property
+    def num_online(self) -> int:
+        return sum(self._online)
+
+    def offline(self, cpu: int) -> None:
+        """Mark ``cpu`` offline (``echo 0 > .../cpuN/online``).
+
+        The caller (:meth:`repro.kernel.kernel.Kernel.cpu_offline`) is
+        responsible for draining per-CPU work first; at this layer the only
+        invariants are that the id exists, is not currently executing, and
+        at least one CPU stays online.
+        """
+        if not 0 <= cpu < self.num_cpus:
+            raise ValueError(f"no CPU {cpu} in a {self.num_cpus}-CPU set")
+        if not self._online[cpu]:
+            return
+        if self.num_online <= 1:
+            raise ValueError("cannot offline the last online CPU")
+        if any(owner is self and active == cpu for owner, active in _ACTIVE):
+            raise ValueError(f"CPU {cpu} is currently executing")
+        self._online[cpu] = False
+
+    def online(self, cpu: int) -> None:
+        """Bring a possible CPU back online."""
+        if not 0 <= cpu < self.num_cpus:
+            raise ValueError(f"no CPU {cpu} in a {self.num_cpus}-CPU set")
+        self._online[cpu] = True
 
     @contextmanager
     def on(self, cpu: int):
@@ -54,6 +99,8 @@ class CpuSet:
         ``busy_ns[cpu]`` until the context exits (contexts nest)."""
         if not 0 <= cpu < self.num_cpus:
             raise ValueError(f"no CPU {cpu} in a {self.num_cpus}-CPU set")
+        if not self._online[cpu]:
+            raise ValueError(f"CPU {cpu} is offline")
         _ACTIVE.append((self, cpu))
         try:
             yield cpu
@@ -94,11 +141,16 @@ class CpuSet:
         return sum(self.busy_ns)
 
     def imbalance(self) -> float:
-        """max/mean busy ratio (1.0 = perfectly balanced); 0 when idle."""
+        """max/mean busy ratio (1.0 = perfectly balanced); 0 when idle.
+
+        The mean is taken over *online* CPUs: after a hotplug offline the
+        dead CPU stops accumulating busy time, and counting it in the mean
+        would report phantom imbalance.
+        """
         total = self.total_busy_ns
         if total <= 0:
             return 0.0
-        return self.max_busy_ns / (total / self.num_cpus)
+        return self.max_busy_ns / (total / max(1, self.num_online))
 
     def __repr__(self) -> str:
         return f"CpuSet(n={self.num_cpus}, busy={[int(b) for b in self.busy_ns]})"

@@ -16,6 +16,8 @@ from repro.netsim.rss import IndirectionTable
 
 # A driver handler receives (frame_bytes, rx_queue_index).
 DriverHandler = Callable[[bytes, int], None]
+# A burst handler receives a coalesced [(frame_bytes, rx_queue_index), ...].
+BurstHandler = Callable[[List[tuple]], None]
 
 
 class NIC:
@@ -29,6 +31,7 @@ class NIC:
         self.indirection = IndirectionTable(num_queues)
         self.wire: Optional["Wire"] = None
         self._handler: Optional[DriverHandler] = None
+        self._burst_handler: Optional[BurstHandler] = None
         self.rx_queues: List[Deque[bytes]] = [deque() for _ in range(num_queues)]
         self.stats = NICStats()
         # Kernel-bypass mode: frames are queued for polling instead of pushed.
@@ -42,8 +45,19 @@ class NIC:
         self._reset_drops_remaining += dropped_frames
 
     def attach(self, handler: DriverHandler) -> None:
-        """Install the driver handler invoked for each received frame."""
+        """Install the driver handler invoked for each received frame.
+
+        Clears any burst handler: swapping in a new per-frame handler (test
+        blackholes, pktgen sinks) must not leave a stale burst path behind.
+        """
         self._handler = handler
+        self._burst_handler = None
+
+    def attach_burst(self, handler: BurstHandler) -> None:
+        """Install a handler for interrupt-coalesced bursts
+        (:meth:`receive_burst`); per-frame delivery still uses the plain
+        handler."""
+        self._burst_handler = handler
 
     def set_bypass(self, enabled: bool) -> None:
         """Toggle kernel-bypass (DPDK-style) mode: frames queue for polling."""
@@ -69,6 +83,27 @@ class NIC:
             self.rx_queues[queue].append(frame)
         else:
             self._handler(frame, queue)
+
+    def receive_burst(self, frames: List[bytes]) -> None:
+        """One interrupt-coalesced arrival: the whole batch is RSS-hashed and
+        handed to the driver in a single NAPI-style poll, so downstream
+        backlog bounds see the burst's full depth at once. Falls back to
+        per-frame delivery when no burst handler is attached."""
+        if self._burst_handler is None or self.bypass:
+            for frame in frames:
+                self.receive_from_wire(frame)
+            return
+        batch = []
+        for frame in frames:
+            self.stats.rx_packets += 1
+            self.stats.rx_bytes += len(frame)
+            if self._reset_drops_remaining > 0:
+                self._reset_drops_remaining -= 1
+                self.stats.rx_reset_dropped += 1
+                continue
+            batch.append((frame, self.rss_queue(frame)))
+        if batch:
+            self._burst_handler(batch)
 
     def poll(self, queue: int = 0, budget: int = 64) -> List[bytes]:
         """Drain up to ``budget`` frames from an RX queue (bypass mode)."""

@@ -124,6 +124,25 @@ class IndirectionTable:
             raise ValueError(f"queue {queue} out of range")
         self.table[index % len(self.table)] = queue
 
+    def retarget(self, dead_queues, live_queues) -> int:
+        """Repoint every entry on a dead queue round-robin over the live
+        ones (the ``ethtool -X`` an operator — or the hotplug path — issues
+        when a queue's CPU goes away). Returns entries repointed."""
+        dead = set(dead_queues)
+        live = [q for q in live_queues if q not in dead]
+        if not live:
+            raise ValueError("indirection retarget needs at least one live queue")
+        moved = 0
+        for index, queue in enumerate(self.table):
+            if queue in dead:
+                self.table[index] = live[moved % len(live)]
+                moved += 1
+        return moved
+
+    def reset(self) -> None:
+        """Restore the default round-robin spread over every queue."""
+        self.table = [i % self.num_queues for i in range(len(self.table))]
+
     def queue_for(self, hash32: int) -> int:
         """Mask the low-order bits of the hash and read the entry."""
         return self.table[hash32 & (len(self.table) - 1)]

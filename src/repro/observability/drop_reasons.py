@@ -67,6 +67,13 @@ register_drop_reason("tc_shot", "tc", "TC ingress program returned TC_ACT_SHOT")
 register_drop_reason("tc_aborted", "tc", "TC ingress program aborted; treated as SHOT")
 register_drop_reason("tc_egress_shot", "tc", "TC egress program returned TC_ACT_SHOT")
 
+# softirq dispatch
+register_drop_reason(
+    "backlog_overflow",
+    "softirq",
+    "per-CPU backlog queue at net.core.netdev_max_backlog; frame discarded at enqueue",
+)
+
 # L2
 register_drop_reason("malformed", "l2", "frame failed to parse as ethernet/IPv4")
 register_drop_reason("unknown_ethertype", "l2", "no handler for the frame's ethertype")

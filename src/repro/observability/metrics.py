@@ -56,11 +56,17 @@ class MetricsRegistry:
             },
             "cpus": {
                 "num_cpus": kernel.cpus.num_cpus,
+                "num_online": kernel.cpus.num_online,
+                "offline": kernel.cpus.offline_cpus(),
                 "busy_ns": list(kernel.cpus.busy_ns),
                 "packets": list(kernel.cpus.packets),
                 "imbalance": kernel.cpus.imbalance(),
                 "rps_steered": kernel.softirq.rps_steered,
                 "nested_rx": kernel.softirq.nested_rx,
+                "backlog_depths": kernel.softirq.backlog_depths(),
+                "backlog_high_water": list(kernel.softirq.backlog_high_water),
+                "backlog_drops": list(kernel.softirq.backlog_drops),
+                "max_backlog": kernel.softirq.max_backlog,
                 # Per-CPU ledger slices (cpu -1 = host/control context); each
                 # global stack counter is the sum of its per-CPU family.
                 "rx_by_cpu": {str(c): n for c, n in sorted(stack.rx_by_cpu.items())},
@@ -160,6 +166,18 @@ class MetricsRegistry:
             sample("linuxfp_cpu_packets_total", count, cpu=str(cpu))
         family("linuxfp_rps_steered_total", "counter", "Frames RPS-steered to a CPU other than their RX queue's owner.")
         sample("linuxfp_rps_steered_total", kernel.softirq.rps_steered)
+        family("linuxfp_cpu_online", "gauge", "1 when the CPU is online, 0 after hot-unplug.")
+        for cpu in range(kernel.cpus.num_cpus):
+            sample("linuxfp_cpu_online", 1 if kernel.cpus.is_online(cpu) else 0, cpu=str(cpu))
+        family("linuxfp_backlog_depth", "gauge", "Frames currently queued in the CPU's softirq backlog.")
+        for cpu, depth in enumerate(kernel.softirq.backlog_depths()):
+            sample("linuxfp_backlog_depth", depth, cpu=str(cpu))
+        family("linuxfp_backlog_high_water", "gauge", "Deepest the CPU's softirq backlog has been.")
+        for cpu, peak in enumerate(kernel.softirq.backlog_high_water):
+            sample("linuxfp_backlog_high_water", peak, cpu=str(cpu))
+        family("linuxfp_backlog_drops_total", "counter", "Frames refused at enqueue because the CPU's backlog was at netdev_max_backlog.")
+        for cpu, count in enumerate(kernel.softirq.backlog_drops):
+            sample("linuxfp_backlog_drops_total", count, cpu=str(cpu))
         family("linuxfp_rx_packets_by_cpu_total", "counter", "Per-CPU slice of the packet ledger's rx counter (cpu -1 = host context).")
         for cpu, count in sorted(stack.rx_by_cpu.items()):
             sample("linuxfp_rx_packets_by_cpu_total", count, cpu=str(cpu))

@@ -29,14 +29,24 @@ Sites
                           as if the carrier dropped for an instant; the
                           device records a ``dev_link_down`` drop reason, so
                           the loss is visible, never silent
+``backlog_overflow``      softirq enqueue (:meth:`repro.kernel.softirq.
+                          SoftirqSet.enqueue`): the frame is refused as if
+                          the target CPU's backlog were at
+                          ``netdev_max_backlog``; accounted as a
+                          ``backlog_overflow`` drop (action ``drop``)
+``cpu_offline``           softirq dispatch: the frame's target CPU is
+                          hot-unplugged mid-traffic
+                          (:meth:`repro.kernel.kernel.Kernel.cpu_offline`);
+                          never fires on the last online CPU (action
+                          ``offline``)
 ========================  ====================================================
 
-``link_flap`` (and any future :data:`DATA_SITES` member) perturbs the *data
-plane*, so :meth:`FaultInjector.arm_everything` skips it by default —
-control-plane chaos must not silently turn into packet loss in differential
-suites that assert fast-vs-slow output equivalence. Arm it explicitly (or
-pass ``include_data_plane=True``) in suites that assert the conservation
-ledger instead of per-packet equality.
+``link_flap``/``backlog_overflow``/``cpu_offline`` (the :data:`DATA_SITES`)
+perturb the *data plane*, so :meth:`FaultInjector.arm_everything` skips them
+by default — control-plane chaos must not silently turn into packet loss in
+differential suites that assert fast-vs-slow output equivalence. Arm them
+explicitly (or pass ``include_data_plane=True``) in suites that assert the
+conservation ledger instead of per-packet equality.
 
 Usage::
 
@@ -69,11 +79,13 @@ SITES = (
     "map_update",
     "netlink_deliver",
     "link_flap",
+    "backlog_overflow",
+    "cpu_offline",
 )
 
 #: Data-plane sites: firing one loses/perturbs *packets*, not control-plane
 #: work. Excluded from :meth:`FaultInjector.arm_everything` unless asked for.
-DATA_SITES = frozenset({"link_flap"})
+DATA_SITES = frozenset({"link_flap", "backlog_overflow", "cpu_offline"})
 
 #: Sites whose armed action is raising :class:`InjectedFault` at the caller.
 RAISE_SITES = frozenset(s for s in SITES if s != "netlink_deliver" and s not in DATA_SITES)
@@ -81,8 +93,15 @@ RAISE_SITES = frozenset(s for s in SITES if s != "netlink_deliver" and s not in 
 #: Valid actions for the ``netlink_deliver`` site.
 NETLINK_ACTIONS = ("drop", "dup")
 
-#: Valid actions for the ``link_flap`` site (the frame is lost).
-LINK_FLAP_ACTIONS = ("drop",)
+#: Valid actions per data-plane site.
+DATA_SITE_ACTIONS = {
+    "link_flap": ("drop",),
+    "backlog_overflow": ("drop",),
+    "cpu_offline": ("offline",),
+}
+
+#: Valid actions for the ``link_flap`` site (kept for suites that import it).
+LINK_FLAP_ACTIONS = DATA_SITE_ACTIONS["link_flap"]
 
 
 class InjectedFault(RuntimeError):
@@ -138,9 +157,10 @@ class FaultInjector:
                 raise ValueError(f"site {site!r} only supports action 'raise'")
             action = "raise"
         elif site in DATA_SITES:
-            action = action or "drop"
-            if action not in LINK_FLAP_ACTIONS:
-                raise ValueError(f"{site} action must be one of {LINK_FLAP_ACTIONS}")
+            valid = DATA_SITE_ACTIONS[site]
+            action = action or valid[0]
+            if action not in valid:
+                raise ValueError(f"{site} action must be one of {valid}")
         else:
             action = action or "drop"
             if action not in NETLINK_ACTIONS:
@@ -157,7 +177,8 @@ class FaultInjector:
     ) -> None:
         """Chaos mode: every control-plane site armed at the same probability.
 
-        Data-plane sites (``link_flap``) drop packets, which would make the
+        Data-plane sites (``link_flap``, ``backlog_overflow``,
+        ``cpu_offline``) drop packets or unplug CPUs, which would make the
         chaos suites' fast-vs-slow equivalence assertions diverge for reasons
         unrelated to the control plane — opt in with ``include_data_plane``.
         """

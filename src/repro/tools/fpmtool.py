@@ -12,6 +12,9 @@ tracing would on a real host:
 - ``metrics``      the unified registry (Prometheus text or JSON)
 - ``prog list``    deployed dispatchers and serving fast-path programs
 - ``map dump``     prog-array slots and each program's referenced maps
+- ``reliability``  storm-scale scorecard: drive a fault-armed traffic storm
+                   (with mid-storm CPU hotplug) and print drops by reason,
+                   incidents by kind, and per-CPU backlog high-water marks
 
 Usage::
 
@@ -216,6 +219,64 @@ def cmd_map(args) -> int:
     return 0
 
 
+def cmd_reliability(args) -> int:
+    from repro.measure.storm import StormConfig, run_storm
+
+    config = StormConfig(
+        seed=args.seed,
+        num_cpus=args.cpus,
+        hook=args.hook,
+        packets=args.packets,
+        arm_faults=not args.no_faults,
+    )
+    report = run_storm(config)
+    print(
+        f"== reliability scorecard (seed={config.seed}, {config.num_cpus} CPUs, "
+        f"{report.injected} packets in {report.bursts} bursts) =="
+    )
+    print("-- drops by reason --")
+    if not report.drops_by_reason:
+        print("  (no drops)")
+    for reason, count in sorted(report.drops_by_reason.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:8d}  {reason}")
+    print("-- incidents by kind --")
+    if not report.incidents_by_kind:
+        print("  (no incidents)")
+    for kind, count in sorted(report.incidents_by_kind.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:8d}  {kind}")
+    print("-- faults fired --")
+    if not report.faults_fired:
+        print("  (none)")
+    for site, count in sorted(report.faults_fired.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:8d}  {site}")
+    print("-- per-CPU backlog --")
+    for cpu, (high, drops) in enumerate(zip(report.backlog_high_water, report.backlog_drops)):
+        state = "offline" if cpu in report.offline_cpus else "online"
+        print(f"  cpu{cpu}: high_water={high:5d} overflow_drops={drops:5d} ({state})")
+    print("-- hotplug --")
+    if not report.hotplug_events:
+        print("  (none)")
+    for event in report.hotplug_events:
+        print(f"  {event}")
+    if report.recovery_ns:
+        worst = max(report.recovery_ns) / 1e6
+        print(f"recovery: {len(report.recovery_ns)} episode(s), worst {worst:.1f} ms (simulated)")
+    print(
+        f"ledger: rx+tx_local={report.rx_packets + report.tx_local_packets} "
+        f"settled={report.settled} pending={report.pending} "
+        f"-> {'balanced' if report.conserved else 'IMBALANCED'}"
+    )
+    verdict = "PASS" if report.ok else "FAIL"
+    print(
+        f"verdict: {verdict} (conserved={report.conserved} "
+        f"healthy={report.final_health_ok} quarantined={report.quarantined} "
+        f"unhandled={len(report.unhandled_exceptions)})"
+    )
+    for exc in report.unhandled_exceptions:
+        print(f"  unhandled: {exc}")
+    return 0 if report.ok else 1
+
+
 # --------------------------------------------------------------------- main
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_map = sub.add_parser("map", help="prog-array slots and referenced maps")
     p_map.add_argument("map_cmd", choices=("dump",))
     p_map.set_defaults(func=cmd_map)
+
+    p_rel = sub.add_parser("reliability", help="storm-scale reliability scorecard")
+    p_rel.add_argument("--seed", type=int, default=0, help="storm RNG seed")
+    p_rel.add_argument("--cpus", type=int, default=8, help="DUT CPU count")
+    p_rel.add_argument("--no-faults", action="store_true", help="run the storm with fault injection disarmed")
+    p_rel.set_defaults(func=cmd_reliability)
     return parser
 
 

@@ -167,6 +167,70 @@ class TestPercpuArray:
         assert m.lookup(k(0)) == v(3)
 
 
+# ---------------------------------------------------------- hotplug drain
+
+class TestDrainCpu:
+    """``drain_cpu``: rehoming a dead CPU's slot values onto a live CPU.
+
+    The contract: control-plane aggregates are identical before and after
+    (a drain moves values, never drops or duplicates them), and a value
+    moves only when the move is safe — the target has no value for that key
+    and (for the LRU flavour) room in its shard budget. Stranded values are
+    fine; clobbered or evicted live ones are not.
+    """
+
+    def test_hash_moves_only_unclaimed_keys(self):
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=4)
+        m.update_cpu(1, k(1), v(10))  # only on the dead CPU: moves
+        m.update_cpu(1, k(2), v(20))  # target has k2 too: stays
+        m.update_cpu(0, k(2), v(5))
+        before = {key: val for key, val in m.items()}
+        assert m.drain_cpu(1, 0) == 1
+        assert m.lookup_cpu(0, k(1)) == v(10)
+        assert m.lookup_cpu(1, k(1)) is None
+        assert m.lookup_cpu(1, k(2)) == v(20)  # stranded, not clobbered
+        assert {key: val for key, val in m.items()} == before  # aggregates
+
+    def test_drain_into_itself_is_a_noop(self):
+        m = PercpuHashMap("ctrs", 4, 8, max_entries=16, num_cpus=4)
+        m.update_cpu(1, k(1), v(10))
+        assert m.drain_cpu(1, 1) == 0
+        assert m.lookup_cpu(1, k(1)) == v(10)
+
+    def test_lru_never_evicts_live_target_entries(self):
+        m = PercpuLruHashMap("flows", 4, 8, max_entries=8, num_cpus=4)
+        assert m.shard_budget == 2
+        m.update_cpu(0, k(1), v(1))  # target at budget
+        m.update_cpu(0, k(2), v(2))
+        m.update_cpu(1, k(3), v(3))
+        m.update_cpu(1, k(4), v(4))
+        assert m.drain_cpu(1, 0) == 0  # no room: everything strands
+        assert m.evictions == 0
+        assert m.lookup_cpu(0, k(1)) == v(1)
+        assert m.lookup_cpu(1, k(3)) == v(3)  # still readable in aggregate
+        assert m.lookup(k(3)) == v(3)
+
+    def test_lru_moves_up_to_the_shard_budget(self):
+        m = PercpuLruHashMap("flows", 4, 8, max_entries=8, num_cpus=4)
+        m.update_cpu(1, k(1), v(1))
+        m.update_cpu(1, k(2), v(2))
+        m.update_cpu(0, k(3), v(3))  # one free slot on the target
+        assert m.drain_cpu(1, 0) == 1
+        assert len(m._cpu_data[0]) == 2  # at budget, no eviction
+
+    def test_array_moves_into_zero_slots_only(self):
+        m = PercpuArrayMap("stats", 8, max_entries=4, num_cpus=2)
+        m.update_cpu(1, k(0), v(10))  # target slot zero: moves
+        m.update_cpu(1, k(1), v(20))  # target slot occupied: stays
+        m.update_cpu(0, k(1), v(5))
+        aggregate_before = [m.lookup(k(i)) for i in range(4)]
+        assert m.drain_cpu(1, 0) == 1
+        assert m.lookup_cpu(0, k(0)) == v(10)
+        assert m.lookup_cpu(1, k(0)) == v(0)
+        assert m.lookup_cpu(1, k(1)) == v(20)
+        assert [m.lookup(k(i)) for i in range(4)] == aggregate_before
+
+
 # ------------------------------------------------------------- contention
 
 class TestSharedMapContentionCharge:

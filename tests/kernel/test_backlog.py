@@ -1,0 +1,158 @@
+"""Bounded per-CPU backlogs: ``net.core.netdev_max_backlog`` semantics.
+
+The overload contract under test (ISSUE: storm-scale resilience): a frame
+steered at a CPU whose backlog is full is refused *at enqueue* — it still
+enters the conservation ledger and settles as a counted ``backlog_overflow``
+drop on the CPU that refused it, so ``rx + tx_local == settled + pending``
+survives saturation. Single-frame delivery enqueues and immediately drains
+(the pre-backlog behavior, which never overflows); NAPI-style burst
+delivery (:meth:`NIC.receive_burst`) enqueues the whole batch first, which
+is where the bound actually bites.
+"""
+
+from repro.kernel.softirq import DEFAULT_MAX_BACKLOG
+from repro.measure.topology import LineTopology
+from repro.netsim.packet import make_udp
+from repro.tools.sysctl_tool import sysctl
+
+NUM_PREFIXES = 8
+
+
+def build(num_queues=4):
+    topo = LineTopology(num_queues=num_queues)
+    topo.install_prefixes(NUM_PREFIXES)
+    topo.prewarm_neighbors()
+    delivered = []
+    topo.sink_eth.nic.attach(lambda frame, q: delivered.append(frame))
+    return topo, delivered
+
+
+def frame_for(topo, flow, seq=0):
+    return make_udp(
+        topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2",
+        topo.flow_destination(flow, NUM_PREFIXES),
+        sport=1024 + flow, dport=9, ttl=16,
+        payload=seq.to_bytes(4, "big"),
+    ).to_bytes()
+
+
+def assert_ledger_balanced(stack):
+    assert stack.rx_packets + stack.tx_local_packets == stack.settled + stack.pending_packets()
+
+
+class TestSysctl:
+    def test_default_is_the_linux_default(self):
+        topo, _ = build()
+        assert topo.dut.softirq.max_backlog == DEFAULT_MAX_BACKLOG == 1000
+
+    def test_round_trip_via_sysctl_tool(self):
+        topo, _ = build()
+        dut = topo.dut
+        assert sysctl(dut, "net.core.netdev_max_backlog") == [
+            "net.core.netdev_max_backlog = 1000"
+        ]
+        sysctl(dut, "-w net.core.netdev_max_backlog=256")
+        assert sysctl(dut, "net.core.netdev_max_backlog") == [
+            "net.core.netdev_max_backlog = 256"
+        ]
+        # the softirq layer reads the tunable live, no restart required
+        assert dut.softirq.max_backlog == 256
+
+    def test_non_positive_or_garbage_falls_back_to_default(self):
+        topo, _ = build()
+        topo.dut.sysctl_set("net.core.netdev_max_backlog", "0")
+        assert topo.dut.softirq.max_backlog == DEFAULT_MAX_BACKLOG
+        topo.dut.sysctl_set("net.core.netdev_max_backlog", "unlimited")
+        assert topo.dut.softirq.max_backlog == DEFAULT_MAX_BACKLOG
+
+
+class TestSingleFrameDelivery:
+    def test_per_frame_rx_never_overflows_even_at_bound_one(self):
+        """Interrupt-per-packet arrival: enqueue + immediate drain means the
+        backlog never holds more than the one frame."""
+        topo, delivered = build()
+        topo.dut.sysctl_set("net.core.netdev_max_backlog", "1")
+        for i in range(32):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+        assert len(delivered) == 32
+        assert sum(topo.dut.softirq.backlog_drops) == 0
+        assert max(topo.dut.softirq.backlog_high_water) == 1
+        assert_ledger_balanced(topo.dut.stack)
+
+
+class TestBurstOverflow:
+    def test_burst_overflow_drops_are_fully_accounted(self):
+        topo, delivered = build()
+        dut = topo.dut
+        dut.sysctl_set("net.core.netdev_max_backlog", "8")
+        frames = [frame_for(topo, i % 16, seq=i) for i in range(256)]
+        topo.dut_in.nic.receive_burst(frames)
+        softirq = dut.softirq
+        dropped = sum(softirq.backlog_drops)
+        assert dropped > 0  # 256 frames into 4 backlogs of 8 must overflow
+        assert dut.stack.drops["backlog_overflow"] == dropped
+        assert len(delivered) + dropped == 256  # nothing vanished silently
+        assert dut.stack.rx_packets == 256  # drops entered the ledger too
+        assert_ledger_balanced(dut.stack)
+
+    def test_high_water_marks_respect_the_bound(self):
+        topo, _ = build()
+        dut = topo.dut
+        dut.sysctl_set("net.core.netdev_max_backlog", "8")
+        topo.dut_in.nic.receive_burst([frame_for(topo, i % 16, seq=i) for i in range(256)])
+        assert max(dut.softirq.backlog_high_water) == 8
+        assert all(depth == 0 for depth in dut.softirq.backlog_depths())  # drained
+
+    def test_overflow_drop_lands_on_the_refusing_cpu(self):
+        topo, _ = build()
+        dut = topo.dut
+        dut.sysctl_set("net.core.netdev_max_backlog", "4")
+        topo.dut_in.nic.receive_burst([frame_for(topo, i % 16, seq=i) for i in range(128)])
+        # per-CPU ledger slices still sum to the totals
+        assert sum(dut.stack.rx_by_cpu.values()) == dut.stack.rx_packets
+        assert sum(dut.stack.dropped_by_cpu.values()) == dut.stack.dropped
+        for cpu, drops in enumerate(dut.softirq.backlog_drops):
+            if drops:
+                assert dut.stack.dropped_by_cpu.get(cpu, 0) >= drops
+
+    def test_widening_the_bound_stops_the_bleeding(self):
+        topo, delivered = build()
+        dut = topo.dut
+        dut.sysctl_set("net.core.netdev_max_backlog", "4")
+        frames = [frame_for(topo, i % 16, seq=i) for i in range(128)]
+        topo.dut_in.nic.receive_burst(frames)
+        assert sum(dut.softirq.backlog_drops) > 0
+        dut.sysctl_set("net.core.netdev_max_backlog", "4096")
+        before = sum(dut.softirq.backlog_drops)
+        topo.dut_in.nic.receive_burst(frames)
+        assert sum(dut.softirq.backlog_drops) == before  # no new overflow
+        assert_ledger_balanced(dut.stack)
+
+
+class TestNestedRxAccounting:
+    def test_nested_rx_counts_the_packet_on_the_current_cpu(self):
+        """Regression: the inline nested-RX path (veth/loopback/decap
+        re-injection) must increment ``cpus.packets`` like every other
+        delivery, or per-CPU packet counts undercount re-injected frames."""
+        topo, delivered = build()
+        dut = topo.dut
+        frame = frame_for(topo, 0)
+        before = dut.cpus.packets[2]
+        with dut.cpus.on(2):
+            dut.softirq.rx(dut.devices.by_name("eth0"), frame)
+        assert dut.softirq.nested_rx == 1
+        assert dut.cpus.packets[2] == before + 1
+        assert len(delivered) == 1
+        assert_ledger_balanced(dut.stack)
+
+    def test_packet_counters_cover_every_delivery_path(self):
+        """Mixed single-frame + burst + nested arrivals: the per-CPU packet
+        counters sum to everything the stack received."""
+        topo, _ = build()
+        dut = topo.dut
+        for i in range(8):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+        topo.dut_in.nic.receive_burst([frame_for(topo, i, seq=1) for i in range(8)])
+        with dut.cpus.on(1):
+            dut.softirq.rx(dut.devices.by_name("eth0"), frame_for(topo, 3, seq=2))
+        assert sum(dut.cpus.packets) == dut.stack.rx_packets == 17

@@ -1,0 +1,247 @@
+"""CPU hotplug: offline/online retargeting across every per-CPU structure.
+
+``Kernel.cpu_offline`` must leave no orphaned work behind: the dead CPU's
+backlog is drained first (the ``dev_cpu_dead`` analogy), RSS indirection
+and RX-queue affinity re-spread over the online set, the conntrack shard is
+merged into a live one (lookups keep resolving via the hash-slot
+indirection), the flow-cache shard is invalidated, and the controller hears
+about it over netlink — surfacing a ``cpu-offline`` incident and rehoming
+per-CPU map slots of deployed programs. ``cpu_online`` reverses all of it.
+"""
+
+import pytest
+
+from repro.core import Controller
+from repro.core.custom import make_flow_counter
+from repro.kernel.conntrack import Conntrack, ConnTuple
+from repro.measure.topology import LineTopology
+from repro.netsim.addresses import IPv4Addr
+from repro.netsim.clock import Clock
+from repro.netsim.cpu import CpuSet
+from repro.netsim.packet import IPPROTO_UDP, make_udp
+
+NUM_PREFIXES = 8
+
+
+def build(num_queues=4):
+    topo = LineTopology(num_queues=num_queues)
+    topo.install_prefixes(NUM_PREFIXES)
+    topo.prewarm_neighbors()
+    delivered = []
+    topo.sink_eth.nic.attach(lambda frame, q: delivered.append(frame))
+    return topo, delivered
+
+
+def frame_for(topo, flow, seq=0):
+    return make_udp(
+        topo.src_eth.mac, topo.dut_in.mac, "10.0.1.2",
+        topo.flow_destination(flow, NUM_PREFIXES),
+        sport=1024 + flow, dport=9, ttl=16,
+        payload=seq.to_bytes(4, "big"),
+    ).to_bytes()
+
+
+def assert_ledger_balanced(stack):
+    assert stack.rx_packets + stack.tx_local_packets == stack.settled + stack.pending_packets()
+
+
+class TestCpuSet:
+    def test_offline_refuses_the_last_online_cpu(self):
+        cpus = CpuSet(2)
+        cpus.offline(1)
+        with pytest.raises(ValueError, match="last online"):
+            cpus.offline(0)
+
+    def test_offline_refuses_an_executing_cpu(self):
+        cpus = CpuSet(2)
+        with cpus.on(1), pytest.raises(ValueError, match="executing"):
+            cpus.offline(1)
+
+    def test_on_refuses_an_offline_cpu(self):
+        cpus = CpuSet(2)
+        cpus.offline(1)
+        with pytest.raises(ValueError, match="offline"):
+            with cpus.on(1):
+                pass  # pragma: no cover - must not execute
+        cpus.online(1)
+        with cpus.on(1):
+            cpus.charge(5)
+        assert cpus.busy_ns[1] == 5
+
+
+class TestSteeringAfterHotplug:
+    def test_no_packet_lands_on_an_offline_cpu(self):
+        topo, delivered = build(num_queues=4)
+        dut = topo.dut
+        dut.cpu_offline(1)
+        before = dut.cpus.packets[1]
+        for i in range(64):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+        assert dut.cpus.packets[1] == before  # dead CPU did no work
+        assert len(delivered) == 64  # its flows went elsewhere, not away
+        assert_ledger_balanced(dut.stack)
+
+    def test_rx_queue_affinity_remaps_onto_the_online_set(self):
+        topo, _ = build(num_queues=4)
+        dut = topo.dut
+        assert dut.softirq.rx_queue_cpu(1) == 1
+        dut.cpu_offline(1)
+        owner = dut.softirq.rx_queue_cpu(1)
+        assert owner != 1 and dut.cpus.is_online(owner)
+        dut.cpu_online(1)
+        assert dut.softirq.rx_queue_cpu(1) == 1
+
+    def test_rss_indirection_avoids_dead_queues_and_resets_on_online(self):
+        topo, _ = build(num_queues=4)
+        dut = topo.dut
+        nic = topo.dut_in.nic
+        dut.cpu_offline(1)
+        frames = [frame_for(topo, i) for i in range(64)]
+        assert all(nic.rss_queue(f) != 1 for f in frames)
+        dut.cpu_online(1)
+        assert any(nic.rss_queue(f) == 1 for f in frames)
+
+    def test_offline_drains_the_pending_backlog_first(self):
+        topo, delivered = build(num_queues=4)
+        dut = topo.dut
+        # park frames on every backlog without draining (enqueue directly)
+        queued = 0
+        for i in range(32):
+            queued += dut.softirq.enqueue(topo.dut_in, frame_for(topo, i), queue=i % 4)
+        assert queued == 32 and sum(dut.softirq.backlog_depths()) == 32
+        dut.cpu_offline(1)
+        assert dut.softirq.backlog_depths()[1] == 0  # replayed, not dropped
+        dut.softirq.process_backlogs()
+        assert len(delivered) == 32
+        assert_ledger_balanced(dut.stack)
+
+
+class TestConntrackShards:
+    def tup(self, i):
+        return ConnTuple(
+            IPv4Addr.parse(f"10.0.{i}.1"), IPv4Addr.parse(f"10.1.{i}.1"),
+            IPPROTO_UDP, 1000 + i, 53,
+        )
+
+    def seeded(self, num_shards=4, entries=64):
+        ct = Conntrack(Clock(), num_shards=num_shards)
+        tuples = [self.tup(i) for i in range(entries)]
+        for tup in tuples:
+            ct.create(tup)
+        return ct, tuples
+
+    def test_merge_empties_the_dead_shard_and_keeps_lookups_resolving(self):
+        ct, tuples = self.seeded()
+        dead_tuples = [t for t in tuples if ct.shard_of(t) == 1]
+        assert dead_tuples  # 64 flows over 4 shards: shard 1 is populated
+        moved = ct.merge_shard(1, 0)
+        assert moved == len(dead_tuples)
+        assert not ct._shards[1]
+        for tup in tuples:
+            assert ct.lookup(tup) is not None  # nothing lost in the merge
+
+    def test_split_rehomes_the_merged_entries_back(self):
+        ct, tuples = self.seeded()
+        ct.merge_shard(1, 0)
+        moved = ct.split_shard(1)
+        assert moved > 0
+        for index, shard in enumerate(ct._shards):
+            for tup in shard:
+                assert ct.shard_of(tup) == index  # invariant restored
+        for tup in tuples:
+            assert ct.lookup(tup) is not None
+
+    def test_merge_into_itself_is_rejected(self):
+        ct, _ = self.seeded()
+        with pytest.raises(ValueError):
+            ct.merge_shard(2, 2)
+
+    def test_kernel_offline_merges_and_online_splits(self):
+        topo, _ = build(num_queues=4)
+        dut = topo.dut
+        ct = dut.conntrack
+        for i in range(64):
+            ct.create(self.tup(i))
+        populated = len(ct._shards[1])
+        assert populated > 0
+        total = sum(len(s) for s in ct._shards)
+        dut.cpu_offline(1)
+        assert not ct._shards[1]
+        assert sum(len(s) for s in ct._shards) == total  # merged, not lost
+        dut.cpu_online(1)
+        for index, shard in enumerate(ct._shards):
+            for tup in shard:
+                assert ct.shard_of(tup) == index
+
+
+class TestFlowCacheShard:
+    def test_offline_invalidates_the_dead_cpus_shard(self):
+        topo, _ = build(num_queues=4)
+        controller = Controller(topo.dut, hook="xdp", flow_cache=True)
+        controller.start()
+        topo.prewarm_neighbors()
+        for i in range(64):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i, seq=1))
+        cache = topo.dut.flow_cache
+        before = cache.stats.invalidations.get("cpu_offline", 0)
+        topo.dut.cpu_offline(1)
+        dropped = cache.stats.invalidations.get("cpu_offline", 0) - before
+        assert dropped > 0  # the dead CPU's cached flows are gone
+        # and traffic still forwards (re-populating live shards)
+        for i in range(16):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i, seq=2))
+        assert_ledger_balanced(topo.dut.stack)
+
+
+class TestControllerIntegration:
+    def accelerated(self, customs=()):
+        topo, delivered = build(num_queues=4)
+        controller = Controller(topo.dut, hook="xdp", custom_fpms=list(customs))
+        controller.start()
+        topo.prewarm_neighbors()
+        return topo, delivered, controller
+
+    def test_offline_surfaces_an_incident_and_health_reports_it(self):
+        topo, _, controller = self.accelerated()
+        topo.dut.cpu_offline(2)
+        kinds = [i.kind for i in controller.incidents]
+        assert "cpu-offline" in kinds
+        health = controller.health()
+        assert health["offline_cpus"] == [2]
+        topo.dut.cpu_online(2)
+        assert "cpu-online" in [i.kind for i in controller.incidents]
+        assert controller.health()["offline_cpus"] == []
+
+    def test_offline_rehomes_percpu_map_slots_of_deployed_programs(self):
+        topo, delivered, controller = self.accelerated(customs=[make_flow_counter("flowmon")])
+        for i in range(64):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+        entry = controller.deployer.deployed["eth0"]
+        percpu = next(
+            m for m in entry.current.program.maps if hasattr(m, "drain_cpu")
+        )
+        dead_before = len(percpu._cpu_data[1])
+        total_before = sum(len(slot) for slot in percpu._cpu_data)
+        assert dead_before > 0
+        topo.dut.cpu_offline(1)
+        target = topo.dut._hotplug_target(1)  # the post-offline online set
+        assert len(percpu._cpu_data[1]) < dead_before  # slots rehomed
+        assert sum(len(slot) for slot in percpu._cpu_data) == total_before
+        assert len(percpu._cpu_data[target]) > 0
+        kinds = [i.kind for i in controller.incidents]
+        assert "cpu-map-drain" in kinds
+
+    def test_traffic_keeps_flowing_across_an_offline_online_cycle(self):
+        topo, delivered, controller = self.accelerated()
+        for i in range(32):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i))
+        topo.dut.cpu_offline(1)
+        for i in range(32):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i, seq=1))
+        topo.dut.cpu_online(1)
+        for i in range(32):
+            topo.dut_in.nic.receive_from_wire(frame_for(topo, i, seq=2))
+        assert len(delivered) == 96
+        assert_ledger_balanced(topo.dut.stack)
+        assert controller.health()["ok"]

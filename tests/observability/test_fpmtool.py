@@ -91,6 +91,32 @@ class TestProgAndMap:
         assert "slot 0" in out
 
 
+class TestReliability:
+    def test_scorecard_sections_and_pass_verdict(self, capsys):
+        rc, out = run(
+            capsys,
+            ["--packets", "800", "reliability", "--seed", "3", "--cpus", "4"],
+        )
+        assert rc == 0
+        assert "drops by reason" in out
+        assert "incidents by kind" in out
+        assert "per-CPU backlog" in out
+        assert "backlog_overflow" in out
+        assert "high_water=" in out
+        assert "balanced" in out
+        assert "verdict: PASS" in out
+
+    def test_disarmed_storm_reports_no_faults(self, capsys):
+        rc, out = run(
+            capsys,
+            ["--packets", "400", "reliability", "--seed", "1", "--cpus", "2",
+             "--no-faults"],
+        )
+        assert rc == 0
+        assert "-- faults fired --\n  (none)" in out
+        assert "verdict: PASS" in out
+
+
 class TestArgs:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
