@@ -59,7 +59,9 @@ class ReactionRecord:
 class Incident:
     """One entry in the controller's incident log."""
 
-    kind: str  # rebuild-error | synthesize-error | deploy-error | watchdog-mismatch | netlink-overrun-resync
+    # rebuild-error | synthesize-error | deploy-error | watchdog-mismatch |
+    # netlink-overrun-resync | optimizer-fallback | optimizer-reject | cpu-*
+    kind: str
     detail: str
     at_ns: int
     ifname: Optional[str] = None
@@ -78,6 +80,7 @@ class Controller:
         custom_fpms: Optional[List] = None,
         flow_cache: Optional[bool] = None,
         watchdog_every: Optional[int] = None,
+        optimize: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.hook = hook
@@ -90,8 +93,9 @@ class Controller:
         self.watchdog: Optional[Watchdog] = None
         self.target_interfaces = interfaces
         self.topology = TopologyManager(enable_ipvs=enable_ipvs)
+        # optimize=None defers to the LINUXFP_OPT env opt-in (Synthesizer).
         self.synthesizer = Synthesizer(
-            capabilities, customs=custom_fpms, num_cpus=kernel.num_cores
+            capabilities, customs=custom_fpms, num_cpus=kernel.num_cores, optimize=optimize
         )
         self.deployer = Deployer(kernel, hook=hook)
         self.socket = kernel.bus.open_socket()
@@ -328,6 +332,16 @@ class Controller:
                 continue
             if self.deployer.deploy(path):
                 redeployed.append(ifname)
+                report = path.opt_report
+                if report is not None:
+                    # Optimizer outcomes are incidents, not failures: the
+                    # interface is serving either way (fail-closed).
+                    if report.status == "fallback":
+                        self._incident(
+                            "optimizer-fallback", report.error or "optimizer failed", ifname
+                        )
+                    for cex in report.rejected:
+                        self._incident("optimizer-reject", str(cex), ifname)
             else:
                 failure = self.deployer.failures.get(ifname)
                 detail = f"{failure.stage}: {failure.error}" if failure else "unknown"

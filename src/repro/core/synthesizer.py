@@ -10,6 +10,7 @@ always correct).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -17,6 +18,7 @@ from repro.core.capability import CapabilityManager
 from repro.core.fpm.library import render_fast_path
 from repro.core.graph import InterfaceGraph, ProcessingGraph
 from repro.ebpf.analysis.lint import lint_program
+from repro.ebpf.analysis.opt import OptimizationReport, optimize_program
 from repro.ebpf.maps import BpfMap, HashMap, LruHashMap, PercpuLruHashMap
 from repro.ebpf.minic import compile_c
 from repro.ebpf.program import Program
@@ -37,6 +39,10 @@ class SynthesizedPath:
     #: compiled against. The Deployer rebinds ``custom.maps`` to the clones
     #: once this path is serving, so userspace reads live state.
     custom_rebinds: List[tuple] = field(default_factory=list)
+    #: What the superoptimizer did (None when optimization was not enabled).
+    #: ``status == "fallback"`` means the pass failed and ``program`` is the
+    #: unoptimized bytecode — fail-closed, the interface still deploys.
+    opt_report: Optional[OptimizationReport] = None
 
     def rebind_custom_maps(self) -> None:
         for custom, clones in self.custom_rebinds:
@@ -49,10 +55,17 @@ class Synthesizer:
         capabilities: Optional[CapabilityManager] = None,
         customs: Optional[list] = None,
         num_cpus: int = 1,
+        optimize: Optional[bool] = None,
     ) -> None:
         self.capabilities = capabilities or CapabilityManager.linuxfp()
         self.customs = list(customs or [])  # CustomFpm modules to weave in
         self.num_cpus = max(1, num_cpus)  # target kernel's data-plane CPUs
+        if optimize is None:
+            optimize = os.environ.get("LINUXFP_OPT", "").lower() in ("1", "true", "on")
+        #: Opt-in superoptimization: equivalence-checked rewrites applied
+        #: after verification, re-verified, fail-closed to the unoptimized
+        #: bytecode (see :mod:`repro.ebpf.analysis.opt`).
+        self.optimize = optimize
 
     def _prepare_custom_maps(self) -> tuple:
         """The map set a synthesis compiles against.
@@ -116,6 +129,9 @@ class Synthesizer:
             source, name=f"linuxfp_{iface_graph.ifname}_{hook}", hook=hook, maps=custom_maps
         )
         verify(program)
+        opt_report = None
+        if self.optimize:
+            program, opt_report = optimize_program(program)
         return SynthesizedPath(
             ifname=iface_graph.ifname,
             program=program,
@@ -123,6 +139,7 @@ class Synthesizer:
             pruned_nfs=pruned,
             lint_findings=[str(f) for f in lint_program(program)],
             custom_rebinds=rebinds,
+            opt_report=opt_report,
         )
 
     def synthesize(self, graph: ProcessingGraph, hook: str) -> Dict[str, SynthesizedPath]:

@@ -1,0 +1,37 @@
+"""Equivalence-checked superoptimization of FPM bytecode.
+
+The paper's minimality thesis — synthesized fast paths are fast *because*
+they contain only the instructions the configuration needs — is enforced
+here mechanically, K2-style ("Synthesizing Safe and Efficient Kernel
+Extensions for Packet Processing"): a window/peephole engine proposes
+rewrites from a rule catalog, each candidate must be *proven* equivalent to
+the window it replaces (symbolic values over the :mod:`..domain` interval
+lattice, with differential VM execution as a soundness backstop), and the
+full range-tracking verifier re-checks every optimized program. Anything
+short of proof falls back to the unoptimized bytecode — fail-closed,
+mirroring the Deployer's degradation ladder.
+
+Public surface:
+
+- :func:`~repro.ebpf.analysis.opt.engine.optimize_program` — the pipeline.
+- :mod:`~repro.ebpf.analysis.opt.dce` — shared dead-code elimination, also
+  used by the minic code generator.
+- :mod:`~repro.ebpf.analysis.opt.rules` — the rewrite catalog.
+- :mod:`~repro.ebpf.analysis.opt.equiv` — the window equivalence checker.
+"""
+
+from repro.ebpf.analysis.opt.dce import eliminate_unreachable, remove_insns
+from repro.ebpf.analysis.opt.engine import OptimizationReport, optimize_program
+from repro.ebpf.analysis.opt.equiv import Counterexample, check_window
+from repro.ebpf.analysis.opt.rules import Rule, default_rules
+
+__all__ = [
+    "Counterexample",
+    "OptimizationReport",
+    "Rule",
+    "check_window",
+    "default_rules",
+    "eliminate_unreachable",
+    "optimize_program",
+    "remove_insns",
+]

@@ -1,0 +1,84 @@
+"""Dead-code elimination shared by the code generator and the optimizer.
+
+Two primitives: :func:`reachable_pcs` (forward reachability over the
+loop-free CFG) and :func:`remove_insns` (drop an index set and remap every
+surviving jump to the compacted layout). :func:`eliminate_unreachable`
+composes them; the minic code generator calls it to sweep the dead tails its
+straight-line lowering leaves behind (the epilogue after an unconditional
+``return``, inline-call fall-throughs), and the optimizer engine calls it
+after branch folding opens up newly unreachable arms.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Iterable, List, Sequence, Set
+
+from repro.ebpf.isa import JUMP_OPS, Insn, Op
+
+
+def reachable_pcs(insns: Sequence[Insn]) -> Set[int]:
+    """Instruction indices reachable from the entry point."""
+    reachable: Set[int] = set()
+    work = [0]
+    while work:
+        pc = work.pop()
+        if pc in reachable or not 0 <= pc < len(insns):
+            continue
+        reachable.add(pc)
+        op = insns[pc].op
+        if op is Op.EXIT:
+            continue
+        if op is Op.JA:
+            work.append(pc + 1 + insns[pc].off)
+            continue
+        if op in JUMP_OPS:
+            work.append(pc + 1 + insns[pc].off)
+        work.append(pc + 1)
+    return reachable
+
+
+def remove_insns(insns: Sequence[Insn], dead: Iterable[int]) -> List[Insn]:
+    """Drop the ``dead`` indices, remapping jump offsets to the new layout.
+
+    A jump whose target was removed retargets to the next surviving
+    instruction. Every removal this package performs — unreachable code,
+    no-op hops, writes proven dead — makes that retarget
+    semantics-preserving: the removed target either cannot execute or has no
+    observable effect on any path through it.
+    """
+    dead_set = set(dead)
+    if not dead_set:
+        return list(insns)
+    kept = [pc for pc in range(len(insns)) if pc not in dead_set]
+    if not kept:
+        raise ValueError("cannot remove every instruction")
+    new_pos = {old: new for new, old in enumerate(kept)}
+
+    def surviving_target(target: int) -> int:
+        i = bisect.bisect_left(kept, target)
+        if i == len(kept):
+            raise ValueError(f"jump target {target} has no surviving successor")
+        return i
+
+    out: List[Insn] = []
+    for old in kept:
+        insn = insns[old]
+        if insn.op in JUMP_OPS:
+            target = old + 1 + insn.off
+            insn = dataclasses.replace(insn, off=surviving_target(target) - new_pos[old] - 1)
+        out.append(insn)
+    return out
+
+
+def eliminate_unreachable(insns: List[Insn]) -> List[Insn]:
+    """Drop instructions unreachable from the entry point.
+
+    Executed paths are untouched — only never-reached instructions are
+    removed, with jump offsets remapped to the compacted layout.
+    """
+    reachable = reachable_pcs(insns)
+    if len(reachable) == len(insns):
+        return insns
+    return remove_insns(insns, set(range(len(insns))) - reachable)

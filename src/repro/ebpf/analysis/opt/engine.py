@@ -1,0 +1,478 @@
+"""The optimization pipeline: propose → prove → re-verify, fail-closed.
+
+:func:`optimize_program` drives four equivalence-preserving passes over a
+*verifier-accepted* program:
+
+1. **Branch folding** — the path-sensitive interpreter's
+   ``branch_outcomes`` record which edges of each conditional are feasible;
+   a conditional with a single feasible outcome is a bounds check (or other
+   test) the range domain has already discharged, so it degrades to an
+   unconditional hop and its dead arm unreaches. This is the "bounds-check
+   elision where the range domain already proves safety" rule: the domain's
+   path facts are the proof, no differential check needed — an infeasible
+   abstract edge is infeasible concretely (domain soundness).
+2. **Peephole rewriting** — candidates mined by the
+   :mod:`~repro.ebpf.analysis.opt.rules` catalog, each applied only after
+   :func:`~repro.ebpf.analysis.opt.equiv.check_window` returns ``proven``.
+   Refuted candidates are recorded as counterexamples (a catalog bug);
+   unproven ones are skipped and counted.
+3. **Dead-write elimination** — backward register liveness over the CFG;
+   side-effect-free writes (mov/alu/load) whose destination is dead are
+   removed. Helper calls read r1–r5 and clobber r0–r5; tail calls read
+   r1–r5; exit reads r0.
+4. **Dead stack-store elimination** — backward byte-level liveness over the
+   frame, with a forward may-hold-stack-pointer taint analysis so loads via
+   derived pointers and helper calls conservatively keep everything alive.
+
+The result is re-verified by the full range-tracking verifier. Any failure
+anywhere — an injected fault, a verifier rejection of the optimized body, a
+bug in a pass — falls back to the unoptimized program (fail-closed,
+mirroring the Deployer's degradation ladder); the report says why.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ebpf.analysis.interp import Analysis, interpret
+from repro.ebpf.analysis.opt.dce import eliminate_unreachable, remove_insns
+from repro.ebpf.analysis.opt.equiv import (
+    PROVEN,
+    REFUTED,
+    Counterexample,
+    check_window,
+)
+from repro.ebpf.analysis.opt.rules import Rule, default_rules
+from repro.ebpf.isa import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    JMP_IMM_OPS,
+    JMP_REG_OPS,
+    JUMP_OPS,
+    R10,
+    Insn,
+    Op,
+)
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import check_structure, verify
+from repro.ebpf.vm import STACK_SIZE
+from repro.testing import faults
+
+#: Pipeline iterations: each rewrite can expose work for the next pass.
+_MAX_ROUNDS = 4
+
+#: Ops whose only effect is writing ``dst`` — removable when ``dst`` is dead.
+_PURE_WRITES = {Op.MOV_IMM, Op.MOV_REG, Op.NEG, Op.LDX, Op.LD_MAP} | ALU_IMM_OPS | ALU_REG_OPS
+
+#: Cross-program cache of equivalence verdicts: the 14 template configs
+#: share most of their emission patterns, so verdicts repeat heavily.
+_CHECK_CACHE: Dict[Tuple, Tuple[str, Optional[Counterexample]]] = {}
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did to one program (serializable for CI audits)."""
+
+    program: str
+    status: str = "unchanged"  # unchanged | optimized | fallback
+    insns_before: int = 0
+    insns_after: int = 0
+    folded_branches: int = 0
+    dead_writes: int = 0
+    dead_stores: int = 0
+    applied: Dict[str, int] = field(default_factory=dict)  # rule -> count
+    rejected: List[Counterexample] = field(default_factory=list)
+    unproven: int = 0
+    error: Optional[str] = None
+
+    @property
+    def insns_removed(self) -> int:
+        return self.insns_before - self.insns_after
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "status": self.status,
+            "insns_before": self.insns_before,
+            "insns_after": self.insns_after,
+            "insns_removed": self.insns_removed,
+            "folded_branches": self.folded_branches,
+            "dead_writes": self.dead_writes,
+            "dead_stores": self.dead_stores,
+            "applied": dict(self.applied),
+            "rejected": [c.to_dict() for c in self.rejected],
+            "unproven": self.unproven,
+            "error": self.error,
+        }
+
+
+# ----------------------------------------------------------- CFG utilities --
+
+
+def _successors(insns: Sequence[Insn], pc: int) -> Tuple[int, ...]:
+    op = insns[pc].op
+    if op is Op.EXIT:
+        return ()
+    if op is Op.JA:
+        return (pc + 1 + insns[pc].off,)
+    if op in JMP_IMM_OPS or op in JMP_REG_OPS:
+        return (pc + 1, pc + 1 + insns[pc].off)
+    return (pc + 1,)
+
+
+def _reads_writes(insn: Insn) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    op = insn.op
+    if op is Op.MOV_IMM or op is Op.LD_MAP:
+        return (), (insn.dst,)
+    if op is Op.MOV_REG:
+        return (insn.src,), (insn.dst,)
+    if op in ALU_IMM_OPS or op is Op.NEG:
+        return (insn.dst,), (insn.dst,)
+    if op in ALU_REG_OPS:
+        return (insn.dst, insn.src), (insn.dst,)
+    if op is Op.LDX:
+        return (insn.src,), (insn.dst,)
+    if op is Op.STX:
+        return (insn.dst, insn.src), ()
+    if op is Op.ST_IMM:
+        return (insn.dst,), ()
+    if op in JMP_IMM_OPS:
+        return (insn.dst,), ()
+    if op in JMP_REG_OPS:
+        return (insn.dst, insn.src), ()
+    if op is Op.CALL:
+        return (1, 2, 3, 4, 5), (0, 1, 2, 3, 4, 5)
+    if op is Op.TAIL_CALL:
+        return (1, 2, 3, 4, 5), ()
+    if op is Op.EXIT:
+        return (0,), ()
+    return (), ()  # JA
+
+
+def _jump_targets(insns: Sequence[Insn]) -> Set[int]:
+    return {
+        pc + 1 + insn.off for pc, insn in enumerate(insns) if insn.op in JUMP_OPS
+    }
+
+
+# ---------------------------------------------------------- branch folding --
+
+
+def _fold_branches(insns: List[Insn], analysis: Analysis, report: OptimizationReport) -> List[Insn]:
+    """Conditionals with one feasible outcome become unconditional hops."""
+    out = list(insns)
+    for pc, outcomes in analysis.branch_outcomes.items():
+        if len(outcomes) != 1:
+            continue
+        insn = out[pc]
+        if insn.op not in JMP_IMM_OPS and insn.op not in JMP_REG_OPS:
+            continue
+        taken = True in outcomes
+        comment = f"folded {insn.op.value} (always {'taken' if taken else 'fall-through'})"
+        out[pc] = Insn(Op.JA, off=insn.off if taken else 0, comment=comment)
+        report.folded_branches += 1
+    return out
+
+
+def _drop_noop_hops(insns: List[Insn]) -> List[Insn]:
+    noops = {pc for pc, insn in enumerate(insns) if insn.op is Op.JA and insn.off == 0}
+    if not noops:
+        return insns
+    return remove_insns(insns, noops)
+
+
+# -------------------------------------------------------------- peepholing --
+
+
+def _check_cached(
+    rule: str, window: Sequence[Insn], replacement: Sequence[Insn], pc: int, seed: int
+) -> Tuple[str, Optional[Counterexample]]:
+    key = (
+        rule,
+        seed,
+        tuple((i.op, i.dst, i.src, i.off, i.imm) for i in window),
+        tuple((i.op, i.dst, i.src, i.off, i.imm) for i in replacement),
+    )
+    hit = _CHECK_CACHE.get(key)
+    if hit is None:
+        result = check_window(window, replacement, rule=rule, pc=pc, seed=seed)
+        hit = (result.verdict, result.counterexample)
+        _CHECK_CACHE[key] = hit
+    verdict, cex = hit
+    if cex is not None and cex.pc != pc:
+        cex = dataclasses.replace(cex, pc=pc)
+    return verdict, cex
+
+
+def _splice(insns: List[Insn], start: int, end: int, replacement: Sequence[Insn]) -> List[Insn]:
+    """Replace ``insns[start:end]``, shifting jump offsets across the seam."""
+    delta = len(replacement) - (end - start)
+    out: List[Insn] = []
+    for pc in range(start):
+        insn = insns[pc]
+        if insn.op in JUMP_OPS:
+            target = pc + 1 + insn.off
+            if target >= end:
+                insn = dataclasses.replace(insn, off=insn.off + delta)
+            elif target > start:
+                raise ValueError("jump into rewrite window")
+        out.append(insn)
+    out.extend(replacement)
+    out.extend(insns[end:])
+    return out
+
+
+def _peephole(
+    insns: List[Insn],
+    rules: Sequence[Rule],
+    seed: int,
+    report: OptimizationReport,
+) -> List[Insn]:
+    targets = _jump_targets(insns)
+    seen_rejections = {(c.rule, c.pc) for c in report.rejected}
+    pc = 0
+    while pc < len(insns):
+        applied = False
+        for rule in rules:
+            match = rule.match(insns, pc)
+            if match is None:
+                continue
+            length, replacement = match
+            if any(t in targets for t in range(pc + 1, pc + length)):
+                continue  # a jump lands mid-window: not a straight-line unit
+            window = insns[pc : pc + length]
+            verdict, cex = _check_cached(rule.name, window, replacement, pc, seed)
+            if verdict == REFUTED:
+                if (rule.name, pc) not in seen_rejections:
+                    seen_rejections.add((rule.name, pc))
+                    report.rejected.append(cex)
+                continue
+            if verdict != PROVEN:
+                report.unproven += 1
+                continue
+            insns = _splice(insns, pc, pc + length, replacement)
+            report.applied[rule.name] = report.applied.get(rule.name, 0) + 1
+            targets = _jump_targets(insns)
+            applied = True
+            break
+        if not applied:
+            pc += 1
+    return insns
+
+
+# ------------------------------------------------- dead-write elimination --
+
+
+def _liveness(insns: Sequence[Insn]) -> List[Set[int]]:
+    """Backward register liveness; converges fast on the loop-free CFG."""
+    n = len(insns)
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(n - 1, -1, -1):
+            reads, writes = _reads_writes(insns[pc])
+            out: Set[int] = set()
+            for succ in _successors(insns, pc):
+                if succ < n:
+                    out |= live_in[succ]
+            inn = (out - set(writes)) | set(reads)
+            if out != live_out[pc] or inn != live_in[pc]:
+                live_out[pc], live_in[pc] = out, inn
+                changed = True
+    return live_out
+
+
+def _eliminate_dead_writes(insns: List[Insn], report: OptimizationReport) -> List[Insn]:
+    """Remove pure writes to registers that are never read afterwards."""
+    while True:
+        live_out = _liveness(insns)
+        dead = {
+            pc
+            for pc, insn in enumerate(insns)
+            if insn.op in _PURE_WRITES and insn.dst not in live_out[pc]
+        }
+        if not dead:
+            return insns
+        report.dead_writes += len(dead)
+        insns = remove_insns(insns, dead)
+
+
+# ------------------------------------------------- dead-store elimination --
+
+
+def _stack_taint(insns: Sequence[Insn]) -> List[Set[int]]:
+    """Forward may-analysis: registers possibly holding a stack pointer.
+
+    Loads from the frame may fill a previously spilled stack pointer, so
+    they propagate taint; packet/map regions cannot hold pointers, and
+    helpers return scalars or map-value pointers, never stack pointers.
+    """
+    n = len(insns)
+    taint_in: List[Optional[Set[int]]] = [None] * n
+    taint_in[0] = {R10}
+    work = [0]
+    while work:
+        pc = work.pop()
+        t = set(taint_in[pc])
+        insn = insns[pc]
+        op = insn.op
+        if op is Op.MOV_IMM or op is Op.LD_MAP:
+            t.discard(insn.dst)
+        elif op is Op.MOV_REG:
+            if insn.src in t:
+                t.add(insn.dst)
+            else:
+                t.discard(insn.dst)
+        elif op in ALU_REG_OPS:
+            if insn.src in t:
+                t.add(insn.dst)
+        elif op is Op.LDX:
+            if insn.src in t or insn.src == R10:
+                t.add(insn.dst)
+            else:
+                t.discard(insn.dst)
+        elif op is Op.CALL:
+            for r in range(6):
+                t.discard(r)
+        for succ in _successors(insns, pc):
+            if succ >= n:
+                continue
+            if taint_in[succ] is None:
+                taint_in[succ] = set(t)
+                work.append(succ)
+            elif not t <= taint_in[succ]:
+                taint_in[succ] |= t
+                work.append(succ)
+    return [t if t is not None else set() for t in taint_in]
+
+
+def _eliminate_dead_stores(insns: List[Insn], report: OptimizationReport) -> List[Insn]:
+    """Remove frame stores whose bytes are never read before overwrite.
+
+    Byte-level backward liveness over the 512-byte frame. Anything that
+    might read the stack through a derived pointer — a helper call, a tail
+    call, a load via a maybe-stack register — keeps every byte alive.
+    """
+    n = len(insns)
+    taint = _stack_taint(insns)
+    every_byte = frozenset(range(STACK_SIZE))
+
+    def span(off: int, size: int) -> Set[int]:
+        base = STACK_SIZE + off
+        return set(range(max(0, base), min(STACK_SIZE, base + size)))
+
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(n - 1, -1, -1):
+            insn = insns[pc]
+            op = insn.op
+            out: Set[int] = set()
+            for succ in _successors(insns, pc):
+                if succ < n:
+                    out |= live_in[succ]
+            if op is Op.CALL or op is Op.TAIL_CALL:
+                inn = set(every_byte)
+            elif op is Op.LDX:
+                if insn.src == R10:
+                    inn = out | span(insn.off, insn.imm)
+                elif insn.src in taint[pc]:
+                    inn = set(every_byte)
+                else:
+                    inn = out
+            elif op in (Op.STX, Op.ST_IMM):
+                size = insn.imm if op is Op.STX else insn.src
+                if insn.dst == R10:
+                    inn = out - span(insn.off, size)
+                else:
+                    inn = out  # unknown target: kills nothing, reads nothing
+            else:
+                inn = out
+            if out != live_out[pc] or inn != live_in[pc]:
+                live_out[pc], live_in[pc] = out, inn
+                changed = True
+
+    dead = set()
+    for pc, insn in enumerate(insns):
+        if insn.op in (Op.STX, Op.ST_IMM) and insn.dst == R10:
+            size = insn.imm if insn.op is Op.STX else insn.src
+            if not (span(insn.off, size) & live_out[pc]):
+                dead.add(pc)
+    if not dead:
+        return insns
+    report.dead_stores += len(dead)
+    return remove_insns(insns, dead)
+
+
+# ---------------------------------------------------------------- pipeline --
+
+
+def optimize_program(
+    program: Program,
+    entry_regs: Tuple[int, ...] = (1, 2, 3),
+    entry_kinds: Optional[Tuple[str, ...]] = None,
+    seed: int = 0,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[Program, OptimizationReport]:
+    """Optimize ``program``; never degrades it.
+
+    Returns ``(program', report)``. On success ``program'`` carries the same
+    name/hook/maps/source with a provably equivalent, re-verified
+    instruction body. On *any* failure — injected fault, a pass raising, or
+    the optimized body failing re-verification — the original program comes
+    back untouched with ``report.status == "fallback"``.
+    """
+    report = OptimizationReport(
+        program=program.name,
+        insns_before=len(program.insns),
+        insns_after=len(program.insns),
+    )
+    rule_set = list(rules) if rules is not None else default_rules()
+    try:
+        faults.fire("optimize", program.name)
+        check_structure(program)
+        analysis = interpret(program, entry_regs, entry_kinds)
+        insns = _fold_branches(list(program.insns), analysis, report)
+        insns = eliminate_unreachable(insns)
+        insns = _drop_noop_hops(insns)
+        for _ in range(_MAX_ROUNDS):
+            before = [
+                (i.op, i.dst, i.src, i.off, i.imm) for i in insns
+            ]
+            insns = _peephole(insns, rule_set, seed, report)
+            insns = _eliminate_dead_writes(insns, report)
+            insns = _eliminate_dead_stores(insns, report)
+            insns = eliminate_unreachable(insns)
+            if [(i.op, i.dst, i.src, i.off, i.imm) for i in insns] == before:
+                break
+        changed = (
+            report.folded_branches
+            or report.dead_writes
+            or report.dead_stores
+            or report.applied
+            or len(insns) != len(program.insns)
+        )
+        if not changed:
+            return program, report
+        optimized = Program(
+            name=program.name,
+            insns=insns,
+            hook=program.hook,
+            maps=program.maps,
+            source=program.source,
+        )
+        verify(optimized, entry_regs, entry_kinds)  # fail-closed gate
+        report.status = "optimized"
+        report.insns_after = len(insns)
+        return optimized, report
+    except Exception as exc:  # noqa: BLE001 — fail-closed by design
+        report.status = "fallback"
+        report.insns_after = report.insns_before
+        report.error = f"{type(exc).__name__}: {exc}"
+        return program, report

@@ -1,0 +1,534 @@
+"""Window equivalence: the optimizer's proof obligation.
+
+A candidate rewrite replaces a straight-line *window* of instructions with a
+shorter (or equal-length) sequence. Before the engine applies it, the two
+sequences must be shown to compute the same state transformer. Two layers:
+
+**Symbolic + interval abstract semantics** (:func:`abstract_eval_window`) —
+every register carries a pair *(value id, range)*. Value ids are canonical
+expression trees over the entry registers and stack slots; the
+:mod:`repro.ebpf.analysis.domain` interval arithmetic rides along and feeds
+the canonicalizer: an ALU result whose range collapses to a single constant
+*is* that constant (this is how ``x & 0 → 0`` or ``x % 1 → 0`` are proven),
+and the algebraic identities of the VM's ``_alu`` (``x + 0 = x``,
+``x * 2^k = x << k``, commutativity of add/mul/and/or/xor) are folded into
+the canonical form, so equal canonical states imply equal concrete states.
+If both sides produce identical canonical final states on every probe, the
+rewrite is **proven**. If some probe yields two *different constants* for
+the same register or slot, the domain itself has refuted the rewrite — a
+counterexample. Anything in between is **unproven** and the rewrite is
+skipped (fail-closed).
+
+**Differential VM execution** (:func:`concrete_eval_window`) — the soundness
+backstop demanded by the issue: both sequences run under the real VM ALU
+(`VM._alu`) against a seeded corpus of edge-case and random register values,
+including fat-pointer-valued registers and randomized stack contents. Any
+divergence in final registers, stack bytes, spilled pointers, or
+abort-vs-complete verdict refutes the rewrite with a concrete
+counterexample, *even if the abstract layer proved it* — a disagreement
+between the layers means the rule catalog or the domain has a bug, and the
+rewrite is rejected.
+
+Scope: windows are drawn from verifier-accepted programs, so operands of
+non-add/sub ALU ops are provably scalar at runtime and pointer words only
+flow through MOV/LDX/STX/ADD/SUB — the checker's scalar probes plus
+explicit stack-pointer probes cover exactly the states such programs can
+reach. Windows using ops outside the supported fragment (calls, jumps,
+non-frame-pointer memory) are never proven, hence never rewritten.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ebpf.analysis.domain import Range, alu_range
+from repro.ebpf.isa import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    MASK64,
+    R10,
+    Insn,
+    Op,
+)
+from repro.ebpf.memory import MemoryError_, Pointer, Region
+from repro.ebpf.program import Program
+from repro.ebpf.vm import STACK_SIZE, VM, VMError
+
+PROVEN = "proven"
+UNPROVEN = "unproven"
+REFUTED = "refuted"
+
+#: ALU ops that commute in the VM (used to canonicalize symbolic values).
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor"})
+
+#: Ops a window may contain and still be checkable. Memory access is
+#: restricted to direct frame-pointer addressing — exactly what the
+#: catalog's spill/fill rules need.
+_SUPPORTED = (
+    {Op.MOV_IMM, Op.MOV_REG, Op.NEG, Op.LDX, Op.STX, Op.ST_IMM}
+    | ALU_IMM_OPS
+    | ALU_REG_OPS
+)
+
+# VM._alu/_compare only consult the program for error messages; a shared
+# throwaway instance gives the checker the production ALU semantics.
+_VM = VM.__new__(VM)
+_WINDOW_PROG = Program(name="window", insns=[Insn(Op.EXIT)], hook="xdp")
+
+#: Corpus of adversarial scalar values for differential execution.
+_EDGE_VALUES = (
+    0, 1, 2, 3, 7, 8, 63, 64, 255, 256, 0xFFFF, 0x10000,
+    (1 << 31) - 1, 1 << 31, (1 << 32) - 1, 1 << 32,
+    (1 << 63) - 1, 1 << 63, MASK64 - 1, MASK64,
+)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A rejected rewrite: the inputs on which the two windows disagree."""
+
+    rule: str
+    pc: int
+    stage: str  # "abstract" (domain disproof) or "concrete" (VM divergence)
+    inputs: Tuple[Tuple[str, str], ...]  # (register/probe, value) pairs
+    expected: str
+    got: str
+
+    def __str__(self) -> str:
+        where = ", ".join(f"{k}={v}" for k, v in self.inputs) or "any input"
+        return (
+            f"rule {self.rule} at pc {self.pc} refuted ({self.stage}): "
+            f"with {where}: expected {self.expected}, got {self.got}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "pc": self.pc,
+            "stage": self.stage,
+            "inputs": dict(self.inputs),
+            "expected": self.expected,
+            "got": self.got,
+        }
+
+
+@dataclass
+class CheckResult:
+    verdict: str  # proven | unproven | refuted
+    counterexample: Optional[Counterexample] = None
+    probes: int = 0
+
+
+def window_supported(insns: Sequence[Insn]) -> bool:
+    """Whether every instruction falls in the checkable fragment."""
+    for insn in insns:
+        if insn.op not in _SUPPORTED:
+            return False
+        if insn.op is Op.LDX and insn.src != R10:
+            return False
+        if insn.op in (Op.STX, Op.ST_IMM) and insn.dst != R10:
+            return False
+    return True
+
+
+def window_reads(*sequences: Sequence[Insn]) -> Tuple[int, ...]:
+    """Registers either sequence reads before writing (entry dependencies)."""
+    reads: set = set()
+    for insns in sequences:
+        written: set = set()
+        for insn in insns:
+            op = insn.op
+            if op is Op.MOV_REG:
+                if insn.src not in written:
+                    reads.add(insn.src)
+                written.add(insn.dst)
+            elif op in ALU_IMM_OPS or op is Op.NEG:
+                if insn.dst not in written:
+                    reads.add(insn.dst)
+                written.add(insn.dst)
+            elif op in ALU_REG_OPS:
+                for r in (insn.dst, insn.src):
+                    if r not in written:
+                        reads.add(r)
+                written.add(insn.dst)
+            elif op is Op.MOV_IMM:
+                written.add(insn.dst)
+            elif op is Op.LDX:
+                written.add(insn.dst)  # src is R10, always defined
+            elif op is Op.STX:
+                if insn.src not in written:
+                    reads.add(insn.src)
+    reads.discard(R10)
+    return tuple(sorted(reads))
+
+
+# --------------------------------------------------------------- abstract ---
+
+#: A symbolic value: a canonical expression tree (nested tuples). Leaves are
+#: ``("reg", r)`` entry registers, ``("const", v)``, and ``("slot", off,
+#: size, gen)`` untracked stack loads (``gen`` counts prior overlapping
+#: stores, so a load before and after a clobbering store never unify).
+
+
+def _canon_alu(op: str, left, right, rng: Range):
+    """Canonical vid for ``left op right`` with result range ``rng``.
+
+    Each folded identity is a theorem about the VM's ``_alu``; the interval
+    domain supplies the constant collapse.
+    """
+    if rng.is_const:
+        return ("const", rng.lo)
+    if right[0] == "const":
+        value = right[1]
+        if value == 0 and op in ("add", "sub", "or", "xor", "lsh", "rsh"):
+            return left
+        if value == 0 and op == "mod":  # x % 0 == x in eBPF
+            return left
+        if value == 1 and op in ("mul", "div"):
+            return left
+        if value > 1 and value & (value - 1) == 0:
+            shift = value.bit_length() - 1
+            if op == "mul":
+                return _canon_alu("lsh", left, ("const", shift), rng)
+            if op == "div":
+                return _canon_alu("rsh", left, ("const", shift), rng)
+            if op == "mod":
+                return _canon_alu("and", left, ("const", value - 1), rng)
+    if left[0] == "const" and left[1] == 0 and op == "add":
+        return right
+    if left[0] == "const" and left[1] == 1 and op == "mul":
+        return right
+    if op in _COMMUTATIVE:
+        left, right = sorted((left, right), key=repr)
+    return ("alu", op, left, right)
+
+
+def abstract_eval_window(
+    insns: Sequence[Insn], init_ranges: Dict[int, Range], with_ranges: bool = False
+) -> Optional[Tuple]:
+    """Symbolic + interval evaluation of a straight-line window.
+
+    Returns ``(final_regs, final_mem)`` — canonical vids for r0–r9 and the
+    tracked stack slots — or ``None`` when the window leaves the scalar
+    fragment (pointer manipulation beyond frame-pointer loads/stores, or
+    overlapping-but-unequal store spans, which the tracked-slot model cannot
+    compare byte-exactly). With ``with_ranges`` a third element carries the
+    interval of each final register — the over-approximation the soundness
+    property test exercises.
+    """
+    regs: List[Tuple] = [("reg", r) for r in range(10)]
+    ranges: Dict[Tuple, Range] = {}
+
+    def rng_of(vid) -> Range:
+        if vid[0] == "const":
+            return Range.const(vid[1])
+        return ranges.get(vid, Range.unknown())
+
+    for r, rng in init_ranges.items():
+        if rng.is_const:
+            regs[r] = ("const", rng.lo)
+        else:
+            ranges[("reg", r)] = rng
+
+    mem: Dict[int, Tuple[int, Tuple]] = {}  # off -> (size, vid)
+    store_log: List[Tuple[int, int]] = []  # (off, size) in store order
+
+    def overlapping_gen(off: int, size: int) -> int:
+        return sum(1 for o, s in store_log if o < off + size and off < o + s)
+
+    def do_store(off: int, size: int, vid) -> bool:
+        for other in list(mem):
+            osize = mem[other][0]
+            if other < off + size and off < other + osize:
+                if other != off or osize != size:
+                    return False  # partial overlap: bytes not comparable
+                del mem[other]
+        value_rng = rng_of(vid)
+        limit = (1 << (8 * size)) - 1
+        if value_rng.hi > limit:
+            vid = ("trunc", size, vid)
+            ranges[vid] = Range.sized(size)
+        mem[off] = (size, vid)
+        store_log.append((off, size))
+        return True
+
+    for insn in insns:
+        op = insn.op
+        if op is Op.MOV_IMM:
+            regs[insn.dst] = ("const", insn.imm & MASK64)
+        elif op is Op.MOV_REG:
+            if insn.src == R10:
+                return None
+            regs[insn.dst] = regs[insn.src]
+        elif op in ALU_IMM_OPS:
+            name = op.value[:-4]
+            left = regs[insn.dst]
+            right = ("const", insn.imm & MASK64)
+            rng = alu_range(name, rng_of(left), Range.const(insn.imm & MASK64))
+            vid = _canon_alu(name, left, right, rng)
+            ranges.setdefault(vid, rng)
+            regs[insn.dst] = vid
+        elif op in ALU_REG_OPS:
+            if insn.src == R10:
+                return None
+            name = op.value[:-4]
+            left, right = regs[insn.dst], regs[insn.src]
+            rng = alu_range(name, rng_of(left), rng_of(right))
+            vid = _canon_alu(name, left, right, rng)
+            ranges.setdefault(vid, rng)
+            regs[insn.dst] = vid
+        elif op is Op.NEG:
+            left = regs[insn.dst]
+            rng = alu_range("neg", rng_of(left), Range.const(0))
+            if rng.is_const:
+                regs[insn.dst] = ("const", rng.lo)
+            else:
+                vid = ("alu", "neg", left, ("const", 0))
+                ranges.setdefault(vid, rng)
+                regs[insn.dst] = vid
+        elif op is Op.LDX:
+            if insn.src != R10:
+                return None
+            entry = mem.get(insn.off)
+            if entry is not None and entry[0] == insn.imm:
+                regs[insn.dst] = entry[1]
+            else:
+                vid = ("slot", insn.off, insn.imm, overlapping_gen(insn.off, insn.imm))
+                ranges.setdefault(vid, Range.sized(insn.imm))
+                regs[insn.dst] = vid
+        elif op is Op.STX:
+            if insn.dst != R10 or insn.src == R10:
+                return None
+            if not do_store(insn.off, insn.imm, regs[insn.src]):
+                return None
+        elif op is Op.ST_IMM:
+            if insn.dst != R10:
+                return None
+            if not do_store(insn.off, insn.src, ("const", insn.imm & MASK64)):
+                return None
+        else:
+            return None
+    if with_ranges:
+        return tuple(regs), tuple(sorted(mem.items())), tuple(rng_of(v) for v in regs)
+    return tuple(regs), tuple(sorted(mem.items()))
+
+
+# --------------------------------------------------------------- concrete ---
+
+
+def _fresh_stack(seed: int) -> Region:
+    rng = random.Random(seed)
+    return Region(
+        "stack", bytearray(rng.getrandbits(8) for _ in range(STACK_SIZE)), allow_pointers=True
+    )
+
+
+def _canon_word(value) -> object:
+    if isinstance(value, Pointer):
+        return ("ptr", value.region.kind, value.offset)
+    return value
+
+
+def concrete_eval_window(
+    insns: Sequence[Insn], init: Dict[int, object], stack_seed: int = 0
+):
+    """Run a straight-line window under the production VM ALU.
+
+    ``init`` maps registers to entry values: ints, or ``("stackptr", off)``
+    to plant a fat pointer into the (seeded, randomized) stack frame.
+    Returns ``("ok", final_regs, (stack_bytes, spilled))`` or
+    ``("abort", detail, None)`` when the VM faults — windows only touch the
+    per-invocation stack, so an abort's partial state is unobservable and
+    two aborts compare equal.
+    """
+    stack = _fresh_stack(stack_seed)
+    regs: List[object] = [0] * (R10 + 1)
+    for r in range(10):
+        value = init.get(r, 0)
+        if isinstance(value, tuple):
+            value = Pointer(stack, value[1])
+        regs[r] = value
+    regs[R10] = Pointer(stack, STACK_SIZE)
+    try:
+        for insn in insns:
+            op = insn.op
+            if op is Op.MOV_IMM:
+                regs[insn.dst] = insn.imm & MASK64
+            elif op is Op.MOV_REG:
+                regs[insn.dst] = regs[insn.src]
+            elif op in ALU_IMM_OPS:
+                regs[insn.dst] = _VM._alu(
+                    op.value[:-4], regs[insn.dst], insn.imm & MASK64, insn, _WINDOW_PROG
+                )
+            elif op in ALU_REG_OPS:
+                regs[insn.dst] = _VM._alu(
+                    op.value[:-4], regs[insn.dst], regs[insn.src], insn, _WINDOW_PROG
+                )
+            elif op is Op.NEG:
+                value = regs[insn.dst]
+                if isinstance(value, Pointer):
+                    raise VMError("NEG on pointer")
+                regs[insn.dst] = (-value) & MASK64
+            elif op is Op.LDX:
+                ptr = regs[insn.src]
+                if not isinstance(ptr, Pointer):
+                    raise VMError(f"load via non-pointer r{insn.src}")
+                regs[insn.dst] = ptr.load(insn.off, insn.imm)
+            elif op is Op.STX:
+                ptr = regs[insn.dst]
+                if not isinstance(ptr, Pointer):
+                    raise VMError(f"store via non-pointer r{insn.dst}")
+                ptr.store(insn.off, insn.imm, regs[insn.src])
+            elif op is Op.ST_IMM:
+                ptr = regs[insn.dst]
+                if not isinstance(ptr, Pointer):
+                    raise VMError(f"store via non-pointer r{insn.dst}")
+                ptr.store(insn.off, insn.src, insn.imm)
+            else:
+                raise VMError(f"unsupported window op {op}")
+    except (VMError, MemoryError_) as exc:
+        return ("abort", str(exc), None)
+    final_regs = tuple(_canon_word(regs[r]) for r in range(10))
+    spilled = tuple(sorted((off, _canon_word(p)) for off, p in stack._spilled.items()))
+    return ("ok", final_regs, (bytes(stack.data), spilled))
+
+
+# ------------------------------------------------------------ the checker ---
+
+
+def _abstract_probes(reads: Sequence[int]) -> List[Dict[int, Range]]:
+    probes: List[Dict[int, Range]] = [{}]  # unknown everywhere
+    for value in (0, 1, 5, MASK64):
+        probes.append({r: Range.const(value) for r in reads})
+    probes.append({r: Range(0, 255) for r in reads})
+    if len(reads) >= 2:
+        a, b = reads[0], reads[1]
+        probes.append({a: Range.const(8), b: Range.const(1)})
+        probes.append({a: Range.const(1), b: Range.const(8)})
+    return probes
+
+
+def _concrete_probes(reads: Sequence[int], seed: int) -> List[Dict[int, object]]:
+    rng = random.Random(seed)
+    probes: List[Dict[int, object]] = []
+    if not reads:
+        return [{}]
+    for value in _EDGE_VALUES:
+        probes.append({r: value for r in reads})
+    for _ in range(16):
+        probes.append({r: rng.choice(_EDGE_VALUES + (rng.getrandbits(64),)) for r in reads})
+    # fat-pointer probes: each read register in turn carries a stack pointer
+    for r in reads:
+        for offset in (STACK_SIZE - 64, STACK_SIZE):
+            probe = {x: rng.choice(_EDGE_VALUES) for x in reads}
+            probe[r] = ("stackptr", offset)
+            probes.append(probe)
+    return probes
+
+
+def _format_inputs(probe: Dict[int, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((f"r{r}", str(v)) for r, v in sorted(probe.items()))
+
+
+def _abstract_mismatch(state_a, state_b) -> Optional[Tuple[str, str, str]]:
+    """A definite disagreement: the same location, two different constants."""
+    regs_a, mem_a = state_a
+    regs_b, mem_b = state_b
+    for r in range(10):
+        va, vb = regs_a[r], regs_b[r]
+        if va != vb and va[0] == "const" and vb[0] == "const":
+            return (f"r{r}", str(va[1]), str(vb[1]))
+    mem_b_dict = dict(mem_b)
+    for off, (size, vid) in mem_a:
+        other = mem_b_dict.get(off)
+        if other is not None and other[0] == size:
+            ovid = other[1]
+            if vid != ovid and vid[0] == "const" and ovid[0] == "const":
+                return (f"stack[{off}:{size}]", str(vid[1]), str(ovid[1]))
+    return None
+
+
+def check_window(
+    original: Sequence[Insn],
+    candidate: Sequence[Insn],
+    rule: str = "",
+    pc: int = 0,
+    seed: int = 0,
+) -> CheckResult:
+    """Decide whether ``candidate`` may replace ``original``.
+
+    ``proven`` requires the canonical abstract states to be equal on every
+    probe *and* the differential VM runs to agree on the entire corpus;
+    ``refuted`` carries a counterexample; anything else is ``unproven``.
+    """
+    if not window_supported(original) or not window_supported(candidate):
+        return CheckResult(UNPROVEN)
+    reads = window_reads(original, candidate)
+    probes = 0
+
+    abstract_equal = True
+    for init in _abstract_probes(reads):
+        probes += 1
+        state_a = abstract_eval_window(original, init)
+        state_b = abstract_eval_window(candidate, init)
+        if state_a is None or state_b is None:
+            abstract_equal = False
+            continue
+        if state_a == state_b:
+            continue
+        mismatch = _abstract_mismatch(state_a, state_b)
+        if mismatch is not None:
+            where, expected, got = mismatch
+            inputs = tuple(
+                (f"r{r}", f"[{rng.lo:#x}, {rng.hi:#x}]") for r, rng in sorted(init.items())
+            )
+            return CheckResult(
+                REFUTED,
+                Counterexample(rule, pc, "abstract", inputs, f"{where}={expected}", f"{where}={got}"),
+                probes,
+            )
+        abstract_equal = False
+
+    for stack_seed in (seed, seed + 1):
+        for init in _concrete_probes(reads, seed):
+            probes += 1
+            out_a = concrete_eval_window(original, init, stack_seed)
+            out_b = concrete_eval_window(candidate, init, stack_seed)
+            if out_a[0] == "abort" and out_b[0] == "abort":
+                continue  # both abort; partial stack state dies with the frame
+            if out_a != out_b:
+                pointer_probe = any(isinstance(v, tuple) for v in init.values())
+                if pointer_probe and ("abort" in (out_a[0], out_b[0])):
+                    # One side faults only when the operand is a pointer.
+                    # The verifier rejects pointer ALU statically, so this
+                    # state is unreachable in any program the engine rewrites
+                    # — but the window alone cannot show that. Not a rule
+                    # bug, just undecidable in isolation: decline quietly.
+                    abstract_equal = False
+                    continue
+                return CheckResult(
+                    REFUTED,
+                    Counterexample(
+                        rule,
+                        pc,
+                        "concrete",
+                        _format_inputs(init) + (("stack_seed", str(stack_seed)),),
+                        _summarize(out_a),
+                        _summarize(out_b),
+                    ),
+                    probes,
+                )
+
+    return CheckResult(PROVEN if abstract_equal else UNPROVEN, None, probes)
+
+
+def _summarize(outcome) -> str:
+    if outcome[0] == "abort":
+        return f"abort({outcome[1]})"
+    regs = ", ".join(
+        f"r{r}={v:#x}" if isinstance(v, int) else f"r{r}={v}"
+        for r, v in enumerate(outcome[1])
+    )
+    return f"ok[{regs}]"

@@ -1,0 +1,169 @@
+"""The rewrite catalog the peephole engine mines candidates from.
+
+Every rule is *advisory*: a match only produces a candidate, and the engine
+applies it solely after :func:`~repro.ebpf.analysis.opt.equiv.check_window`
+proves the replacement equivalent. The catalog therefore errs toward
+matching aggressively — an unsound match costs a rejected candidate (and a
+recorded counterexample), never a miscompiled program.
+
+The rules target what the minic code generator actually emits: its
+stack-machine lowering spills the working register around every binary
+operator (``STX [fp+c]=r6; LDX rX=[fp+c]`` pairs), copies helper results
+unconditionally (``CALL; MOV_REG r6, r0``), and routes commutative results
+through the auxiliary register (``ADD_REG r7, r6; MOV_REG r6, r7``). The
+store-load/copy rewrites here expose those values to the engine's dead-write
+and dead-store passes, which harvest the actual instruction-count wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.ebpf.isa import R10, Insn, Op, mov_imm, mov_reg
+
+#: A match result: (window length, replacement instructions).
+Match = Optional[Tuple[int, List[Insn]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named rewrite: ``match(insns, pc)`` → candidate or None."""
+
+    name: str
+    match: Callable[[Sequence[Insn], int], Match]
+
+
+_ZERO_IDENTITY = (Op.ADD_IMM, Op.SUB_IMM, Op.OR_IMM, Op.XOR_IMM, Op.LSH_IMM, Op.RSH_IMM)
+_COMMUTATIVE_REG = (Op.ADD_REG, Op.MUL_REG, Op.AND_REG, Op.OR_REG, Op.XOR_REG)
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 1 and value & (value - 1) == 0
+
+
+def _match_identity(insns: Sequence[Insn], pc: int) -> Match:
+    """Ops that provably leave dst unchanged: drop them."""
+    insn = insns[pc]
+    if insn.op in _ZERO_IDENTITY and insn.imm == 0:
+        return (1, [])
+    if insn.op in (Op.MUL_IMM, Op.DIV_IMM) and insn.imm == 1:
+        return (1, [])
+    if insn.op is Op.MOD_IMM and insn.imm == 0:  # x % 0 == x in eBPF
+        return (1, [])
+    if insn.op is Op.MOV_REG and insn.dst == insn.src:
+        return (1, [])
+    return None
+
+
+def _match_const_fold(insns: Sequence[Insn], pc: int) -> Match:
+    """Ops whose result the range domain collapses to a constant."""
+    insn = insns[pc]
+    if insn.op in (Op.MUL_IMM, Op.AND_IMM) and insn.imm == 0:
+        return (1, [mov_imm(insn.dst, 0)])
+    if insn.op is Op.MOD_IMM and insn.imm == 1:
+        return (1, [mov_imm(insn.dst, 0)])
+    if insn.op is Op.DIV_IMM and insn.imm == 0:  # x / 0 == 0 in eBPF
+        return (1, [mov_imm(insn.dst, 0)])
+    return None
+
+
+def _match_strength_reduction(insns: Sequence[Insn], pc: int) -> Match:
+    """mul/div/mod by a power of two → shift/mask (K2's classic)."""
+    insn = insns[pc]
+    if not _is_pow2(insn.imm):
+        return None
+    shift = insn.imm.bit_length() - 1
+    if insn.op is Op.MUL_IMM:
+        return (1, [Insn(Op.LSH_IMM, dst=insn.dst, imm=shift)])
+    if insn.op is Op.DIV_IMM:
+        return (1, [Insn(Op.RSH_IMM, dst=insn.dst, imm=shift)])
+    if insn.op is Op.MOD_IMM:
+        return (1, [Insn(Op.AND_IMM, dst=insn.dst, imm=insn.imm - 1)])
+    return None
+
+
+def _match_store_load_forward(insns: Sequence[Insn], pc: int) -> Match:
+    """A full-width spill immediately reloaded: forward the register."""
+    if pc + 1 >= len(insns):
+        return None
+    a, b = insns[pc], insns[pc + 1]
+    if not (b.op is Op.LDX and b.src == R10 and b.imm == 8):
+        return None
+    if a.op is Op.STX and a.dst == R10 and a.imm == 8 and a.off == b.off and a.src != R10:
+        if b.dst == a.src:
+            return (2, [a])
+        return (2, [a, mov_reg(b.dst, a.src)])
+    if a.op is Op.ST_IMM and a.dst == R10 and a.src == 8 and a.off == b.off:
+        return (2, [a, mov_imm(b.dst, a.imm)])
+    return None
+
+
+def _match_redundant_load(insns: Sequence[Insn], pc: int) -> Match:
+    """Two back-to-back loads of the same slot: copy, don't reload."""
+    if pc + 1 >= len(insns):
+        return None
+    a, b = insns[pc], insns[pc + 1]
+    if not (
+        a.op is Op.LDX
+        and b.op is Op.LDX
+        and a.src == R10
+        and b.src == R10
+        and a.off == b.off
+        and a.imm == b.imm
+    ):
+        return None
+    if b.dst == a.dst:
+        return (2, [a])
+    return (2, [a, mov_reg(b.dst, a.dst)])
+
+
+def _match_store_store_elide(insns: Sequence[Insn], pc: int) -> Match:
+    """A full-width store overwritten before any load: drop the first."""
+    if pc + 1 >= len(insns):
+        return None
+    a, b = insns[pc], insns[pc + 1]
+    size_a = a.imm if a.op is Op.STX else a.src if a.op is Op.ST_IMM else None
+    size_b = b.imm if b.op is Op.STX else b.src if b.op is Op.ST_IMM else None
+    if size_a != 8 or size_b != 8:
+        return None
+    if a.dst == R10 and b.dst == R10 and a.off == b.off:
+        return (2, [b])
+    return None
+
+
+def _match_commutative_swap(insns: Sequence[Insn], pc: int) -> Match:
+    """``A = A op B; B = A`` → ``B = B op A; A = B`` for commutative ops.
+
+    Same length, same final state — but the copy now lands in the *other*
+    register, which in minic's emission pattern (result routed through the
+    auxiliary register) is dead, so the dead-write pass deletes it. Only the
+    ``dst > src`` orientation matches (minic's AUX registers are numbered
+    above WORK), which also keeps the rewrite from undoing itself.
+    """
+    if pc + 1 >= len(insns):
+        return None
+    a, b = insns[pc], insns[pc + 1]
+    if (
+        a.op in _COMMUTATIVE_REG
+        and a.dst > a.src
+        and a.src != R10
+        and b.op is Op.MOV_REG
+        and b.src == a.dst
+        and b.dst == a.src
+    ):
+        return (2, [Insn(a.op, dst=a.src, src=a.dst, comment=a.comment), mov_reg(a.dst, a.src)])
+    return None
+
+
+def default_rules() -> List[Rule]:
+    """The catalog, in application order (cheap single-insn rules first)."""
+    return [
+        Rule("identity", _match_identity),
+        Rule("const-fold", _match_const_fold),
+        Rule("strength-reduction", _match_strength_reduction),
+        Rule("store-load-forward", _match_store_load_forward),
+        Rule("redundant-load", _match_redundant_load),
+        Rule("store-store-elide", _match_store_store_elide),
+        Rule("commutative-swap", _match_commutative_swap),
+    ]

@@ -14,11 +14,11 @@ with their registry id.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Optional
 
 from repro.ebpf import helpers as helpers_mod
-from repro.ebpf.isa import JUMP_OPS, Insn, Op
+from repro.ebpf.analysis.opt.dce import eliminate_unreachable
+from repro.ebpf.isa import Insn, Op
 from repro.testing import faults
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.minic import ast_nodes as ast
@@ -536,44 +536,6 @@ class Codegen:
         self.inline_stack.pop()
 
 
-def _eliminate_dead_code(insns: List[Insn]) -> List[Insn]:
-    """Drop instructions unreachable from the entry point.
-
-    The straight-line lowering leaves dead tails behind (the epilogue after
-    an unconditional ``return``, inline-call fall-throughs). Executed paths
-    are untouched — only never-reached instructions are removed, with jump
-    offsets remapped to the compacted layout.
-    """
-    reachable = set()
-    work = [0]
-    while work:
-        pc = work.pop()
-        if pc in reachable or not 0 <= pc < len(insns):
-            continue
-        reachable.add(pc)
-        op = insns[pc].op
-        if op is Op.EXIT:
-            continue
-        if op is Op.JA:
-            work.append(pc + 1 + insns[pc].off)
-            continue
-        if op in JUMP_OPS:
-            work.append(pc + 1 + insns[pc].off)
-        work.append(pc + 1)
-    if len(reachable) == len(insns):
-        return insns
-    kept = sorted(reachable)
-    remap = {old: new for new, old in enumerate(kept)}
-    out: List[Insn] = []
-    for old_pc in kept:
-        insn = insns[old_pc]
-        if insn.op is Op.JA or insn.op in JUMP_OPS:
-            target = old_pc + 1 + insn.off
-            insn = dataclasses.replace(insn, off=remap[target] - remap[old_pc] - 1)
-        out.append(insn)
-    return out
-
-
 def compile_c(
     source: str,
     name: str = "prog",
@@ -587,7 +549,7 @@ def compile_c(
     generator.gen_main()
     return Program(
         name=name,
-        insns=_eliminate_dead_code(generator.insns),
+        insns=eliminate_unreachable(generator.insns),
         hook=hook,
         maps=generator.map_order,
         source=source,

@@ -16,6 +16,7 @@ blacklist for the gateway.
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.core import Controller
 from repro.measure.netperf import Netperf, measure_base_rtt_ns
@@ -35,15 +36,23 @@ def blacklist_address(index: int) -> str:
 # ------------------------------------------------------------------- router
 
 def setup_router(
-    platform: str, num_prefixes: int = NUM_PREFIXES, num_queues: int = 1, hook: str = "xdp"
+    platform: str,
+    num_prefixes: int = NUM_PREFIXES,
+    num_queues: int = 1,
+    hook: str = "xdp",
+    optimize: Optional[bool] = None,
 ) -> LineTopology:
-    """Build the virtual-router DUT for one platform."""
+    """Build the virtual-router DUT for one platform.
+
+    ``optimize`` enables the equivalence-checked superoptimizer on the
+    linuxfp controller (None defers to ``LINUXFP_OPT``).
+    """
     topo = LineTopology(num_queues=num_queues, dut_forwarding=platform in ("linux", "linuxfp"))
     if platform in ("linux", "linuxfp"):
         for i in range(num_prefixes):
             ip(topo.dut, f"route add 10.{100 + i}.0.0/16 via 10.0.2.2")
         if platform == "linuxfp":
-            topo.controller = Controller(topo.dut, hook=hook)
+            topo.controller = Controller(topo.dut, hook=hook, optimize=optimize)
             topo.controller.start()
     elif platform == "polycube":
         pcn = Polycube(topo.dut)
@@ -84,9 +93,12 @@ def setup_gateway(
     num_prefixes: int = NUM_PREFIXES,
     num_queues: int = 1,
     hook: str = "xdp",
+    optimize: Optional[bool] = None,
 ) -> LineTopology:
     """Router + IP-blacklist filtering (the virtual-gateway scenario)."""
-    topo = setup_router(platform, num_prefixes=num_prefixes, num_queues=num_queues, hook=hook)
+    topo = setup_router(
+        platform, num_prefixes=num_prefixes, num_queues=num_queues, hook=hook, optimize=optimize
+    )
     if platform in ("linux", "linuxfp"):
         if use_ipset:
             ipset(topo.dut, "create blacklist hash:ip")

@@ -8,13 +8,17 @@ be lint-clean; any finding (or verifier rejection) fails the run.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.tools.fpmlint [-v]
+    PYTHONPATH=src python -m repro.tools.fpmlint [-v] [--json]
+
+``--json`` emits one machine-readable object (checked count plus a list of
+``{program, pc, code, message}`` findings) for CI artifact collection.
 """
 
 from __future__ import annotations
 
+import json
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.fpm.library import render_dispatcher, render_fast_path
 from repro.ebpf.analysis.errors import VerifierError
@@ -57,10 +61,17 @@ def _configurations() -> Dict[str, Dict]:
     }
 
 
-def lint_library(verbose: bool = False) -> Tuple[int, List[str]]:
-    """Returns (programs checked, failure lines)."""
+def lint_library_structured(verbose: bool = False) -> Tuple[int, List[Dict[str, object]]]:
+    """Returns (programs checked, structured findings).
+
+    Each finding is ``{program, pc, code, message}``; verifier rejections
+    use code ``verifier-rejection`` with ``pc`` None.
+    """
     checked = 0
-    problems: List[str] = []
+    problems: List[Dict[str, object]] = []
+
+    def record(program: str, pc: Optional[int], code: str, message: str) -> None:
+        problems.append({"program": program, "pc": pc, "code": code, "message": message})
 
     def check(label: str, source: str, hook: str, maps=None) -> None:
         nonlocal checked
@@ -70,10 +81,10 @@ def lint_library(verbose: bool = False) -> Tuple[int, List[str]]:
             program = compile_c(source, name=name, hook=hook, maps=maps)
             findings: List[LintFinding] = lint_program(program)
         except VerifierError as exc:
-            problems.append(f"{name}: verifier rejection: {exc}")
+            record(name, None, "verifier-rejection", str(exc))
             return
         for finding in findings:
-            problems.append(str(finding))
+            record(finding.program, finding.pc, finding.code, finding.message)
         if verbose and not findings:
             print(f"  ok {name} ({len(program.insns)} insns)")
 
@@ -90,13 +101,34 @@ def lint_library(verbose: bool = False) -> Tuple[int, List[str]]:
     return checked, problems
 
 
+def _format_problem(problem: Dict[str, object]) -> str:
+    where = f"@{problem['pc']}" if problem["pc"] is not None else ""
+    return f"{problem['program']}{where}: {problem['code']}: {problem['message']}"
+
+
+def lint_library(verbose: bool = False) -> Tuple[int, List[str]]:
+    """Returns (programs checked, failure lines) — the legacy text form."""
+    checked, problems = lint_library_structured(verbose=verbose)
+    return checked, [_format_problem(p) for p in problems]
+
+
 def main(argv: List[str] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     verbose = "-v" in argv or "--verbose" in argv
-    checked, problems = lint_library(verbose=verbose)
+    as_json = "--json" in argv
+    checked, problems = lint_library_structured(verbose=verbose and not as_json)
+    if as_json:
+        print(
+            json.dumps(
+                {"tool": "fpmlint", "checked": checked, "findings": problems},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if problems else 0
     if problems:
-        for line in problems:
-            print(line)
+        for problem in problems:
+            print(_format_problem(problem))
         print(f"fpmlint: {len(problems)} finding(s) across {checked} program(s)")
         return 1
     print(f"fpmlint: {checked} program(s) verified, no findings")

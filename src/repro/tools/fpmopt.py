@@ -1,0 +1,280 @@
+"""fpmopt: CI driver for the equivalence-checked bytecode superoptimizer.
+
+Runs :func:`repro.ebpf.analysis.opt.optimize_program` over every FPM
+template configuration (the same matrix :mod:`repro.tools.fpmlint` gates)
+and audits the wins three ways:
+
+1. **Static**: per-config instruction-count delta plus the optimizer's own
+   accounting (rules applied, branches folded, dead writes/stores removed).
+2. **Differential**: the optimized and unoptimized programs run over a
+   seeded packet corpus — structured UDP/TCP frames, truncated headers,
+   random bytes — on twin pristine kernels. Any divergence in verdict,
+   output frame, or abort behaviour fails the run: the equivalence checker
+   proved each window, this re-proves the composition end to end.
+3. **Dynamic cost**: mean executed instructions per packet before/after,
+   converted to simulated nanoseconds with :class:`repro.netsim.cost.
+   CostModel` (``ebpf_insn`` per executed instruction).
+
+Exit status is non-zero when any candidate was *refuted* (a counterexample
+means a catalog rule matched unsoundly — never acceptable on the clean
+template library), when any config fell back, when the differential suite
+diverged, or when fewer than ``--min-reduced`` configs shrank.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.fpmopt [-v] [--json] \\
+        [--packets N] [--seed N] [--min-reduced N] [--bench PATH]
+
+The report is also written to ``benchmarks/results/BENCH_optimizer.json``
+(override with ``--bench``) for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fpm.library import render_dispatcher, render_fast_path
+from repro.ebpf.analysis.opt import optimize_program
+from repro.ebpf.maps import ProgArray
+from repro.ebpf.memory import Pointer, Region
+from repro.ebpf.minic import compile_c
+from repro.ebpf.program import Program
+from repro.ebpf.vm import VM, Env, VMError
+from repro.kernel import Kernel
+from repro.kernel.hooks_api import TC_ACT_REDIRECT, XDP_REDIRECT
+from repro.netsim.addresses import IPv4Addr, MacAddr
+from repro.netsim.cost import CostModel
+from repro.netsim.packet import Ethernet, IPv4, TCP, UDP
+from repro.tools.fpmlint import HOOKS, _configurations
+
+DEFAULT_BENCH = os.path.join("benchmarks", "results", "BENCH_optimizer.json")
+
+
+# ------------------------------------------------------------------ corpus
+
+def _udp_frame(rng: random.Random, ttl: int) -> bytes:
+    src = IPv4Addr((10 << 24) | (0 << 16) | (1 << 8) | rng.randrange(2, 250))
+    dst = IPv4Addr(((10 << 24) | ((100 + rng.randrange(8)) << 16)) | rng.randrange(1, 1 << 16))
+    payload = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 40)))
+    udp = UDP(sport=rng.randrange(1024, 65536), dport=rng.choice((53, 80, 443, 8080)))
+    ip = IPv4(src=src, dst=dst, proto=17, ttl=ttl)
+    eth = Ethernet(dst=MacAddr(rng.getrandbits(48)), src=MacAddr(rng.getrandbits(48)))
+    return eth.pack() + ip.pack(UDP.HDR_LEN + len(payload)) + udp.pack(payload, src, dst) + payload
+
+
+def _tcp_frame(rng: random.Random) -> bytes:
+    src = IPv4Addr(rng.getrandbits(32))
+    dst = IPv4Addr((10 << 24) | (96 << 16) | rng.randrange(1, 3))  # hits the ipvs VIPs
+    tcp = TCP(sport=rng.randrange(1024, 65536), dport=rng.choice((80, 53, 22)), flags=TCP.SYN)
+    ip = IPv4(src=src, dst=dst, proto=6, ttl=rng.choice((1, 2, 64)))
+    eth = Ethernet(dst=MacAddr(rng.getrandbits(48)), src=MacAddr(rng.getrandbits(48)))
+    body = tcp.pack(b"", src, dst)
+    return eth.pack() + ip.pack(len(body)) + body
+
+
+def frame_corpus(packets: int, seed: int) -> List[bytes]:
+    """A deterministic mixed corpus: well-formed, hostile, and garbage."""
+    rng = random.Random(seed)
+    corpus: List[bytes] = []
+    for i in range(packets):
+        kind = i % 4
+        if kind == 0:
+            corpus.append(_udp_frame(rng, ttl=rng.choice((1, 2, 64, 255))))
+        elif kind == 1:
+            corpus.append(_tcp_frame(rng))
+        elif kind == 2:
+            # Truncation attack: a valid frame cut mid-header.
+            frame = _udp_frame(rng, ttl=64)
+            corpus.append(frame[: rng.randrange(0, len(frame))])
+        else:
+            corpus.append(bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 128))))
+    return corpus
+
+
+# -------------------------------------------------------------- execution
+
+def _run_once(kernel: Kernel, program: Program, frame: bytes) -> Tuple[object, ...]:
+    """One differential sample: (verdict, out_bytes, redirect) or abort."""
+    region = Region("pkt", bytearray(frame))
+    verdict_base = XDP_REDIRECT if program.hook == "xdp" else TC_ACT_REDIRECT
+    env = Env(kernel, redirect_verdict=verdict_base)
+    vm = VM(kernel, charge_costs=False)
+    try:
+        verdict = vm.run(program, [Pointer(region, 0), len(frame), 1], env)
+    except VMError as exc:
+        return ("abort", type(exc).__name__), 0
+    return ("ok", int(verdict), bytes(region.data), env.redirect_ifindex), vm.insns_executed
+
+
+def differential(
+    baseline: Program, optimized: Program, corpus: List[bytes]
+) -> Tuple[List[str], float, float]:
+    """Run both programs over the corpus on twin kernels.
+
+    Returns (mismatch descriptions, mean executed insns baseline, mean
+    executed insns optimized). Both sides see identical pristine state:
+    separately-compiled programs own separate map objects, so mutations
+    stay on their own side.
+    """
+    k_base, k_opt = Kernel("fpmopt-base"), Kernel("fpmopt-opt")
+    mismatches: List[str] = []
+    executed_base = executed_opt = 0
+    for i, frame in enumerate(corpus):
+        out_base, n_base = _run_once(k_base, baseline, frame)
+        out_opt, n_opt = _run_once(k_opt, optimized, frame)
+        executed_base += n_base
+        executed_opt += n_opt
+        if out_base != out_opt:
+            mismatches.append(
+                f"packet {i} ({len(frame)}B, {frame[:18].hex()}...): "
+                f"baseline {out_base!r} != optimized {out_opt!r}"
+            )
+    count = max(1, len(corpus))
+    return mismatches, executed_base / count, executed_opt / count
+
+
+# ----------------------------------------------------------------- driver
+
+def _programs() -> List[Tuple[str, str, Optional[str], Dict]]:
+    """(label, hook, source, compile maps factory marker) per config."""
+    out = []
+    for label, nodes in _configurations().items():
+        for hook in HOOKS:
+            out.append((label, hook, render_fast_path("eth0", hook, nodes), None))
+    for hook in HOOKS:
+        out.append(("dispatcher", hook, render_dispatcher("eth0", hook), "jmp"))
+    return out
+
+
+def _compile(label: str, hook: str, source: str, maps_kind: Optional[str]) -> Program:
+    maps = {"jmp": ProgArray("jmp")} if maps_kind else None
+    return compile_c(source, name=f"{label}@{hook}", hook=hook, maps=maps)
+
+
+def run_audit(packets: int = 64, seed: int = 0, verbose: bool = False) -> Dict[str, object]:
+    """Optimize every template config and audit the result. Pure: no exit."""
+    cost = CostModel()
+    corpus = frame_corpus(packets, seed)
+    configs: List[Dict[str, object]] = []
+    failures: List[str] = []
+    total_before = total_after = 0
+    reduced = 0
+    for label, hook, source, maps_kind in _programs():
+        name = f"{label}@{hook}"
+        baseline = _compile(label, hook, source, maps_kind)
+        candidate = _compile(label, hook, source, maps_kind)
+        optimized, report = optimize_program(candidate, seed=seed)
+        if report.status == "fallback":
+            failures.append(f"{name}: optimizer fallback: {report.error}")
+        for cex in report.rejected:
+            failures.append(f"{name}: refuted candidate: {cex}")
+        mismatches, exec_base, exec_opt = differential(baseline, optimized, corpus)
+        for line in mismatches[:5]:
+            failures.append(f"{name}: differential mismatch: {line}")
+        total_before += len(baseline)
+        total_after += len(optimized)
+        if len(optimized) < len(baseline):
+            reduced += 1
+        entry = {
+            "config": label,
+            "hook": hook,
+            "status": report.status,
+            "insns_before": len(baseline),
+            "insns_after": len(optimized),
+            "insns_removed": len(baseline) - len(optimized),
+            "folded_branches": report.folded_branches,
+            "dead_writes": report.dead_writes,
+            "dead_stores": report.dead_stores,
+            "applied": dict(report.applied),
+            "rejected": len(report.rejected),
+            "unproven": report.unproven,
+            "executed_per_packet_before": round(exec_base, 2),
+            "executed_per_packet_after": round(exec_opt, 2),
+            "latency_ns_before": round(exec_base * cost.ebpf_insn, 3),
+            "latency_ns_after": round(exec_opt * cost.ebpf_insn, 3),
+            "latency_ns_saved": round((exec_base - exec_opt) * cost.ebpf_insn, 3),
+            "differential_packets": len(corpus),
+            "differential_mismatches": len(mismatches),
+        }
+        configs.append(entry)
+        if verbose:
+            print(
+                f"  {name}: {entry['insns_before']} -> {entry['insns_after']} insns "
+                f"(-{entry['insns_removed']}), exec/pkt "
+                f"{entry['executed_per_packet_before']} -> {entry['executed_per_packet_after']}, "
+                f"~{entry['latency_ns_saved']}ns/pkt saved, "
+                f"{entry['rejected']} rejected, diff {'OK' if not mismatches else 'FAIL'}"
+            )
+    return {
+        "tool": "fpmopt",
+        "seed": seed,
+        "packets": packets,
+        "cost_ns_per_insn": cost.ebpf_insn,
+        "configs": configs,
+        "totals": {
+            "configs": len(configs),
+            "reduced": reduced,
+            "insns_before": total_before,
+            "insns_after": total_after,
+            "insns_removed": total_before - total_after,
+        },
+        "failures": failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fpmopt", description="superoptimize every FPM template config and audit the wins"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="per-config progress lines")
+    parser.add_argument("--json", action="store_true", help="print the full report as JSON")
+    parser.add_argument("--packets", type=int, default=64, help="differential corpus size")
+    parser.add_argument("--seed", type=int, default=0, help="corpus / checker seed")
+    parser.add_argument(
+        "--min-reduced", type=int, default=0, metavar="N",
+        help="fail unless at least N configs shrank (CI gate)",
+    )
+    parser.add_argument(
+        "--bench", default=DEFAULT_BENCH, metavar="PATH",
+        help=f"report output path (default {DEFAULT_BENCH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_audit(packets=args.packets, seed=args.seed, verbose=args.verbose and not args.json)
+    totals = report["totals"]
+    failures: List[str] = list(report["failures"])
+    if totals["reduced"] < args.min_reduced:
+        failures.append(
+            f"only {totals['reduced']}/{totals['configs']} configs reduced "
+            f"(--min-reduced {args.min_reduced})"
+        )
+    report["min_reduced"] = args.min_reduced
+    report["ok"] = not failures
+    report["failures"] = failures
+
+    if args.bench:
+        os.makedirs(os.path.dirname(args.bench) or ".", exist_ok=True)
+        with open(args.bench, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for line in failures:
+            print(f"FAIL {line}")
+        print(
+            f"fpmopt: {totals['configs']} configs, {totals['reduced']} reduced, "
+            f"{totals['insns_before']} -> {totals['insns_after']} insns "
+            f"(-{totals['insns_removed']}), differential over {report['packets']} packets/config"
+        )
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

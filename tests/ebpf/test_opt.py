@@ -1,0 +1,365 @@
+"""Tests for the equivalence-checked bytecode superoptimizer.
+
+Covers the proof obligation (symbolic + differential window checking, with
+the acceptance-required regression that an unsound rewrite is *refuted* and
+leaves a counterexample), the rewrite catalog, branch folding from the
+verifier's range facts, the fail-closed fallback, the shared DCE pass, and
+the full 14-config template sweep with whole-program differential replay.
+"""
+
+import pytest
+
+from repro.ebpf.analysis.opt import (
+    Counterexample,
+    Rule,
+    check_window,
+    default_rules,
+    eliminate_unreachable,
+    optimize_program,
+    remove_insns,
+)
+from repro.ebpf.analysis.opt.equiv import PROVEN, REFUTED, UNPROVEN
+from repro.ebpf.isa import R10, Insn, Op, call, exit_, ldx, mov_imm, mov_reg, stx
+from repro.ebpf.memory import Pointer, Region
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import VM, Env
+from repro.kernel import Kernel
+from repro.testing import faults
+from repro.tools.fpmopt import run_audit
+
+
+def prog(insns, name="opt-test", hook="xdp"):
+    return Program(name=name, insns=list(insns), hook=hook)
+
+
+def run_scalar(program, r3=0, frame=b"\x00" * 64):
+    """Execute with the standard entry ABI; returns the r0 verdict."""
+    kernel = Kernel("opt-vm")
+    region = Region("pkt", bytearray(frame))
+    env = Env(kernel, redirect_verdict=4)
+    vm = VM(kernel, charge_costs=False)
+    return vm.run(program, [Pointer(region, 0), len(frame), r3], env)
+
+
+# ------------------------------------------------------- equivalence checker
+
+class TestCheckWindow:
+    def test_identity_add_zero_proven(self):
+        result = check_window([Insn(Op.ADD_IMM, dst=1, imm=0)], [])
+        assert result.verdict == PROVEN
+
+    def test_strength_reduction_proven(self):
+        result = check_window(
+            [Insn(Op.MUL_IMM, dst=1, imm=8)], [Insn(Op.LSH_IMM, dst=1, imm=3)]
+        )
+        assert result.verdict == PROVEN
+
+    def test_store_load_forward_proven(self):
+        original = [stx(R10, 3, -8, 8), ldx(4, R10, -8, 8)]
+        candidate = [stx(R10, 3, -8, 8), mov_reg(4, 3)]
+        assert check_window(original, candidate).verdict == PROVEN
+
+    def test_unsound_drop_refuted_with_counterexample(self):
+        """x + 1 is not x: the checker must find a concrete witness."""
+        result = check_window([Insn(Op.ADD_IMM, dst=1, imm=1)], [], rule="bogus", pc=7)
+        assert result.verdict == REFUTED
+        cex = result.counterexample
+        assert isinstance(cex, Counterexample)
+        assert cex.rule == "bogus" and cex.pc == 7
+        assert cex.expected != cex.got
+        as_dict = cex.to_dict()
+        assert {"rule", "pc", "stage", "inputs", "expected", "got"} <= set(as_dict)
+
+    def test_wrong_shift_refuted(self):
+        result = check_window(
+            [Insn(Op.MUL_IMM, dst=1, imm=8)], [Insn(Op.LSH_IMM, dst=1, imm=2)]
+        )
+        assert result.verdict == REFUTED
+
+    def test_narrow_store_wide_load_not_proven(self):
+        """Forwarding across a width mismatch would read stack garbage."""
+        original = [stx(R10, 3, -8, 4), ldx(4, R10, -8, 8)]
+        candidate = [stx(R10, 3, -8, 4), mov_reg(4, 3)]
+        assert check_window(original, candidate).verdict != PROVEN
+
+    def test_unsupported_window_unproven(self):
+        result = check_window([call(1)], [])
+        assert result.verdict == UNPROVEN
+
+    def test_pointer_only_divergence_is_unproven_not_refuted(self):
+        """mul-by-1 elision aborts iff the operand is a pointer — a state
+        the verifier excludes but the isolated window cannot. The checker
+        must decline (no false 'unsound rule' alarm), not refute."""
+        result = check_window([Insn(Op.MUL_IMM, dst=1, imm=1)], [])
+        assert result.verdict == UNPROVEN
+        assert result.counterexample is None
+
+
+# --------------------------------------------------------------- the catalog
+
+class TestRules:
+    def test_identity_eliminated(self):
+        p = prog([mov_reg(0, 3), Insn(Op.ADD_IMM, dst=0, imm=0), exit_()])
+        optimized, report = optimize_program(p)
+        assert report.status == "optimized"
+        assert len(optimized) == 2
+        assert report.applied.get("identity") == 1
+        assert run_scalar(optimized, r3=41) == run_scalar(p, r3=41) == 41
+
+    def test_strength_reduction_applied(self):
+        p = prog([mov_reg(0, 3), Insn(Op.MUL_IMM, dst=0, imm=8), exit_()])
+        optimized, report = optimize_program(p)
+        assert report.applied.get("strength-reduction") == 1
+        assert any(i.op is Op.LSH_IMM for i in optimized.insns)
+        for value in (0, 3, 1 << 61):
+            assert run_scalar(optimized, r3=value) == run_scalar(p, r3=value)
+
+    def test_spill_reload_collapses(self):
+        """minic's signature pattern: spill, reload, use — forwarded then
+        the store (now dead in this window-local program) survives, but the
+        reload is gone."""
+        p = prog(
+            [
+                mov_reg(6, 3),
+                stx(R10, 6, -8, 8),
+                ldx(7, R10, -8, 8),
+                mov_reg(0, 7),
+                exit_(),
+            ]
+        )
+        optimized, report = optimize_program(p)
+        assert report.status == "optimized"
+        assert len(optimized) < len(p)
+        assert report.applied.get("store-load-forward") == 1
+        assert run_scalar(optimized, r3=99) == 99
+
+    def test_every_rewrite_is_checked(self):
+        """Each applied rule corresponds to a proven window, never a guess."""
+        p = prog([mov_reg(0, 3), Insn(Op.DIV_IMM, dst=0, imm=4), exit_()])
+        optimized, report = optimize_program(p)
+        assert not report.rejected
+        assert sum(report.applied.values()) >= 1
+        verify(optimized)  # idempotent: the shipped body re-verifies
+
+
+# -------------------------------------- acceptance: unsound rewrite rejected
+
+class TestUnsoundRuleRejected:
+    def test_bogus_rule_refuted_and_not_applied(self):
+        """A deliberately unsound catalog entry (claims x+1 == x) must be
+        rejected by the equivalence checker, recorded with a counterexample,
+        and must not change the program."""
+
+        def match_bogus(insns, pc):
+            insn = insns[pc]
+            if insn.op is Op.ADD_IMM and insn.imm == 1:
+                return (1, [])
+            return None
+
+        p = prog([mov_reg(0, 3), Insn(Op.ADD_IMM, dst=0, imm=1), exit_()])
+        optimized, report = optimize_program(p, rules=[Rule("bogus-inc-elide", match_bogus)])
+        assert report.status == "unchanged"
+        assert [i.op for i in optimized.insns] == [i.op for i in p.insns]
+        assert len(report.rejected) == 1
+        cex = report.rejected[0]
+        assert cex.rule == "bogus-inc-elide"
+        assert cex.stage in ("abstract", "concrete")
+        assert cex.expected != cex.got
+        assert run_scalar(optimized, r3=5) == 6
+
+    def test_bogus_rule_alongside_sound_ones(self):
+        """The refuted candidate does not poison sound rewrites elsewhere."""
+
+        def match_bogus(insns, pc):
+            if insns[pc].op is Op.ADD_IMM and insns[pc].imm == 1:
+                return (1, [])
+            return None
+
+        p = prog(
+            [
+                mov_reg(0, 3),
+                Insn(Op.ADD_IMM, dst=0, imm=1),
+                Insn(Op.ADD_IMM, dst=0, imm=0),  # sound: identity
+                exit_(),
+            ]
+        )
+        rules = [Rule("bogus-inc-elide", match_bogus)] + default_rules()
+        optimized, report = optimize_program(p, rules=rules)
+        assert report.status == "optimized"
+        assert len(report.rejected) == 1
+        assert report.applied.get("identity") == 1
+        assert run_scalar(optimized, r3=5) == 6
+
+
+# ------------------------------------------------------------ branch folding
+
+class TestBranchFolding:
+    def test_constant_branch_folds_and_dead_arm_removed(self):
+        p = prog(
+            [
+                mov_imm(0, 4),
+                Insn(Op.JEQ_IMM, dst=0, imm=4, off=1),  # always taken
+                mov_imm(0, 7),  # unreachable once folded
+                exit_(),
+            ]
+        )
+        optimized, report = optimize_program(p)
+        assert report.status == "optimized"
+        assert report.folded_branches == 1
+        assert len(optimized) < len(p)
+        assert run_scalar(optimized) == 4
+
+    def test_live_branch_untouched(self):
+        p = prog(
+            [
+                mov_reg(0, 3),
+                Insn(Op.JEQ_IMM, dst=0, imm=4, off=1),
+                exit_(),
+                mov_imm(0, 7),
+                exit_(),
+            ]
+        )
+        optimized, report = optimize_program(p)
+        assert report.folded_branches == 0
+        assert run_scalar(optimized, r3=4) == 7
+        assert run_scalar(optimized, r3=5) == 5
+
+
+# ---------------------------------------------------------------- fail-closed
+
+class TestFailClosed:
+    def test_injected_fault_falls_back_to_original(self):
+        p = prog([mov_reg(0, 3), Insn(Op.ADD_IMM, dst=0, imm=0), exit_()])
+        with faults.injected(seed=3) as inj:
+            inj.arm("optimize", count=1)
+            optimized, report = optimize_program(p)
+        assert report.status == "fallback"
+        assert "InjectedFault" in report.error
+        assert optimized is p
+        assert inj.fired_at("optimize")
+
+    def test_reverification_failure_falls_back(self, monkeypatch):
+        """If the optimized body flunks the verifier, ship the original."""
+        import repro.ebpf.analysis.opt.engine as engine
+
+        def reject(program, *args, **kwargs):
+            raise faults.InjectedFault("verify", program.name)
+
+        monkeypatch.setattr(engine, "verify", reject)
+        p = prog([mov_reg(0, 3), Insn(Op.ADD_IMM, dst=0, imm=0), exit_()])
+        optimized, report = optimize_program(p)
+        assert report.status == "fallback"
+        assert optimized is p
+        verify(optimized)  # the fallback program is still the verified one
+
+    def test_unchanged_program_reported(self):
+        p = prog([mov_reg(0, 3), exit_()])
+        optimized, report = optimize_program(p)
+        assert report.status == "unchanged"
+        assert optimized is p
+
+
+# --------------------------------------------------------------- shared DCE
+
+class TestSharedDce:
+    def test_unreachable_tail_removed(self):
+        insns = [mov_imm(0, 1), exit_(), mov_imm(0, 2), exit_()]
+        kept = eliminate_unreachable(insns)
+        assert len(kept) == 2
+
+    def test_jump_retargeting(self):
+        insns = [
+            Insn(Op.JA, off=1),
+            mov_imm(0, 9),  # dead: jumped over, no fallthrough in
+            mov_imm(0, 1),
+            exit_(),
+        ]
+        kept = remove_insns(insns, {1})
+        assert len(kept) == 3
+        assert kept[0].op is Op.JA and kept[0].off == 0
+
+    def test_codegen_emits_dce_clean_bytecode(self):
+        """compile_c now routes through the shared pass: nothing left over."""
+        from repro.ebpf.minic import compile_c
+
+        program = compile_c(
+            "u32 main() { if (1) { return 2; } return 3; }", name="dce@xdp", hook="xdp"
+        )
+        assert eliminate_unreachable(program.insns) == program.insns
+
+
+# --------------------------------- template sweep + whole-program differential
+
+class TestTemplateSweep:
+    @pytest.fixture(scope="class")
+    def audit(self):
+        return run_audit(packets=24, seed=7)
+
+    def test_net_reduction_on_at_least_five_configs(self, audit):
+        assert audit["totals"]["configs"] == 14
+        assert audit["totals"]["reduced"] >= 5
+        assert audit["totals"]["insns_after"] < audit["totals"]["insns_before"]
+
+    def test_no_fallbacks_no_counterexamples(self, audit):
+        assert audit["failures"] == []
+        for entry in audit["configs"]:
+            assert entry["status"] in ("optimized", "unchanged")
+            assert entry["rejected"] == 0
+
+    def test_differential_identical_on_fuzzed_packets(self, audit):
+        for entry in audit["configs"]:
+            assert entry["differential_mismatches"] == 0
+            assert entry["differential_packets"] == 24
+
+    def test_dynamic_cost_never_regresses(self, audit):
+        for entry in audit["configs"]:
+            assert entry["executed_per_packet_after"] <= entry["executed_per_packet_before"]
+
+
+# ------------------------------------------------------- control-plane wiring
+
+class TestPipeline:
+    def test_env_opt_in(self, monkeypatch):
+        from repro.core.synthesizer import Synthesizer
+
+        monkeypatch.delenv("LINUXFP_OPT", raising=False)
+        assert Synthesizer().optimize is False
+        monkeypatch.setenv("LINUXFP_OPT", "1")
+        assert Synthesizer().optimize is True
+        assert Synthesizer(optimize=False).optimize is False
+
+    def test_controller_deploys_optimized_paths(self):
+        from repro.measure.scenarios import setup_router
+
+        topo = setup_router("linuxfp", optimize=True)
+        summary = topo.controller.deployer.optimizer_summary()
+        assert summary, "expected deployed interfaces"
+        for info in summary.values():
+            assert info["status"] == "optimized"
+            assert info["insns_removed"] > 0
+            assert info["rejected"] == 0
+        snapshot = topo.controller.metrics().snapshot()
+        assert snapshot["controller"]["optimizer"] == summary
+        prom = topo.controller.metrics().to_prometheus()
+        assert "linuxfp_optimizer_insns_removed" in prom
+
+    def test_optimizer_fault_raises_incident_but_still_serves(self):
+        from repro.measure.scenarios import setup_router
+
+        with faults.injected(seed=11) as inj:
+            inj.arm("optimize")  # every optimization attempt fails
+            topo = setup_router("linuxfp", optimize=True)
+        kinds = {i.kind for i in topo.controller.incidents}
+        assert "optimizer-fallback" in kinds
+        for entry in topo.controller.deployer.deployed.values():
+            assert entry.current is not None  # fail-closed: still on fast path
+            assert entry.current.opt_report.status == "fallback"
+
+    def test_baseline_summary_without_optimizer(self):
+        from repro.measure.scenarios import setup_router
+
+        topo = setup_router("linuxfp", optimize=False)
+        for info in topo.controller.deployer.optimizer_summary().values():
+            assert info["status"] == "baseline"
+            assert info["insns_removed"] == 0

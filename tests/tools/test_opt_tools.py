@@ -1,0 +1,94 @@
+"""CLI tests for the optimizer tooling: fpmopt, fpmlint --json, fpmtool."""
+
+import json
+
+import pytest
+
+from repro.tools import fpmlint, fpmopt, fpmtool
+
+
+class TestFpmlintJson:
+    def test_json_mode_clean_library(self, capsys):
+        rc = fpmlint.main(["--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["tool"] == "fpmlint"
+        assert payload["checked"] == 14
+        assert payload["findings"] == []
+
+    def test_text_mode_unchanged(self, capsys):
+        rc = fpmlint.main([])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "14 program(s) verified" in out
+
+    def test_structured_findings_shape(self):
+        checked, problems = fpmlint.lint_library_structured()
+        assert checked == 14
+        for problem in problems:
+            assert {"program", "pc", "code", "message"} <= set(problem)
+
+
+class TestFpmopt:
+    @pytest.fixture(scope="class")
+    def bench(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_optimizer.json"
+        rc = fpmopt.main(["--packets", "8", "--seed", "3", "--min-reduced", "5", "--bench", str(path)])
+        return rc, path
+
+    def test_exit_zero_and_bench_written(self, bench):
+        rc, path = bench
+        assert rc == 0
+        assert path.exists()
+
+    def test_bench_schema(self, bench):
+        _, path = bench
+        report = json.loads(path.read_text())
+        assert report["tool"] == "fpmopt"
+        assert report["ok"] is True
+        assert report["failures"] == []
+        assert report["totals"]["configs"] == 14
+        assert report["totals"]["reduced"] >= 5
+        assert report["totals"]["insns_removed"] > 0
+        for entry in report["configs"]:
+            assert {
+                "config",
+                "hook",
+                "status",
+                "insns_before",
+                "insns_after",
+                "insns_removed",
+                "latency_ns_saved",
+                "rejected",
+                "differential_mismatches",
+            } <= set(entry)
+            assert entry["differential_mismatches"] == 0
+
+    def test_min_reduced_gate_fails(self, tmp_path, capsys):
+        rc = fpmopt.main(
+            ["--packets", "2", "--min-reduced", "99", "--bench", str(tmp_path / "b.json")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "--min-reduced 99" in out
+
+    def test_corpus_deterministic(self):
+        assert fpmopt.frame_corpus(12, 5) == fpmopt.frame_corpus(12, 5)
+        assert fpmopt.frame_corpus(12, 5) != fpmopt.frame_corpus(12, 6)
+
+
+class TestFpmtoolProgList:
+    def test_optimizer_column(self, capsys):
+        rc = fpmtool.main(["--scenario", "router", "--packets", "8", "--optimize", "prog", "list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optimizer" in out
+        assert "optimized(-" in out
+
+    def test_without_optimizer_shows_dash(self, capsys):
+        rc = fpmtool.main(["--scenario", "router", "--packets", "8", "prog", "list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if l.startswith("eth")]
+        assert lines and all(l.rstrip().endswith("-") for l in lines)
