@@ -60,7 +60,8 @@ class Incident:
     """One entry in the controller's incident log."""
 
     # rebuild-error | synthesize-error | deploy-error | watchdog-mismatch |
-    # netlink-overrun-resync | optimizer-fallback | optimizer-reject | cpu-*
+    # netlink-overrun-resync | optimizer-fallback | optimizer-reject |
+    # jit-fallback | cpu-*
     kind: str
     detail: str
     at_ns: int
@@ -81,6 +82,7 @@ class Controller:
         flow_cache: Optional[bool] = None,
         watchdog_every: Optional[int] = None,
         optimize: Optional[bool] = None,
+        jit: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.hook = hook
@@ -93,10 +95,21 @@ class Controller:
         self.watchdog: Optional[Watchdog] = None
         self.target_interfaces = interfaces
         self.topology = TopologyManager(enable_ipvs=enable_ipvs)
-        # optimize=None defers to the LINUXFP_OPT env opt-in (Synthesizer).
+        # optimize=None defers to the LINUXFP_OPT env opt-in (Synthesizer);
+        # jit=None likewise defers to LINUXFP_JIT.
         self.synthesizer = Synthesizer(
-            capabilities, customs=custom_fpms, num_cpus=kernel.num_cores, optimize=optimize
+            capabilities,
+            customs=custom_fpms,
+            num_cpus=kernel.num_cores,
+            optimize=optimize,
+            jit=jit,
         )
+        # The data plane's JIT engine follows the controller's decision, so
+        # Controller(jit=True) works without the env opt-in (and jit=False
+        # pins it off regardless of the environment).
+        engine = getattr(kernel, "jit", None)
+        if engine is not None:
+            engine.enabled = self.synthesizer.jit
         self.deployer = Deployer(kernel, hook=hook)
         self.socket = kernel.bus.open_socket()
         self.introspection = ServiceIntrospection(self.socket)
@@ -342,6 +355,13 @@ class Controller:
                         )
                     for cex in report.rejected:
                         self._incident("optimizer-reject", str(cex), ifname)
+                jit_report = path.jit_report
+                if jit_report is not None and jit_report.status == "fallback":
+                    # Same contract as the optimizer: the interface serves
+                    # under the interpreter, operators get told why.
+                    self._incident(
+                        "jit-fallback", jit_report.error or "jit compile failed", ifname
+                    )
             else:
                 failure = self.deployer.failures.get(ifname)
                 detail = f"{failure.stage}: {failure.error}" if failure else "unknown"

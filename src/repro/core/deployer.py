@@ -282,6 +282,37 @@ class Deployer:
                 }
         return out
 
+    def jit_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-interface JIT outcome for the *serving* program.
+
+        ``status`` is ``"interpreter"`` when the serving path carries no JIT
+        report (the JIT was not enabled for its synthesis); ``"fallback"``
+        means compilation failed and the interpreter serves, fail-closed.
+        Withdrawn interfaces are omitted.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for ifname, entry in sorted(self.deployed.items()):
+            if entry.current is None:
+                continue
+            report = entry.current.jit_report
+            if report is None:
+                out[ifname] = {
+                    "status": "interpreter",
+                    "insns": len(entry.current.program),
+                    "inline_mem_ops": 0,
+                    "folded_null_checks": 0,
+                    "writes_packet": True,
+                }
+            else:
+                out[ifname] = {
+                    "status": report.status,
+                    "insns": len(entry.current.program),
+                    "inline_mem_ops": report.inline_mem_ops,
+                    "folded_null_checks": report.folded_null_checks,
+                    "writes_packet": report.writes_packet,
+                }
+        return out
+
     def note_failure(self, ifname: str, stage: str, error: Exception) -> DeployFailure:
         """Record a deploy-pipeline failure (also used for synthesis errors)."""
         detail = error.to_dict() if isinstance(error, VerifierError) else None

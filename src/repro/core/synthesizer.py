@@ -19,6 +19,8 @@ from repro.core.fpm.library import render_fast_path
 from repro.core.graph import InterfaceGraph, ProcessingGraph
 from repro.ebpf.analysis.lint import lint_program
 from repro.ebpf.analysis.opt import OptimizationReport, optimize_program
+from repro.ebpf.jit import JitReport, compile_program
+from repro.ebpf.jit.engine import jit_env_default
 from repro.ebpf.maps import BpfMap, HashMap, LruHashMap, PercpuLruHashMap
 from repro.ebpf.minic import compile_c
 from repro.ebpf.program import Program
@@ -43,6 +45,10 @@ class SynthesizedPath:
     #: ``status == "fallback"`` means the pass failed and ``program`` is the
     #: unoptimized bytecode — fail-closed, the interface still deploys.
     opt_report: Optional[OptimizationReport] = None
+    #: What the bytecode→Python JIT said about this program (None when the
+    #: JIT was not enabled). ``status == "fallback"`` means the program will
+    #: run under the interpreter — fail-closed, the interface still deploys.
+    jit_report: Optional[JitReport] = None
 
     def rebind_custom_maps(self) -> None:
         for custom, clones in self.custom_rebinds:
@@ -56,6 +62,7 @@ class Synthesizer:
         customs: Optional[list] = None,
         num_cpus: int = 1,
         optimize: Optional[bool] = None,
+        jit: Optional[bool] = None,
     ) -> None:
         self.capabilities = capabilities or CapabilityManager.linuxfp()
         self.customs = list(customs or [])  # CustomFpm modules to weave in
@@ -66,6 +73,12 @@ class Synthesizer:
         #: after verification, re-verified, fail-closed to the unoptimized
         #: bytecode (see :mod:`repro.ebpf.analysis.opt`).
         self.optimize = optimize
+        if jit is None:
+            jit = jit_env_default()
+        #: Opt-in bytecode→Python JIT: compile-checked here so deploys
+        #: surface a ``jit-fallback`` incident immediately instead of on
+        #: the first packet (the engine itself also fails closed).
+        self.jit = jit
 
     def _prepare_custom_maps(self) -> tuple:
         """The map set a synthesis compiles against.
@@ -132,6 +145,9 @@ class Synthesizer:
         opt_report = None
         if self.optimize:
             program, opt_report = optimize_program(program)
+        jit_report = None
+        if self.jit:
+            __, jit_report = compile_program(program)
         return SynthesizedPath(
             ifname=iface_graph.ifname,
             program=program,
@@ -140,6 +156,7 @@ class Synthesizer:
             lint_findings=[str(f) for f in lint_program(program)],
             custom_rebinds=rebinds,
             opt_report=opt_report,
+            jit_report=jit_report,
         )
 
     def synthesize(self, graph: ProcessingGraph, hook: str) -> Dict[str, SynthesizedPath]:

@@ -40,7 +40,7 @@ non-frame-pointer memory) are never proven, hence never rewritten.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ebpf.analysis.domain import Range, alu_range

@@ -7,6 +7,15 @@ length, R3 = ingress ifindex. Programs may rewrite the packet in place;
 aborts (memory violations and the like) become drops, as with
 ``XDP_ABORTED``, flagged on the result so drop accounting can tell a fault
 from a policy verdict.
+
+When the kernel carries an enabled :class:`~repro.ebpf.jit.JitEngine`,
+invocations route through it instead of a fresh interpreter: compiled
+programs run specialized, everything else falls back to the interpreter
+with identical observable behavior. Programs whose whole tail-call chain
+is compiled *and* provably never writes the packet additionally run
+zero-copy: the hook wraps the wire frame in a read-only region instead of
+copying it into a ``bytearray``, and hands the original frame object
+onward (the XDP_TX/REDIRECT "frame recycling" analogue).
 """
 
 from __future__ import annotations
@@ -35,6 +44,14 @@ def _observe_fpm(kernel, name: str, elapsed_ns: int) -> None:
         obs.tracer.event("fpm", name)
 
 
+def _jit_engine(kernel):
+    """The kernel's JIT engine when present and enabled, else None."""
+    engine = getattr(kernel, "jit", None)
+    if engine is not None and engine.enabled:
+        return engine
+    return None
+
+
 class XdpAttachment:
     """An XDP-hook driver program (runs on the raw frame, pre-sk_buff)."""
 
@@ -46,14 +63,43 @@ class XdpAttachment:
         self.aborts = 0
 
     def run_xdp(self, kernel, dev, frame: bytes, env: "Env" = None) -> XdpResult:
+        engine = _jit_engine(kernel)
+        zero_copy = engine is not None and engine.zero_copy_ok(self.program)
+        return self._invoke(kernel, dev, frame, env, engine, zero_copy)
+
+    def run_xdp_burst(self, kernel, dev, frames, queue: int = 0) -> list:
+        """Run the program over a burst of frames (GRO/XDP-bulk analogue).
+
+        The per-invocation setup that is loop-invariant — engine lookup and
+        the zero-copy chain fact — is resolved once for the whole burst.
+        """
+        engine = _jit_engine(kernel)
+        zero_copy = engine is not None and engine.zero_copy_ok(self.program)
+        return [
+            self._invoke(kernel, dev, frame, None, engine, zero_copy)
+            for frame in frames
+        ]
+
+    def _invoke(self, kernel, dev, frame, env, engine, zero_copy) -> XdpResult:
         self.invocations += 1
-        region = Region("pkt", bytearray(frame))
+        if zero_copy:
+            # Whole reachable chain is compiled and read-only: run straight
+            # over the wire bytes, no defensive copy in or out.
+            region = Region("pkt", frame, writable=False)
+            engine.stats["zero_copy_frames"] += 1
+        else:
+            region = Region("pkt", bytearray(frame))
         if env is None:
             env = Env(kernel, redirect_verdict=XDP_REDIRECT)
-        vm = VM(kernel)
+        args = [Pointer(region, 0), len(frame), dev.ifindex]
         t0 = kernel.clock.now_ns
         try:
-            verdict = vm.run(self.program, [Pointer(region, 0), len(frame), dev.ifindex], env)
+            if engine is not None:
+                verdict, executed = engine.execute(self.program, args, env)
+            else:
+                vm = VM(kernel)
+                verdict = vm.run(self.program, args, env)
+                executed = vm.insns_executed
         except (VMError, faults.InjectedFault):
             # InjectedFault: a fault site fired inside a map op that the
             # helper layer doesn't absorb; treated exactly like a runtime
@@ -63,14 +109,15 @@ class XdpAttachment:
             _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
             return XdpResult(XDP_ABORTED, frame, aborted=True)
         _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
-        env.insns_executed = vm.insns_executed
+        env.insns_executed = executed
         from repro.ebpf.af_xdp import XDP_REDIRECT_XSK
         from repro.kernel.hooks_api import XDP_CONSUMED
 
+        out = frame if zero_copy else bytes(region.data)
         if verdict == XDP_REDIRECT_XSK and env.xsk_socket is not None:
-            env.xsk_socket.push_rx(bytes(region.data))
-            return XdpResult(XDP_CONSUMED, bytes(region.data))
-        return XdpResult(int(verdict), bytes(region.data), env.redirect_ifindex)
+            env.xsk_socket.push_rx(out)
+            return XdpResult(XDP_CONSUMED, out)
+        return XdpResult(int(verdict), out, env.redirect_ifindex)
 
 
 class TcAttachment:
@@ -85,19 +132,34 @@ class TcAttachment:
 
     def run_tc(self, kernel, dev, skb, env: "Env" = None) -> TcResult:
         self.invocations += 1
-        frame = skb.pkt.to_bytes()
-        region = Region("pkt", bytearray(frame))
+        wire = getattr(skb, "wire_frame", None)
+        frame = wire() if wire is not None else skb.pkt.to_bytes()
+        engine = _jit_engine(kernel)
+        zero_copy = engine is not None and engine.zero_copy_ok(self.program)
+        if zero_copy:
+            # to_bytes() already produced fresh bytes; skip the bytearray
+            # copy in and the bytes() copy out.
+            region = Region("pkt", frame, writable=False)
+            engine.stats["zero_copy_frames"] += 1
+        else:
+            region = Region("pkt", bytearray(frame))
         if env is None:
             env = Env(kernel, redirect_verdict=TC_ACT_REDIRECT)
-        vm = VM(kernel)
+        args = [Pointer(region, 0), len(frame), skb.ifindex]
         t0 = kernel.clock.now_ns
         try:
-            verdict = vm.run(self.program, [Pointer(region, 0), len(frame), skb.ifindex], env)
+            if engine is not None:
+                verdict, executed = engine.execute(self.program, args, env)
+            else:
+                vm = VM(kernel)
+                verdict = vm.run(self.program, args, env)
+                executed = vm.insns_executed
         except (VMError, faults.InjectedFault):
             self.aborts += 1
             env.aborted = True
             _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
             return TcResult(TC_ACT_SHOT, frame, aborted=True)
         _observe_fpm(kernel, self.program.name, kernel.clock.now_ns - t0)
-        env.insns_executed = vm.insns_executed
-        return TcResult(int(verdict), bytes(region.data), env.redirect_ifindex)
+        env.insns_executed = executed
+        out = frame if zero_copy else bytes(region.data)
+        return TcResult(int(verdict), out, env.redirect_ifindex)

@@ -91,18 +91,36 @@ class VM:
         self.charge_costs = charge_costs
         self.insns_executed = 0
 
-    def run(self, program: Program, args: List[Word], env: Env) -> int:
-        """Execute ``program`` with entry arguments in R1..R5; returns R0."""
+    def run(
+        self,
+        program: Program,
+        args: List[Word],
+        env: Env,
+        _stack: Optional[Region] = None,
+        _executed: int = 0,
+        _tail_calls: int = 0,
+        _entry_charged: bool = False,
+    ) -> int:
+        """Execute ``program`` with entry arguments in R1..R5; returns R0.
+
+        The underscore-prefixed keywords are the JIT engine's resume
+        protocol: when a compiled tail-call chain reaches a program the
+        JIT could not compile, the interpreter picks up mid-chain on the
+        same stack region with the accumulated instruction and tail-call
+        counters (entry cost already charged).
+        """
         if len(args) > 5:
             raise VMError("at most 5 entry arguments")
         kernel = self.kernel
         costs = kernel.costs
         entry_args = list(args)
 
-        if self.charge_costs:
+        if self.charge_costs and not _entry_charged:
             kernel.charge_ns(costs.ebpf_prog_entry)
 
-        stack = Region("stack", bytearray(STACK_SIZE), allow_pointers=True)
+        stack = _stack if _stack is not None else Region(
+            "stack", bytearray(STACK_SIZE), allow_pointers=True
+        )
         regs: List[Optional[Word]] = [None] * NUM_REGS
         for i, arg in enumerate(entry_args):
             regs[R1 + i] = arg
@@ -111,133 +129,154 @@ class VM:
         insns = program.insns
         maps = program.maps
         pc = 0
-        executed = 0
-        tail_calls = 0
+        executed = _executed
+        tail_calls = _tail_calls
         insn_cost = costs.ebpf_insn if self.charge_costs else 0.0
         budget = self.insn_limit
 
-        while True:
-            if pc < 0 or pc >= len(insns):
-                raise VMError(f"{program.name}: pc {pc} out of range")
-            executed += 1
-            if executed > budget:
-                raise VMError(f"{program.name}: instruction budget exceeded")
-            if insn_cost:
-                kernel.charge_ns(insn_cost)
-            insn = insns[pc]
-            op = insn.op
+        # Instruction costs accrue and flush in groups — one
+        # ``charge_ns(k * insn_cost)`` before every helper call, tail call,
+        # exit, and abort (the ``finally`` catches every abort path). The
+        # JIT batches its charges at exactly these boundaries, so
+        # partitioning identically here keeps the two float clock sums
+        # bit-identical (and saves a charge_ns call per insn).
+        charged = executed
 
-            if op is Op.MOV_IMM:
-                regs[insn.dst] = insn.imm & MASK64
-            elif op is Op.MOV_REG:
-                regs[insn.dst] = self._read(regs, insn.src, insn, program)
-            elif op is Op.LD_MAP:
-                if insn.imm >= len(maps):
-                    raise VMError(f"{program.name}: LD_MAP index {insn.imm} out of range")
-                regs[insn.dst] = maps[insn.imm]
-            elif op in ALU_IMM_OPS:
-                regs[insn.dst] = self._alu(
-                    op.value[:-4], self._read(regs, insn.dst, insn, program), insn.imm & MASK64, insn, program
-                )
-            elif op in ALU_REG_OPS:
-                regs[insn.dst] = self._alu(
-                    op.value[:-4],
-                    self._read(regs, insn.dst, insn, program),
-                    self._read(regs, insn.src, insn, program),
-                    insn,
-                    program,
-                )
-            elif op is Op.NEG:
-                value = self._read(regs, insn.dst, insn, program)
-                if isinstance(value, Pointer):
-                    raise VMError(f"{program.name}@{pc}: NEG on pointer")
-                regs[insn.dst] = (-value) & MASK64
-            elif op is Op.LDX:
-                ptr = self._read(regs, insn.src, insn, program)
-                if not isinstance(ptr, Pointer):
-                    raise VMError(f"{program.name}@{pc}: load via non-pointer r{insn.src}")
-                try:
-                    regs[insn.dst] = ptr.load(insn.off, insn.imm)
-                except MemoryError_ as exc:
-                    raise VMError(f"{program.name}@{pc}: {exc}") from exc
-            elif op is Op.STX:
-                ptr = self._read(regs, insn.dst, insn, program)
-                value = self._read(regs, insn.src, insn, program)
-                if not isinstance(ptr, Pointer):
-                    raise VMError(f"{program.name}@{pc}: store via non-pointer r{insn.dst}")
-                try:
-                    ptr.store(insn.off, insn.imm, value)
-                except MemoryError_ as exc:
-                    raise VMError(f"{program.name}@{pc}: {exc}") from exc
-            elif op is Op.ST_IMM:
-                ptr = self._read(regs, insn.dst, insn, program)
-                if not isinstance(ptr, Pointer):
-                    raise VMError(f"{program.name}@{pc}: store via non-pointer r{insn.dst}")
-                try:
-                    ptr.store(insn.off, insn.src, insn.imm)
-                except MemoryError_ as exc:
-                    raise VMError(f"{program.name}@{pc}: {exc}") from exc
-            elif op is Op.JA:
-                pc += insn.off
-            elif op in JMP_IMM_OPS:
-                left = self._read(regs, insn.dst, insn, program)
-                if self._compare(op, left, insn.imm & MASK64, insn, program):
+        try:
+            while True:
+                if pc < 0 or pc >= len(insns):
+                    raise VMError(f"{program.name}: pc {pc} out of range")
+                executed += 1
+                if executed > budget:
+                    raise VMError(f"{program.name}: instruction budget exceeded")
+                insn = insns[pc]
+                op = insn.op
+
+                if op is Op.MOV_IMM:
+                    regs[insn.dst] = insn.imm & MASK64
+                elif op is Op.MOV_REG:
+                    regs[insn.dst] = self._read(regs, insn.src, insn, program)
+                elif op is Op.LD_MAP:
+                    if insn.imm >= len(maps):
+                        raise VMError(f"{program.name}: LD_MAP index {insn.imm} out of range")
+                    regs[insn.dst] = maps[insn.imm]
+                elif op in ALU_IMM_OPS:
+                    regs[insn.dst] = self._alu(
+                        op.value[:-4], self._read(regs, insn.dst, insn, program), insn.imm & MASK64, insn, program
+                    )
+                elif op in ALU_REG_OPS:
+                    regs[insn.dst] = self._alu(
+                        op.value[:-4],
+                        self._read(regs, insn.dst, insn, program),
+                        self._read(regs, insn.src, insn, program),
+                        insn,
+                        program,
+                    )
+                elif op is Op.NEG:
+                    value = self._read(regs, insn.dst, insn, program)
+                    if isinstance(value, Pointer):
+                        raise VMError(f"{program.name}@{pc}: NEG on pointer")
+                    regs[insn.dst] = (-value) & MASK64
+                elif op is Op.LDX:
+                    ptr = self._read(regs, insn.src, insn, program)
+                    if not isinstance(ptr, Pointer):
+                        raise VMError(f"{program.name}@{pc}: load via non-pointer r{insn.src}")
+                    try:
+                        regs[insn.dst] = ptr.load(insn.off, insn.imm)
+                    except MemoryError_ as exc:
+                        raise VMError(f"{program.name}@{pc}: {exc}") from exc
+                elif op is Op.STX:
+                    ptr = self._read(regs, insn.dst, insn, program)
+                    value = self._read(regs, insn.src, insn, program)
+                    if not isinstance(ptr, Pointer):
+                        raise VMError(f"{program.name}@{pc}: store via non-pointer r{insn.dst}")
+                    try:
+                        ptr.store(insn.off, insn.imm, value)
+                    except MemoryError_ as exc:
+                        raise VMError(f"{program.name}@{pc}: {exc}") from exc
+                elif op is Op.ST_IMM:
+                    ptr = self._read(regs, insn.dst, insn, program)
+                    if not isinstance(ptr, Pointer):
+                        raise VMError(f"{program.name}@{pc}: store via non-pointer r{insn.dst}")
+                    try:
+                        ptr.store(insn.off, insn.src, insn.imm)
+                    except MemoryError_ as exc:
+                        raise VMError(f"{program.name}@{pc}: {exc}") from exc
+                elif op is Op.JA:
                     pc += insn.off
-            elif op in JMP_REG_OPS:
-                left = self._read(regs, insn.dst, insn, program)
-                right = self._read(regs, insn.src, insn, program)
-                if self._compare(op, left, right, insn, program):
-                    pc += insn.off
-            elif op is Op.CALL:
-                entry = helpers_mod.HELPERS.get(insn.imm)
-                if entry is None:
-                    raise VMError(f"{program.name}@{pc}: unknown helper {insn.imm}")
-                __, fn = entry
-                call_args = [regs[R1 + i] for i in range(5)]
-                try:
-                    regs[R0] = fn(env, call_args)
-                except (helpers_mod.HelperError, MemoryError_) as exc:
-                    raise VMError(f"{program.name}@{pc}: {exc}") from exc
-                # helper calls clobber the caller-saved argument registers
-                for i in range(1, 6):
-                    regs[i] = None
-            elif op is Op.TAIL_CALL:
-                prog_array = regs[2]
-                index = self._read(regs, 3, insn, program)
-                if not isinstance(prog_array, ProgArray):
-                    raise VMError(f"{program.name}@{pc}: tail call needs a prog array in r2")
-                if isinstance(index, Pointer):
-                    raise VMError(f"{program.name}@{pc}: tail call index is a pointer")
-                target = prog_array.get_prog(index)
-                if target is None:
-                    pc += 1  # empty slot: fall through, as in real eBPF
+                elif op in JMP_IMM_OPS:
+                    left = self._read(regs, insn.dst, insn, program)
+                    if self._compare(op, left, insn.imm & MASK64, insn, program):
+                        pc += insn.off
+                elif op in JMP_REG_OPS:
+                    left = self._read(regs, insn.dst, insn, program)
+                    right = self._read(regs, insn.src, insn, program)
+                    if self._compare(op, left, right, insn, program):
+                        pc += insn.off
+                elif op is Op.CALL:
+                    entry = helpers_mod.HELPERS.get(insn.imm)
+                    if entry is None:
+                        raise VMError(f"{program.name}@{pc}: unknown helper {insn.imm}")
+                    __, fn = entry
+                    call_args = [regs[R1 + i] for i in range(5)]
+                    if insn_cost and executed > charged:
+                        # flush before the helper runs: helpers read the clock
+                        kernel.charge_ns((executed - charged) * insn_cost)
+                        charged = executed
+                    try:
+                        regs[R0] = fn(env, call_args)
+                    except (helpers_mod.HelperError, MemoryError_) as exc:
+                        raise VMError(f"{program.name}@{pc}: {exc}") from exc
+                    # helper calls clobber the caller-saved argument registers
+                    for i in range(1, 6):
+                        regs[i] = None
+                elif op is Op.TAIL_CALL:
+                    if insn_cost and executed > charged:
+                        kernel.charge_ns((executed - charged) * insn_cost)
+                        charged = executed
+                    prog_array = regs[2]
+                    index = self._read(regs, 3, insn, program)
+                    if not isinstance(prog_array, ProgArray):
+                        raise VMError(f"{program.name}@{pc}: tail call needs a prog array in r2")
+                    if isinstance(index, Pointer):
+                        raise VMError(f"{program.name}@{pc}: tail call index is a pointer")
+                    target = prog_array.get_prog(index)
+                    if target is None:
+                        pc += 1  # empty slot: fall through, as in real eBPF
+                        continue
+                    tail_calls += 1
+                    if tail_calls > TAIL_CALL_LIMIT:
+                        raise VMError(f"{program.name}@{pc}: tail call limit exceeded")
+                    if self.charge_costs:
+                        kernel.charge_ns(costs.ebpf_tail_call)
+                    target_prog = target.program if hasattr(target, "program") else target
+                    program = target_prog
+                    insns = program.insns
+                    maps = program.maps
+                    regs = [None] * NUM_REGS
+                    for i, arg in enumerate(entry_args):
+                        regs[R1 + i] = arg
+                    regs[R10] = Pointer(stack, STACK_SIZE)
+                    pc = 0
                     continue
-                tail_calls += 1
-                if tail_calls > TAIL_CALL_LIMIT:
-                    raise VMError(f"{program.name}@{pc}: tail call limit exceeded")
-                if self.charge_costs:
-                    kernel.charge_ns(costs.ebpf_tail_call)
-                target_prog = target.program if hasattr(target, "program") else target
-                program = target_prog
-                insns = program.insns
-                maps = program.maps
-                regs = [None] * NUM_REGS
-                for i, arg in enumerate(entry_args):
-                    regs[R1 + i] = arg
-                regs[R10] = Pointer(stack, STACK_SIZE)
-                pc = 0
-                continue
-            elif op is Op.EXIT:
-                result = regs[R0]
-                if result is None:
-                    raise VMError(f"{program.name}@{pc}: exit with uninitialized r0")
-                if isinstance(result, Pointer):
-                    raise VMError(f"{program.name}@{pc}: exit with pointer in r0")
-                self.insns_executed = executed
-                return result
-            else:  # pragma: no cover - exhaustive
-                raise VMError(f"{program.name}@{pc}: unimplemented op {op}")
-            pc += 1
+                elif op is Op.EXIT:
+                    if insn_cost and executed > charged:
+                        kernel.charge_ns((executed - charged) * insn_cost)
+                        charged = executed
+                    result = regs[R0]
+                    if result is None:
+                        raise VMError(f"{program.name}@{pc}: exit with uninitialized r0")
+                    if isinstance(result, Pointer):
+                        raise VMError(f"{program.name}@{pc}: exit with pointer in r0")
+                    self.insns_executed = executed
+                    return result
+                else:  # pragma: no cover - exhaustive
+                    raise VMError(f"{program.name}@{pc}: unimplemented op {op}")
+                pc += 1
+        finally:
+            # abort paths land here with accrued, unflushed instructions
+            if insn_cost and executed > charged:
+                kernel.charge_ns((executed - charged) * insn_cost)
 
     # ------------------------------------------------------------- internals
 

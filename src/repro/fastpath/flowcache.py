@@ -293,7 +293,8 @@ class FlowCache:
     def run_tc(self, dev, skb) -> TcResult:
         """Consult the cache for a TC-ingress skb; falls back to the prog."""
         attachment = dev.tc_ingress_prog
-        frame = skb.pkt.to_bytes()
+        wire = getattr(skb, "wire_frame", None)
+        frame = wire() if wire is not None else skb.pkt.to_bytes()
         hit = self._lookup("tc", dev.ifindex, frame)
         if hit is not None:
             entry, replayed = hit

@@ -107,6 +107,9 @@ class Kernel:
         from repro.fastpath import FlowCache  # local import: cycle guard
 
         self.flow_cache = FlowCache(self)
+        from repro.ebpf.jit import JitEngine  # local import: cycle guard
+
+        self.jit = JitEngine(self)
         # The controller's differential watchdog, installed by Controller.start().
         self.watchdog = None
 

@@ -28,6 +28,7 @@ and throughput is bounded by the bottleneck CPU only.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Iterable, List, Tuple
 
@@ -41,6 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Fallback when the sysctl holds a non-numeric value (Linux default).
 DEFAULT_MAX_BACKLOG = 1000
+
+#: Frames one CPU may process per softirq round before yielding to the
+#: next CPU (the NAPI poll budget; ``net/core/dev.c`` uses 64 too).
+NAPI_BUDGET = 64
+
+
+def batching_env_default() -> bool:
+    """Batched backlog draining is on unless ``LINUXFP_NO_BATCH`` kills it."""
+    return os.environ.get("LINUXFP_NO_BATCH", "").lower() not in ("1", "true", "on")
 
 
 class SoftirqSet:
@@ -67,6 +77,9 @@ class SoftirqSet:
         # re-entrancy latch: process_backlogs() must not recurse when a
         # drained frame's processing triggers another enqueue+drain
         self._draining = False
+        #: batched draining (NAPI budget + same-(dev,queue) run coalescing);
+        #: the per-frame drain survives behind ``LINUXFP_NO_BATCH``
+        self.batching = batching_env_default()
 
     # ------------------------------------------------------------ tunables
 
@@ -170,15 +183,21 @@ class SoftirqSet:
         """Drain every CPU's backlog to empty (the NET_RX softirq loop).
 
         Round-robins across CPUs so one hot backlog cannot starve the
-        others. Frames a drained packet re-injects arrive nested (processed
-        inline by :meth:`rx`), so draining always terminates. Returns the
-        number of frames processed.
+        others; each CPU gets up to :data:`NAPI_BUDGET` frames per round
+        (the NAPI poll budget), and within that budget consecutive frames
+        of the same ``(dev, queue)`` are coalesced into one
+        :meth:`~repro.kernel.stack.Stack.receive_batch` call under a single
+        CPU context — the GRO-style amortization the fast path feeds on.
+        Frames a drained packet re-injects arrive nested (processed inline
+        by :meth:`rx`), so draining always terminates. Returns the number
+        of frames processed.
         """
         if self._draining:
             return 0
         self._draining = True
         processed = 0
         cpus = self.kernel.cpus
+        stack = self.kernel.stack
         try:
             while True:
                 busy = False
@@ -186,11 +205,33 @@ class SoftirqSet:
                     if not backlog:
                         continue
                     busy = True
-                    dev, frame, queue = backlog.popleft()
-                    with cpus.on(cpu):
-                        cpus.packets[cpu] += 1
-                        self.kernel.stack.receive(dev, frame, queue)
-                    processed += 1
+                    if not self.batching:
+                        dev, frame, queue = backlog.popleft()
+                        with cpus.on(cpu):
+                            cpus.packets[cpu] += 1
+                            stack.receive(dev, frame, queue)
+                        processed += 1
+                        continue
+                    budget = NAPI_BUDGET
+                    while backlog and budget > 0:
+                        dev, frame, queue = backlog.popleft()
+                        frames = [frame]
+                        budget -= 1
+                        while (
+                            backlog
+                            and budget > 0
+                            and backlog[0][0] is dev
+                            and backlog[0][2] == queue
+                        ):
+                            frames.append(backlog.popleft()[1])
+                            budget -= 1
+                        with cpus.on(cpu):
+                            cpus.packets[cpu] += len(frames)
+                            if len(frames) == 1:
+                                stack.receive(dev, frame, queue)
+                            else:
+                                stack.receive_batch(dev, frames, queue)
+                        processed += len(frames)
                 if not busy:
                     return processed
         finally:

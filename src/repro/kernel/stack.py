@@ -177,13 +177,14 @@ class Stack:
 
     # ------------------------------------------------------------------ RX
 
-    def account_rx(self) -> None:
-        """Count one frame into the rx side of the ledger on the executing
+    def account_rx(self, n: int = 1) -> None:
+        """Count ``n`` frames into the rx side of the ledger on the executing
         CPU. Split out of :meth:`receive` because a frame refused at softirq
         enqueue (``backlog_overflow``) never reaches :meth:`receive`, yet
-        must still enter the ledger so it can settle as a drop."""
-        self.rx_packets += 1
-        self.rx_by_cpu[self._ledger_cpu()] += 1
+        must still enter the ledger so it can settle as a drop. Batched
+        delivery (:meth:`receive_batch`) accounts a whole burst at once."""
+        self.rx_packets += n
+        self.rx_by_cpu[self._ledger_cpu()] += n
 
     def receive(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
         """Entry point for a frame arriving on ``dev``."""
@@ -221,32 +222,70 @@ class Stack:
                 result = cache.run_xdp(dev, frame)
             else:
                 result = dev.xdp_prog.run_xdp(kernel, dev, frame)
-            self.xdp_actions[result.verdict] += 1
-            self._trace_event("xdp", XDP_ACTION_NAMES.get(result.verdict, str(result.verdict)))
-            if result.verdict == XDP_DROP:
-                self.drop("xdp_drop", dev)
-                return
-            if result.verdict == XDP_TX:
-                dev.transmit(result.frame)
-                self.finish("xdp_tx", dev)
-                return
-            if result.verdict == XDP_REDIRECT:
-                kernel.costs_charge("xdp_redirect")
-                target = kernel.devices.by_index(result.redirect_ifindex)
-                target.transmit(result.frame)
-                self.finish("xdp_redirect", target)
-                return
-            if result.verdict == XDP_CONSUMED:
-                self.finish("xdp_consumed", dev)
-                return  # e.g. delivered to an AF_XDP socket
-            if result.verdict == XDP_PASS:
-                kernel.costs_charge("xdp_pass_to_stack")
-                frame = result.frame
-            else:  # XDP_ABORTED or garbage
-                self.drop("xdp_aborted", dev)
-                return
+            self._xdp_dispatch(dev, result, queue)
+            return
 
         self.receive_after_xdp(dev, frame, queue)
+
+    def _xdp_dispatch(self, dev: NetDevice, result, queue: int) -> None:
+        """Route one XDP verdict into the rest of the pipeline. Shared by
+        the per-frame path (:meth:`_receive`) and batched delivery
+        (:meth:`receive_batch`)."""
+        kernel = self.kernel
+        self.xdp_actions[result.verdict] += 1
+        self._trace_event("xdp", XDP_ACTION_NAMES.get(result.verdict, str(result.verdict)))
+        if result.verdict == XDP_DROP:
+            self.drop("xdp_drop", dev)
+            return
+        if result.verdict == XDP_TX:
+            dev.transmit(result.frame)
+            self.finish("xdp_tx", dev)
+            return
+        if result.verdict == XDP_REDIRECT:
+            kernel.costs_charge("xdp_redirect")
+            target = kernel.devices.by_index(result.redirect_ifindex)
+            target.transmit(result.frame)
+            self.finish("xdp_redirect", target)
+            return
+        if result.verdict == XDP_CONSUMED:
+            self.finish("xdp_consumed", dev)
+            return  # e.g. delivered to an AF_XDP socket
+        if result.verdict == XDP_PASS:
+            kernel.costs_charge("xdp_pass_to_stack")
+            self.receive_after_xdp(dev, result.frame, queue)
+            return
+        # XDP_ABORTED or garbage
+        self.drop("xdp_aborted", dev)
+
+    def receive_batch(self, dev: NetDevice, frames: List[bytes], queue: int = 0) -> None:
+        """Batched driver entry: the GRO / ``xdp_do_flush`` analogue.
+
+        Accounts and charges driver work once for the whole burst and runs
+        the XDP program over all frames before dispatching verdicts, so the
+        per-frame bookkeeping (ledger attribution, engine lookup, zero-copy
+        chain facts) amortizes over the batch. Observationally identical to
+        calling :meth:`receive` per frame; any machinery that makes
+        per-frame decisions — an armed tracer, a differential watchdog, the
+        flow cache — forces the per-frame path.
+        """
+        kernel = self.kernel
+        obs = getattr(kernel, "observability", None)
+        if (
+            dev.xdp_prog is None
+            or kernel.watchdog is not None
+            or (obs is not None and obs.tracer.armed)
+            or (kernel.flow_cache is not None and kernel.flow_cache.enabled)
+        ):
+            for frame in frames:
+                self.receive(dev, frame, queue)
+            return
+        n = len(frames)
+        self.account_rx(n)
+        if isinstance(dev, PhysicalDevice):
+            kernel.charge_ns(kernel.costs.driver_rx * n)
+        results = dev.xdp_prog.run_xdp_burst(kernel, dev, frames, queue)
+        for result in results:
+            self._xdp_dispatch(dev, result, queue)
 
     def receive_after_xdp(self, dev: NetDevice, frame: bytes, queue: int = 0) -> None:
         """The pipeline from sk_buff allocation onward (no XDP fast path).
@@ -386,6 +425,7 @@ class Stack:
                     self.finish("reasm_hold", dev, skb)
                     return
                 skb.pkt = whole
+                skb.invalidate_wire()
                 ip = skb.pkt.ip
             # ipvs virtual services intercept at local-in.
             if self._ipvs_intercept(dev, skb):
@@ -440,6 +480,7 @@ class Stack:
         with kernel.profiler.frame("ip_forward"):
             kernel.costs_charge("ip_forward")
             skb.pkt.ip = ip.decrement_ttl()
+            skb.invalidate_wire()
         self.forwarded += 1
         self.ip_finish_output(skb, route)
 
@@ -470,13 +511,16 @@ class Stack:
 
             skb.pkt.eth.src = out_dev.mac
             skb.pkt.eth.dst = mac
+            skb.invalidate_wire()
             self._xmit(out_dev, skb)
 
     def _xmit(self, out_dev: NetDevice, skb: SKBuff) -> None:
         kernel = self.kernel
         # fragment oversized IP datagrams at the egress MTU (slow-path work,
-        # per Table I; fast paths never see frames above MTU)
-        if skb.pkt.ip is not None and skb.pkt.frame_len - 14 > out_dev.mtu:
+        # per Table I; fast paths never see frames above MTU). wire_frame()
+        # memoizes the serialization the TC-egress hook and dev_queue_xmit
+        # reuse below.
+        if skb.pkt.ip is not None and len(skb.wire_frame()) - 14 > out_dev.mtu:
             from repro.kernel.fragments import fragment
 
             with kernel.profiler.frame("ip_fragment"):
@@ -499,7 +543,7 @@ class Stack:
         kernel = self.kernel
         with kernel.profiler.frame("dev_queue_xmit"):
             kernel.costs_charge("dev_queue_xmit")
-            frame = skb.pkt.to_bytes()
+            frame = skb.wire_frame()
             if out_dev.tc_egress_prog is not None:
                 result = out_dev.tc_egress_prog.run_tc(kernel, out_dev, skb)
                 self.tc_actions[result.verdict] += 1
@@ -686,6 +730,7 @@ class Stack:
             dnat = entry.dnat_to
         new_ip, new_port = dnat
         skb.pkt.ip.dst = new_ip
+        skb.invalidate_wire()
         skb.pkt.l4.dport = new_port
         kernel.costs_charge("fib_lookup")
         route = kernel.fib.lookup(new_ip)

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 
 def internet_checksum(data: bytes) -> int:
-    """Compute the 16-bit one's-complement internet checksum of ``data``."""
+    """Compute the 16-bit one's-complement internet checksum of ``data``.
+
+    Accepts any bytes-like object (zero-copy parsing hands memoryviews in).
+    """
     if len(data) % 2:
-        data += b"\x00"
+        data = bytes(data) + b"\x00"
     total = 0
     for i in range(0, len(data), 2):
         total += (data[i] << 8) | data[i + 1]

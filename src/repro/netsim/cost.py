@@ -80,6 +80,14 @@ class CostModel:
     xdp_pass_to_stack: float = 90.0   # convert xdp_buff → sk_buff (extra)
     tc_redirect: float = 160.0        # tc egress redirect
 
+    # --- batched fast path ---
+    # NAPI-budget batching and the bytecode→Python JIT amortize *host*
+    # interpreter overhead (wall clock), not simulated work: every packet
+    # still charges its full per-packet costs above, so batched and
+    # per-frame runs read identical simulated clocks. That cost parity is
+    # a tested invariant (tests/ebpf/test_jit_differential.py), which is
+    # why there is deliberately no "batched driver_rx discount" here.
+
     # --- multi-core data plane (Documentation/networking/scaling.rst) ---
     rss_hash: float = 0.0             # Toeplitz is computed by NIC hardware
     rps_steer: float = 30.0           # get_rps_cpu: flow hash + table lookup

@@ -93,15 +93,19 @@ class NIC:
             for frame in frames:
                 self.receive_from_wire(frame)
             return
-        batch = []
-        for frame in frames:
-            self.stats.rx_packets += 1
-            self.stats.rx_bytes += len(frame)
-            if self._reset_drops_remaining > 0:
-                self._reset_drops_remaining -= 1
-                self.stats.rx_reset_dropped += 1
-                continue
-            batch.append((frame, self.rss_queue(frame)))
+        # Batched stats: one pair of counter updates for the whole burst.
+        self.stats.rx_packets += len(frames)
+        self.stats.rx_bytes += sum(len(frame) for frame in frames)
+        if self._reset_drops_remaining > 0:
+            kept = []
+            for frame in frames:
+                if self._reset_drops_remaining > 0:
+                    self._reset_drops_remaining -= 1
+                    self.stats.rx_reset_dropped += 1
+                else:
+                    kept.append(frame)
+            frames = kept
+        batch = [(frame, self.rss_queue(frame)) for frame in frames]
         if batch:
             self._burst_handler(batch)
 

@@ -380,8 +380,15 @@ class Packet:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Packet":
-        """Parse a raw frame into stacked headers."""
-        eth, rest = Ethernet.parse(data)
+        """Parse a raw frame into stacked headers.
+
+        Parsing runs over a ``memoryview`` so the remainder handed from
+        layer to layer is an O(1) slice instead of a copy of the frame's
+        tail at every header boundary; only the final payload is
+        materialized as ``bytes``.
+        """
+        view = memoryview(data)
+        eth, rest = Ethernet.parse(view)
         vlan: Optional[VlanTag] = None
         ethertype = eth.ethertype
         if ethertype == ETH_P_8021Q:
@@ -391,10 +398,10 @@ class Packet:
         pkt = cls(eth=eth, vlan=vlan)
         if ethertype == ETH_P_ARP:
             pkt.arp, rest = ARP.parse(rest)
-            pkt.payload = rest
+            pkt.payload = bytes(rest)
             return pkt
         if ethertype != ETH_P_IP:
-            pkt.payload = rest
+            pkt.payload = bytes(rest)
             return pkt
 
         pkt.ip, rest = IPv4.parse(rest)
@@ -402,16 +409,19 @@ class Packet:
         body_len = pkt.ip.total_length - IPv4.HDR_LEN
         rest = rest[:body_len]
         if pkt.ip.is_fragment and pkt.ip.frag_offset != 0:
-            pkt.payload = rest
+            pkt.payload = bytes(rest)
             return pkt
         if pkt.ip.proto == IPPROTO_UDP:
-            pkt.l4, pkt.payload = UDP.parse(rest)
+            pkt.l4, tail = UDP.parse(rest)
+            pkt.payload = bytes(tail)
         elif pkt.ip.proto == IPPROTO_TCP:
-            pkt.l4, pkt.payload = TCP.parse(rest)
+            pkt.l4, tail = TCP.parse(rest)
+            pkt.payload = bytes(tail)
         elif pkt.ip.proto == IPPROTO_ICMP:
-            pkt.l4, pkt.payload = ICMP.parse(rest)
+            pkt.l4, tail = ICMP.parse(rest)
+            pkt.payload = bytes(tail)
         else:
-            pkt.payload = rest
+            pkt.payload = bytes(rest)
         return pkt
 
     @property

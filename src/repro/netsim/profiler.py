@@ -17,6 +17,27 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.netsim.clock import Clock
 
 
+class _NullFrame:
+    """A reusable no-op context manager: the profiler's fast path.
+
+    Entering a generator-based ``@contextmanager`` costs a generator frame
+    per call; on the batched fast path every packet crosses several
+    profiler frames, so the disabled case returns this shared singleton
+    instead.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_FRAME = _NullFrame()
+
+
 class Profiler:
     """Records weighted call stacks against a simulated clock."""
 
@@ -32,9 +53,24 @@ class Profiler:
         self.tracer = None
         self.stage_observer: Optional[Callable[[str, int], None]] = None
 
+    def frame(self, name: str):
+        """Push ``name`` for the duration of the block, charging elapsed ns.
+
+        When sampling is off, no stage observer is wired, and no trace is
+        recording, this is a shared no-op context — zero bookkeeping on the
+        fast path.
+        """
+        tracer = self.tracer
+        if (
+            not self.enabled
+            and self.stage_observer is None
+            and (tracer is None or not tracer.recording)
+        ):
+            return _NULL_FRAME
+        return self._frame(name)
+
     @contextmanager
-    def frame(self, name: str) -> Iterator[None]:
-        """Push ``name`` for the duration of the block, charging elapsed ns."""
+    def _frame(self, name: str) -> Iterator[None]:
         tracer = self.tracer
         if tracer is not None and tracer.recording:
             tracer.event("stage", name)

@@ -33,10 +33,27 @@ class SKBuff:
     # settled skb re-entering a terminal (drained neighbor queue, fragment
     # piece) must not be counted twice.
     accounted: bool = False
+    # Memoized wire image of `pkt` (the skb_linearize analogue): TC hooks,
+    # the MTU check, and dev_queue_xmit all need the serialized frame, and
+    # without the memo each re-serializes the same unmodified packet. Always
+    # equal to pkt.to_bytes(); every pkt mutation must invalidate_wire().
+    _wire: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     @property
     def frame_len(self) -> int:
+        if self._wire is not None:
+            return len(self._wire)
         return self.pkt.frame_len
+
+    def wire_frame(self) -> bytes:
+        """``pkt.to_bytes()``, memoized until the packet is next mutated."""
+        if self._wire is None:
+            self._wire = self.pkt.to_bytes()
+        return self._wire
+
+    def invalidate_wire(self) -> None:
+        """Drop the memoized wire image (call after any ``pkt`` mutation)."""
+        self._wire = None
 
     def clone(self) -> "SKBuff":
         return SKBuff(

@@ -100,6 +100,9 @@ class MetricsRegistry:
             from repro.measure.stats import flow_cache_summary
 
             data["flow_cache"] = {"enabled": cache.enabled, **flow_cache_summary(cache.stats)}
+        engine = getattr(kernel, "jit", None)
+        if engine is not None:
+            data["jit_engine"] = engine.summary()
         if self.controller is not None:
             ctl = self.controller
             data["controller"] = {
@@ -109,6 +112,7 @@ class MetricsRegistry:
                 "incidents_by_kind": dict(Counter(i.kind for i in ctl.incidents)),
                 "deployed": ctl.deployed_summary(),
                 "optimizer": ctl.deployer.optimizer_summary(),
+                "jit": ctl.deployer.jit_summary(),
             }
             data["map_pressure"] = {
                 name: stats for name, stats in self._map_pressure().items()
@@ -264,6 +268,16 @@ class MetricsRegistry:
                 for key in ("agreements", "mismatches", "punts", "consumed"):
                     sample("linuxfp_watchdog_samples_total", wd[key], verdict=key)
             pressure = self._map_pressure()
+            engine = getattr(self.kernel, "jit", None)
+            if engine is not None:
+                stats = engine.summary()
+                family("linuxfp_jit_engine_runs_total", "counter", "FPM invocations served by compiled code vs the interpreter.")
+                sample("linuxfp_jit_engine_runs_total", stats["jit_runs"], mode="jit")
+                sample("linuxfp_jit_engine_runs_total", stats["interp_runs"], mode="interpreter")
+                family("linuxfp_jit_engine_zero_copy_frames_total", "counter", "Frames that ran the hook without a defensive packet copy.")
+                sample("linuxfp_jit_engine_zero_copy_frames_total", stats["zero_copy_frames"])
+                family("linuxfp_jit_engine_fallbacks_total", "counter", "Programs the JIT declined to compile (interpreter serves them).")
+                sample("linuxfp_jit_engine_fallbacks_total", stats["fallbacks"])
             if pressure:
                 family("linuxfp_map_update_errors_total", "counter", "Rejected fast-path map updates (full map, bad key, injected fault).")
                 for name, stats in sorted(pressure.items()):
@@ -286,6 +300,18 @@ class MetricsRegistry:
                 family("linuxfp_optimizer_unproven_total", "counter", "Rewrite candidates skipped because equivalence could not be proven.")
                 for ifname, info in sorted(optimizer.items()):
                     sample("linuxfp_optimizer_unproven_total", info["unproven"], interface=ifname)
+            jit = ctl.deployer.jit_summary()
+            if jit:
+                family("linuxfp_jit_status", "gauge", "Serving-program JIT outcome (1 for the active status label).")
+                for ifname, info in sorted(jit.items()):
+                    for status in ("interpreter", "compiled", "fallback"):
+                        sample("linuxfp_jit_status", 1 if info["status"] == status else 0, interface=ifname, status=status)
+                family("linuxfp_jit_inline_mem_ops", "gauge", "Packet/stack accesses the JIT emitted with no bounds or provenance checks.")
+                for ifname, info in sorted(jit.items()):
+                    sample("linuxfp_jit_inline_mem_ops", info["inline_mem_ops"], interface=ifname)
+                family("linuxfp_jit_writes_packet", "gauge", "Whether the serving program may write the packet (0 enables zero-copy frames).")
+                for ifname, info in sorted(jit.items()):
+                    sample("linuxfp_jit_writes_packet", 1 if info["writes_packet"] else 0, interface=ifname)
             if ctl.deployer.migrations:
                 family("linuxfp_migrated_entries_total", "counter", "Map entries carried into the new program at the last redeploy.")
                 for ifname, report in sorted(ctl.deployer.migrations.items()):

@@ -1,0 +1,314 @@
+"""Tests for the bytecode→Python JIT.
+
+Covers the compiler's reports and fail-closed fallback, the engine's unit
+cache (identity-keyed, LRU-bounded), the entry-ABI guard, chain-aware
+zero-copy facts with prog-array version invalidation, interpreter resume
+mid-tail-chain, tail-call-limit parity, and the burst hook entry point.
+"""
+
+import pytest
+
+from repro.core.fpm.library import render_dispatcher, render_fast_path
+from repro.ebpf.hooks import XdpAttachment
+from repro.ebpf.isa import mov_imm
+from repro.ebpf.jit import JitEngine, JitReport, compile_program
+from repro.ebpf.jit.engine import jit_env_default
+from repro.ebpf.maps import ProgArray
+from repro.ebpf.memory import Pointer, Region
+from repro.ebpf.minic import compile_c
+from repro.ebpf.program import Program
+from repro.ebpf.vm import VM, Env, VMError
+from repro.kernel import Kernel
+from repro.tools.fpmlint import HOOKS, _configurations
+
+READER_SRC = """
+u32 main(u8* pkt, u64 len, u64 ifindex) {
+    if (len < 14) { return 2; }
+    u64 t = ld16(pkt, 12);
+    if (t == 0x0800) { return 2; }
+    return 1;
+}
+"""
+
+WRITER_SRC = """
+u32 main(u8* pkt, u64 len, u64 ifindex) {
+    if (len < 14) { return 2; }
+    st8(pkt, 0, 7);
+    return 2;
+}
+"""
+
+
+def compile_src(source, name="jit-test", hook="xdp", maps=None):
+    return compile_c(source, name=name, hook=hook, maps=maps)
+
+
+def frame_args(frame):
+    region = Region("pkt", bytearray(frame))
+    return region, [Pointer(region, 0), len(frame), 1]
+
+
+FRAME = bytes(range(64))
+
+
+# ------------------------------------------------------------- compiler
+
+class TestCompiler:
+    def test_every_template_config_compiles(self):
+        for label, nodes in _configurations().items():
+            for hook in HOOKS:
+                program = compile_src(
+                    render_fast_path("eth0", hook, nodes), name=f"{label}@{hook}", hook=hook
+                )
+                unit, report = compile_program(program)
+                assert unit is not None, f"{label}@{hook}: {report.error}"
+                assert report.status == "compiled"
+                assert report.insns == len(program)
+                assert report.blocks > 0
+                assert report.inline_mem_ops > 0
+
+    def test_dispatcher_compiles(self):
+        program = compile_src(
+            render_dispatcher("eth0", "xdp"), name="disp", maps={"jmp": ProgArray("jmp")}
+        )
+        unit, report = compile_program(program)
+        assert unit is not None
+        assert report.status == "compiled"
+
+    def test_unverifiable_program_falls_back(self):
+        # No exit instruction: check_structure refuses it, the JIT declines.
+        bad = Program(name="bad", insns=[mov_imm(0, 0)], hook="xdp")
+        unit, report = compile_program(bad)
+        assert unit is None
+        assert report.status == "fallback"
+        assert report.error
+        # Fallback reports stay conservative about packet writes.
+        assert report.writes_packet is True
+
+    def test_writes_packet_fact(self):
+        _, reader = compile_program(compile_src(READER_SRC))
+        _, writer = compile_program(compile_src(WRITER_SRC))
+        assert reader.status == "compiled" and not reader.writes_packet
+        assert writer.status == "compiled" and writer.writes_packet
+
+    def test_null_checks_folded_on_router(self):
+        nodes = _configurations()["router"]
+        program = compile_src(render_fast_path("eth0", "xdp", nodes), hook="xdp")
+        _, report = compile_program(program)
+        assert report.folded_null_checks >= 0  # fact is reported
+        assert report.inline_mem_ops > report.generic_ops
+
+
+# --------------------------------------------------------------- engine
+
+class TestEngine:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("LINUXFP_JIT", raising=False)
+        assert jit_env_default() is False
+        monkeypatch.setenv("LINUXFP_JIT", "1")
+        assert jit_env_default() is True
+        monkeypatch.setenv("LINUXFP_JIT", "off")
+        assert jit_env_default() is False
+
+    def test_unit_cache_hits_by_identity(self):
+        kernel = Kernel("jit-cache")
+        engine = JitEngine(kernel, enabled=True)
+        program = compile_src(READER_SRC)
+        first = engine.unit_for(program)
+        second = engine.unit_for(program)
+        assert first is second
+        assert engine.stats["compiled"] == 1
+
+    def test_unit_cache_is_lru_bounded(self):
+        kernel = Kernel("jit-lru")
+        engine = JitEngine(kernel, enabled=True)
+        engine.MAX_UNITS = 2
+        programs = [compile_src(READER_SRC, name=f"p{i}") for i in range(4)]
+        for program in programs:
+            engine.unit_for(program)
+        assert len(engine._units) == 2
+        assert engine.stats["compiled"] == 4
+
+    def test_execute_matches_interpreter(self):
+        k_jit, k_int = Kernel("jit-a"), Kernel("jit-b")
+        engine = JitEngine(k_jit, enabled=True)
+        program = compile_src(READER_SRC)
+        region, args = frame_args(FRAME)
+        verdict, executed = engine.execute(program, args, Env(k_jit, 4))
+        region2, args2 = frame_args(FRAME)
+        vm = VM(k_int)
+        expected = vm.run(program, args2, Env(k_int, 4))
+        assert verdict == expected
+        assert executed == vm.insns_executed
+        assert engine.stats["jit_runs"] == 1
+
+    def test_execute_charges_interpreter_clock(self):
+        k_jit, k_int = Kernel("jit-clk-a"), Kernel("jit-clk-b")
+        engine = JitEngine(k_jit, enabled=True)
+        program = compile_src(READER_SRC)
+        _, args = frame_args(FRAME)
+        engine.execute(program, args, Env(k_jit, 4), charge_costs=True)
+        _, args2 = frame_args(FRAME)
+        VM(k_int, charge_costs=True).run(program, args2, Env(k_int, 4))
+        assert k_jit.clock.now_ns == k_int.clock.now_ns
+
+    def test_abi_guard_falls_back_to_interpreter(self):
+        kernel = Kernel("jit-abi")
+        engine = JitEngine(kernel, enabled=True)
+        program = compile_src(READER_SRC)
+        region = Region("pkt", bytearray(FRAME))
+        # Nonzero base offset: not the ABI the code was specialized for.
+        args = [Pointer(region, 4), len(FRAME) - 4, 1]
+        verdict, _ = engine.execute(program, args, Env(kernel, 4))
+        assert engine.stats["interp_runs"] == 1
+        k2 = Kernel("jit-abi-ref")
+        region2 = Region("pkt", bytearray(FRAME))
+        expected = VM(k2).run(program, [Pointer(region2, 4), len(FRAME) - 4, 1], Env(k2, 4))
+        assert verdict == expected
+
+    def test_disabled_engine_uses_interpreter(self):
+        kernel = Kernel("jit-off")
+        engine = JitEngine(kernel, enabled=False)
+        program = compile_src(READER_SRC)
+        assert engine.zero_copy_ok(program) is False
+        _, args = frame_args(FRAME)
+        engine.execute(program, args, Env(kernel, 4))
+        assert engine.stats["jit_runs"] == 0
+        assert engine.stats["interp_runs"] == 1
+
+
+# ---------------------------------------------------------- chain facts
+
+class TestZeroCopyFacts:
+    def _dispatcher(self):
+        jmp = ProgArray("jmp")
+        disp = compile_src(render_dispatcher("eth0", "xdp"), name="disp", maps={"jmp": jmp})
+        return disp, jmp
+
+    def test_read_only_chain_allows_zero_copy(self):
+        kernel = Kernel("jit-zc")
+        engine = JitEngine(kernel, enabled=True)
+        disp, jmp = self._dispatcher()
+        jmp.set_prog(0, compile_src(READER_SRC, name="reader"))
+        assert engine.zero_copy_ok(disp) is True
+
+    def test_writer_in_chain_blocks_zero_copy(self):
+        kernel = Kernel("jit-zc-w")
+        engine = JitEngine(kernel, enabled=True)
+        disp, jmp = self._dispatcher()
+        jmp.set_prog(0, compile_src(WRITER_SRC, name="writer"))
+        assert engine.zero_copy_ok(disp) is False
+
+    def test_prog_array_swap_invalidates_cached_fact(self):
+        kernel = Kernel("jit-zc-swap")
+        engine = JitEngine(kernel, enabled=True)
+        disp, jmp = self._dispatcher()
+        jmp.set_prog(0, compile_src(READER_SRC, name="reader"))
+        assert engine.zero_copy_ok(disp) is True
+        # An atomic fast-path swap must flip the cached chain fact.
+        jmp.set_prog(0, compile_src(WRITER_SRC, name="writer"))
+        assert engine.zero_copy_ok(disp) is False
+        jmp.set_prog(0, compile_src(READER_SRC, name="reader2"))
+        assert engine.zero_copy_ok(disp) is True
+
+    def test_uncompilable_chain_member_blocks_zero_copy(self):
+        kernel = Kernel("jit-zc-fb")
+        engine = JitEngine(kernel, enabled=True)
+        disp, jmp = self._dispatcher()
+        target = compile_src(READER_SRC, name="poisoned")
+        jmp.set_prog(0, target)
+        engine._units[id(target)] = (target, None, JitReport(status="fallback"))
+        assert engine.zero_copy_ok(disp) is False
+
+
+# ----------------------------------------------------------- tail chain
+
+class TestTailChain:
+    def _chain(self, target_src=READER_SRC):
+        jmp = ProgArray("jmp")
+        disp = compile_src(render_dispatcher("eth0", "xdp"), name="disp", maps={"jmp": jmp})
+        target = compile_src(target_src, name="target")
+        jmp.set_prog(0, target)
+        return disp, target
+
+    def test_compiled_chain_matches_interpreter(self):
+        disp, _ = self._chain()
+        k_jit, k_int = Kernel("jit-tc-a"), Kernel("jit-tc-b")
+        engine = JitEngine(k_jit, enabled=True)
+        _, args = frame_args(FRAME)
+        verdict, executed = engine.execute(disp, args, Env(k_jit, 4))
+        _, args2 = frame_args(FRAME)
+        vm = VM(k_int)
+        expected = vm.run(disp, args2, Env(k_int, 4))
+        assert (verdict, executed) == (expected, vm.insns_executed)
+        assert k_jit.clock.now_ns == k_int.clock.now_ns
+
+    def test_interpreter_resumes_uncompilable_tail_target(self):
+        disp, target = self._chain()
+        k_jit, k_int = Kernel("jit-res-a"), Kernel("jit-res-b")
+        engine = JitEngine(k_jit, enabled=True)
+        # Poison the target's cache entry: the dispatcher stays compiled but
+        # the tail call must hand over to the interpreter mid-chain.
+        engine._units[id(target)] = (target, None, JitReport(status="fallback"))
+        _, args = frame_args(FRAME)
+        verdict, executed = engine.execute(disp, args, Env(k_jit, 4))
+        _, args2 = frame_args(FRAME)
+        vm = VM(k_int)
+        expected = vm.run(disp, args2, Env(k_int, 4))
+        assert (verdict, executed) == (expected, vm.insns_executed)
+        assert k_jit.clock.now_ns == k_int.clock.now_ns
+        assert engine.stats["jit_runs"] == 1
+        assert engine.stats["interp_runs"] == 1
+
+    def test_tail_call_limit_message_parity(self):
+        jmp = ProgArray("jmp")
+        disp = compile_src(render_dispatcher("eth0", "xdp"), name="disp", maps={"jmp": jmp})
+        jmp.set_prog(0, disp)  # self-referential: chains forever
+        k_jit, k_int = Kernel("jit-lim-a"), Kernel("jit-lim-b")
+        engine = JitEngine(k_jit, enabled=True)
+        _, args = frame_args(FRAME)
+        with pytest.raises(VMError) as jit_err:
+            engine.execute(disp, args, Env(k_jit, 4))
+        _, args2 = frame_args(FRAME)
+        with pytest.raises(VMError) as int_err:
+            VM(k_int).run(disp, args2, Env(k_int, 4))
+        assert str(jit_err.value) == str(int_err.value)
+        assert k_jit.clock.now_ns == k_int.clock.now_ns
+
+
+# ------------------------------------------------------------ burst hook
+
+class TestBurstHook:
+    def test_burst_matches_per_frame_and_counts_zero_copy(self):
+        program = compile_src(READER_SRC, name="burst")
+        frames = [FRAME, bytes(10), bytes(range(40))]
+
+        k_jit = Kernel("jit-burst")
+        k_jit.jit.enabled = True
+        attach_jit = XdpAttachment(program)
+        dev = k_jit.add_physical("eth0")
+        burst = attach_jit.run_xdp_burst(k_jit, dev, frames)
+
+        k_ref = Kernel("jit-burst-ref")
+        k_ref.jit.enabled = False
+        attach_ref = XdpAttachment(program)
+        dev_ref = k_ref.add_physical("eth0")
+        single = [attach_ref.run_xdp(k_ref, dev_ref, frame) for frame in frames]
+
+        assert [(r.verdict, bytes(r.frame)) for r in burst] == [
+            (r.verdict, bytes(r.frame)) for r in single
+        ]
+        assert attach_jit.invocations == len(frames)
+        # Read-only program: every burst frame ran zero-copy.
+        assert k_jit.jit.stats["zero_copy_frames"] == len(frames)
+        assert k_jit.clock.now_ns == k_ref.clock.now_ns
+
+    def test_zero_copy_rejected_for_writer(self):
+        program = compile_src(WRITER_SRC, name="burst-writer", hook="xdp")
+        kernel = Kernel("jit-burst-w")
+        kernel.jit.enabled = True
+        attach = XdpAttachment(program)
+        dev = kernel.add_physical("eth0")
+        results = attach.run_xdp_burst(kernel, dev, [FRAME])
+        assert kernel.jit.stats["zero_copy_frames"] == 0
+        assert results[0].frame[0] == 7  # the store landed on a copy

@@ -86,7 +86,10 @@ class TestFpmtoolProgList:
         assert "optimizer" in out
         assert "optimized(-" in out
 
-    def test_without_optimizer_shows_dash(self, capsys):
+    def test_without_optimizer_shows_dash(self, capsys, monkeypatch):
+        # hermetic: ambient env opt-ins would fill the optimizer/jit columns
+        monkeypatch.delenv("LINUXFP_OPT", raising=False)
+        monkeypatch.delenv("LINUXFP_JIT", raising=False)
         rc = fpmtool.main(["--scenario", "router", "--packets", "8", "prog", "list"])
         out = capsys.readouterr().out
         assert rc == 0
