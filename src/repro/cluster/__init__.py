@@ -1,0 +1,15 @@
+"""Multi-router anycast fleet: N LinuxFP gateways behind one set of VIPs.
+
+:class:`~repro.cluster.fleet.AnycastFleet` wires an upstream flow-hash
+sprayer (a plain-Linux spine running ECMP over a resilient nexthop group)
+in front of N independent gateway kernels, each running its own LinuxFP
+controller. :class:`~repro.cluster.health.HealthMonitor` layers BFD-style
+liveness probing on top: dead routers are detected and weighted out,
+draining routers bleed their flows gracefully, and every transition is an
+incident in a controller's log.
+"""
+
+from repro.cluster.fleet import AnycastFleet, GatewayMember
+from repro.cluster.health import HealthMonitor
+
+__all__ = ["AnycastFleet", "GatewayMember", "HealthMonitor"]

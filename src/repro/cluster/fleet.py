@@ -1,0 +1,357 @@
+"""Anycast gateway fleet behind an ECMP flow-hash sprayer.
+
+Topology (N routers, default 4)::
+
+    traffic ──> spine ──┬── gw0 ──┐
+      (injected)        ├── gw1 ──┤
+                        ├── gw2 ──┼──> sink (one NIC per router,
+                        └── gw3 ──┘     counts which router served
+                                        each flow)
+
+- The **spine** is a plain-Linux sprayer: ``ip_forward=1`` and one
+  nexthop group (:class:`repro.kernel.fib.NexthopGroup`) spanning every
+  gateway's ingress address. All anycast VIP prefixes route through that
+  group, so the spine spreads flows across the fleet by symmetric flow
+  hash — resilient consistent hashing by default, naive mod-N when the
+  experiment wants the baseline to lose.
+- Each **gateway** is an independent kernel: its own FIB, netfilter
+  blacklist, conntrack (one stateful rule makes FORWARD stateful), and —
+  on the ``linuxfp`` platform — its own :class:`~repro.core.Controller`
+  compiling the fast path.
+- The **sink** terminates every VIP prefix once per router, so the fleet
+  can attribute each delivered packet to the gateway that carried it.
+  That attribution is what the failover scorecard measures: a flow is
+  *disrupted* when an event moves it to a different router.
+
+Addressing: spine ingress ``10.0.0.1/24`` (traffic source fabricated as
+``10.0.0.2``); spine↔gw-k link ``10.1.k.0/24`` (spine ``.1``, gateway
+``.2``); gw-k↔sink link ``10.2.k.0/24`` (gateway ``.1``, sink ``.2``);
+VIP prefixes ``10.(100+i).0.0/16``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.core import Controller
+from repro.kernel import Kernel
+from repro.kernel.interfaces import PhysicalDevice
+from repro.kernel.fib import POLICY_RESILIENT, NextHop, NexthopGroup
+from repro.netsim.addresses import IPv4Addr, ipv4, mac
+from repro.netsim.clock import Clock
+from repro.netsim.cost import CostModel
+from repro.netsim.nic import Wire
+from repro.netsim.packet import Packet, make_udp
+from repro.testing import faults
+from repro.tools.iptables import iptables
+
+#: Flow ``f`` sends UDP from sport ``FLOW_SPORT_BASE + f`` — the sink reads
+#: the flow id back out of the frame, whichever router carried it.
+FLOW_SPORT_BASE = 1024
+FLOW_DPORT = 7000
+
+#: The upstream traffic source (fabricated — frames are injected straight
+#: into the spine's ingress NIC with this source address/MAC).
+SOURCE_IP = "10.0.0.2"
+SOURCE_MAC = mac("02:fa:ce:00:00:02")
+
+#: The one nexthop group the spine sprays through.
+NHG_ID = 1
+
+#: Default knobs. The idle timer is short relative to probe cadence so a
+#: draining router's buckets actually migrate within an experiment.
+DEFAULT_NUM_BUCKETS = 128
+DEFAULT_IDLE_TIMER_NS = 200_000_000  # 200 ms
+
+
+class GatewayMember:
+    """One gateway router in the fleet."""
+
+    def __init__(
+        self,
+        index: int,
+        kernel: Kernel,
+        ingress: PhysicalDevice,
+        egress: PhysicalDevice,
+        ip: str,
+    ) -> None:
+        self.index = index
+        self.name = kernel.hostname
+        self.kernel = kernel
+        self.ingress = ingress
+        self.egress = egress
+        self.ip = ip  # spine-facing address, the group membership key
+        self.controller: Optional[Controller] = None
+        self.dead = False  # power lost: NICs black-holed
+        self.draining = False  # administratively bleeding flows
+
+    @property
+    def ip_addr(self) -> IPv4Addr:
+        return ipv4(self.ip)
+
+    def __repr__(self) -> str:
+        state = "dead" if self.dead else ("draining" if self.draining else "up")
+        return f"<GatewayMember {self.name} {self.ip} {state}>"
+
+
+class AnycastFleet:
+    """N gateways behind one set of VIPs, fed by an ECMP spine."""
+
+    def __init__(
+        self,
+        num_routers: int = 4,
+        policy: str = POLICY_RESILIENT,
+        num_prefixes: int = 8,
+        num_rules: int = 4,
+        platform: str = "linuxfp",
+        hook: str = "xdp",
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        idle_timer_ns: int = DEFAULT_IDLE_TIMER_NS,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if num_routers < 2:
+            raise ValueError("a fleet needs at least 2 routers")
+        if platform not in ("linux", "linuxfp"):
+            raise ValueError(f"unknown fleet platform {platform!r}")
+        self.num_routers = num_routers
+        self.policy = policy
+        self.num_prefixes = num_prefixes
+        self.platform = platform
+        self.clock = clock if clock is not None else Clock()
+        self.costs = CostModel()
+
+        # --- spine (the plain-Linux sprayer) ---------------------------
+        self.spine = Kernel("spine", clock=self.clock, costs=self.costs)
+        self.spine_in = self.spine.add_physical("eth0")
+        self.spine.set_link("eth0", True)
+        self.spine.add_address("eth0", "10.0.0.1/24")
+        self.spine.sysctl_set("net.ipv4.ip_forward", "1")
+        self.spine.neigh_add("eth0", SOURCE_IP, SOURCE_MAC)
+
+        # --- sink (terminates every VIP once per router) ---------------
+        self.sink = Kernel("sink", clock=self.clock, costs=self.costs)
+
+        # per-router delivery ledger: served[k][flow] = packets
+        self.served: List[Counter] = [Counter() for _ in range(num_routers)]
+        #: flow -> router that carried its most recent packet
+        self.serving: Dict[int, int] = {}
+        self.delivered = 0
+        #: frames that arrived at a killed router and vanished on the wire
+        self.blackholed: List[int] = [0] * num_routers
+
+        # --- gateways --------------------------------------------------
+        self.members: List[GatewayMember] = []
+        nexthops = []
+        for k in range(num_routers):
+            gw = Kernel(f"gw{k}", clock=self.clock, costs=self.costs)
+            ingress = gw.add_physical("eth0")
+            egress = gw.add_physical("eth1")
+            gw.set_link("eth0", True)
+            gw.set_link("eth1", True)
+            gw.add_address("eth0", f"10.1.{k}.2/24")
+            gw.add_address("eth1", f"10.2.{k}.1/24")
+            gw.sysctl_set("net.ipv4.ip_forward", "1")
+            gw.route_add("0.0.0.0/0", via=f"10.1.{k}.1")  # ICMP back upstream
+
+            spine_port = self.spine.add_physical(f"eth{k + 1}")
+            self.spine.set_link(f"eth{k + 1}", True)
+            self.spine.add_address(f"eth{k + 1}", f"10.1.{k}.1/24")
+            Wire(spine_port.nic, ingress.nic)
+
+            sink_port = self.sink.add_physical(f"eth{k}")
+            self.sink.set_link(f"eth{k}", True)
+            self.sink.add_address(f"eth{k}", f"10.2.{k}.2/24")
+            Wire(egress.nic, sink_port.nic)
+            sink_port.nic.attach(self._make_sink_handler(k))
+
+            # a warmed-up testbed: neighbors resolved in both directions
+            self.spine.neigh_add(f"eth{k + 1}", f"10.1.{k}.2", ingress.mac)
+            gw.neigh_add("eth0", f"10.1.{k}.1", spine_port.mac)
+            gw.neigh_add("eth1", f"10.2.{k}.2", sink_port.mac)
+            self.sink.neigh_add(f"eth{k}", f"10.2.{k}.1", egress.mac)
+
+            # VIP prefixes: every gateway serves all of them (anycast)
+            for i in range(num_prefixes):
+                gw.route_add(f"10.{100 + i}.0.0/16", via=f"10.2.{k}.2")
+
+            # a small blacklist plus one stateful rule so FORWARD runs
+            # conntrack — established flows are tracked per gateway
+            for r in range(num_rules):
+                iptables(gw, f"-A FORWARD -s 172.16.{k}.{r + 1}/32 -j DROP")
+            iptables(gw, "-A FORWARD -m state --state ESTABLISHED -j ACCEPT")
+
+            member = GatewayMember(k, gw, ingress, egress, f"10.1.{k}.2")
+            if platform == "linuxfp":
+                member.controller = Controller(gw, hook=hook)
+                member.controller.start()
+            self.members.append(member)
+            nexthops.append(NextHop(oif=spine_port.ifindex, gateway=ipv4(member.ip)))
+
+        # --- the ECMP spray: one group, every VIP through it -----------
+        self.spine.nexthop_group_add(
+            NHG_ID,
+            nexthops,
+            policy=policy,
+            num_buckets=num_buckets,
+            idle_timer_ns=idle_timer_ns,
+        )
+        for i in range(num_prefixes):
+            self.spine.route_add(f"10.{100 + i}.0.0/16", nhg=NHG_ID)
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def group(self) -> NexthopGroup:
+        group = self.spine.fib.nexthop_group(NHG_ID)
+        assert group is not None
+        return group
+
+    @property
+    def controllers(self) -> List[Controller]:
+        return [m.controller for m in self.members if m.controller is not None]
+
+    def observer_controller(self) -> Optional[Controller]:
+        """Where fleet-level incidents land: the first *alive* gateway's
+        controller (a dead router's control process died with it)."""
+        for member in self.members:
+            if member.controller is not None and not member.dead:
+                return member.controller
+        return None
+
+    def notify_incident(self, kind: str, detail: str, ifname: Optional[str] = None) -> None:
+        observer = self.observer_controller()
+        if observer is not None:
+            observer.notify_incident(kind, detail, ifname)
+
+    def _make_sink_handler(self, index: int):
+        def handler(frame: bytes, queue: int = 0) -> None:
+            try:
+                pkt = Packet.from_bytes(frame)
+            except Exception:  # noqa: BLE001 — non-flow traffic is fine
+                return
+            l4 = getattr(pkt, "l4", None)
+            sport = getattr(l4, "sport", None)
+            if sport is None or sport < FLOW_SPORT_BASE:
+                return
+            flow = sport - FLOW_SPORT_BASE
+            self.served[index][flow] += 1
+            self.serving[flow] = index
+            self.delivered += 1
+
+        return handler
+
+    # -------------------------------------------------------------- traffic
+
+    def flow_destination(self, flow: int) -> str:
+        return f"10.{100 + (flow % self.num_prefixes)}.0.{(flow % 250) + 1}"
+
+    def flow_frame(self, flow: int, payload: bytes = b"x" * 26) -> bytes:
+        return make_udp(
+            SOURCE_MAC,
+            self.spine_in.mac,
+            SOURCE_IP,
+            self.flow_destination(flow),
+            sport=FLOW_SPORT_BASE + flow,
+            dport=FLOW_DPORT,
+            payload=payload,
+        ).to_bytes()
+
+    def inject(self, flows: List[int], advance_ns: int = 1_000_000) -> None:
+        """One packet per listed flow, as a burst, then advance the clock."""
+        self.spine_in.nic.receive_burst([self.flow_frame(f) for f in flows])
+        if advance_ns:
+            self.clock.advance(advance_ns)
+
+    # --------------------------------------------------------------- events
+
+    def kill_router(self, index: int) -> None:
+        """Power loss: frames already on the wire toward this router vanish
+        (the NIC stops delivering), and its control process dies with it."""
+        member = self.members[index]
+        if member.dead:
+            return
+        faults.decide("router_kill", member.name)  # chaos ledger, when armed
+        member.dead = True
+
+        def blackhole(_frame: bytes, _queue: int = 0) -> None:
+            self.blackholed[index] += 1
+
+        member.ingress.nic.attach(blackhole)
+        member.egress.nic.attach(blackhole)
+
+    def revive_router(self, index: int) -> None:
+        """Power restored: reattach the kernel's rx handlers (single-frame
+        and burst — ``attach`` clears the burst path)."""
+        member = self.members[index]
+        if not member.dead:
+            return
+        member.dead = False
+        for dev in (member.ingress, member.egress):
+            dev.nic.attach(dev._on_nic_rx)
+            dev.nic.attach_burst(dev._on_nic_rx_burst)
+
+    def drain_router(self, index: int) -> None:
+        """Administrative drain: no new flows land here; established flows
+        keep their buckets until idle (the consistent-hash guarantee)."""
+        member = self.members[index]
+        if member.draining:
+            return
+        member.draining = True
+        self.group.set_draining(member.ip, True, self.clock.now_ns)
+        self.notify_incident("router-drain", f"{member.name}: draining started", member.name)
+
+    def undrain_router(self, index: int) -> None:
+        member = self.members[index]
+        if not member.draining:
+            return
+        member.draining = False
+        self.group.set_draining(member.ip, False, self.clock.now_ns)
+
+    # ------------------------------------------------------------ liveness
+
+    def tick(self, advance_ns: int = 0) -> None:
+        """Advance time, run every live controller, maintain the group."""
+        if advance_ns:
+            self.clock.advance(advance_ns)
+        now = self.clock.now_ns
+        for member in self.members:
+            if member.controller is not None and not member.dead:
+                member.controller.tick()
+        self.group.maintain(now)
+
+    # ---------------------------------------------------------- accounting
+
+    def snapshot_serving(self) -> Dict[int, int]:
+        """flow → router, at this instant (copy; compare across events)."""
+        return dict(self.serving)
+
+    def conntrack_entries(self, index: int) -> int:
+        return len(self.members[index].kernel.conntrack)
+
+    def conservation(self) -> Dict[str, Dict[str, object]]:
+        """Per-kernel ledger: ``rx + tx_local == settled + pending``.
+
+        Killed routers conserve trivially (their NICs never delivered the
+        frames); the spine and survivors must conserve exactly — no packet
+        is lost unaccounted during failover.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        kernels = [self.spine] + [m.kernel for m in self.members] + [self.sink]
+        for kernel in kernels:
+            stack = kernel.stack
+            rx = stack.rx_packets
+            tx_local = stack.tx_local_packets
+            settled = stack.settled
+            pending = stack.pending_packets()
+            out[kernel.hostname] = {
+                "rx_packets": rx,
+                "tx_local_packets": tx_local,
+                "settled": settled,
+                "pending": pending,
+                "conserved": rx + tx_local == settled + pending,
+            }
+        return out
+
+    def conserved(self) -> bool:
+        return all(entry["conserved"] for entry in self.conservation().values())

@@ -1,0 +1,125 @@
+"""BFD-style liveness probing for the anycast fleet.
+
+Real deployments run BFD (RFC 5880) between the ECMP spine and each
+next hop: the spine sends a probe every ``probe_interval_ns`` and declares
+a neighbor down only after ``detect_mult`` consecutive misses — a single
+lost probe (``probe_flap`` fault site) must *not* flap the route. On
+detection the monitor weights the dead member out of the nexthop group
+(its buckets migrate at once, ~1/N of flows) and raises a
+``router-offline`` incident through the surviving fleet's controller;
+recovery weights it back in with ``router-online``.
+
+The monitor also watches administrative drains: once a draining member's
+last bucket has migrated (every flow it carried went idle), it raises
+``router-drained`` so the operator knows the box is safe to take away.
+
+Fault sites consulted per probe, per member:
+
+- ``partition`` (action ``drop``) — asymmetric partition: probes toward
+  the matched router are lost while its data plane keeps forwarding.
+- ``probe_flap`` (action ``miss``) — one probe lost with no underlying
+  failure; exercises the detect-multiplier debounce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from repro.testing import faults
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.fleet import AnycastFleet
+
+#: 50 ms probes, 3-miss detection: dead routers detected in ~150 ms,
+#: the same order as aggressive production BFD timers.
+DEFAULT_PROBE_INTERVAL_NS = 50_000_000
+DEFAULT_DETECT_MULT = 3
+
+
+class HealthMonitor:
+    """Probes every gateway; weights members out/in on the evidence."""
+
+    def __init__(
+        self,
+        fleet: "AnycastFleet",
+        probe_interval_ns: int = DEFAULT_PROBE_INTERVAL_NS,
+        detect_mult: int = DEFAULT_DETECT_MULT,
+    ) -> None:
+        if detect_mult < 1:
+            raise ValueError("detect_mult must be >= 1")
+        self.fleet = fleet
+        self.probe_interval_ns = probe_interval_ns
+        self.detect_mult = detect_mult
+        n = fleet.num_routers
+        self.up: List[bool] = [True] * n
+        self.miss_streak: List[int] = [0] * n
+        self.probes_sent = 0
+        self.probes_missed = 0
+        self._next_probe_ns = 0
+        self._drained_reported: Set[int] = set()
+
+    # ---------------------------------------------------------------- ticks
+
+    def tick(self, now_ns: int) -> None:
+        """Run every probe round due by ``now_ns`` (catch-up safe)."""
+        while now_ns >= self._next_probe_ns:
+            self._probe_round(self._next_probe_ns)
+            self._next_probe_ns += self.probe_interval_ns
+        self.fleet.group.maintain(now_ns)
+        self._check_drains()
+
+    def _probe_round(self, now_ns: int) -> None:
+        group = self.fleet.group
+        for k, member in enumerate(self.fleet.members):
+            self.probes_sent += 1
+            missed = member.dead
+            if not missed and faults.active():
+                if faults.decide("partition", member.name) == "drop":
+                    missed = True
+                elif faults.decide("probe_flap", member.name) == "miss":
+                    missed = True
+            if missed:
+                self.probes_missed += 1
+                self.miss_streak[k] += 1
+                if self.up[k] and self.miss_streak[k] >= self.detect_mult:
+                    self.up[k] = False
+                    group.set_alive(member.ip, False, now_ns)
+                    self.fleet.notify_incident(
+                        "router-offline",
+                        f"{member.name}: {self.miss_streak[k]} consecutive probes missed",
+                        member.name,
+                    )
+            else:
+                if not self.up[k]:
+                    self.up[k] = True
+                    group.set_alive(member.ip, True, now_ns)
+                    self._drained_reported.discard(k)
+                    self.fleet.notify_incident(
+                        "router-online", f"{member.name}: probes restored", member.name
+                    )
+                self.miss_streak[k] = 0
+
+    def _check_drains(self) -> None:
+        group = self.fleet.group
+        for k, member in enumerate(self.fleet.members):
+            if not member.draining or k in self._drained_reported:
+                continue
+            if group.is_drained(member.ip):
+                self._drained_reported.add(k)
+                self.fleet.notify_incident(
+                    "router-drained",
+                    f"{member.name}: all flows migrated, safe to remove",
+                    member.name,
+                )
+
+    # ------------------------------------------------------------ reporting
+
+    def to_dict(self) -> dict:
+        return {
+            "probe_interval_ns": self.probe_interval_ns,
+            "detect_mult": self.detect_mult,
+            "up": list(self.up),
+            "miss_streak": list(self.miss_streak),
+            "probes_sent": self.probes_sent,
+            "probes_missed": self.probes_missed,
+        }

@@ -46,6 +46,15 @@ RETRY_CAP_NS = 5_000_000_000  # 5 s
 QUARANTINE_HOLDOFF_NS = 100_000_000  # 100 ms
 
 MAX_INCIDENTS = 1000
+#: How far back :meth:`Controller._incident` looks for a same-key incident to
+#: coalesce into instead of appending a new entry (flap dedup).
+INCIDENT_DEDUP_WINDOW = 8
+#: Consecutive failed retry attempts before the controller stops hammering a
+#: persistently-failing interface and quarantines it instead.
+GIVE_UP_ATTEMPTS = 8
+#: How long a given-up interface rests on the slow path before the next try.
+#: Kept ≤ RETRY_CAP_NS so the effective retry cadence never exceeds the cap.
+GIVE_UP_HOLDOFF_NS = 2_000_000_000  # 2 s
 
 
 @dataclass
@@ -61,11 +70,14 @@ class Incident:
 
     # rebuild-error | synthesize-error | deploy-error | watchdog-mismatch |
     # netlink-overrun-resync | optimizer-fallback | optimizer-reject |
-    # jit-fallback | cpu-*
+    # jit-fallback | cpu-* | router-* | retry-give-up
     kind: str
     detail: str
     at_ns: int
     ifname: Optional[str] = None
+    #: Occurrence count: repeats of the same (kind, detail, ifname) within
+    #: the dedup window coalesce here instead of growing the log.
+    count: int = 1
 
 
 class Controller:
@@ -116,6 +128,9 @@ class Controller:
         self.current_graph: Optional[ProcessingGraph] = None
         self.reactions: List[ReactionRecord] = []
         self.incidents: Deque[Incident] = deque(maxlen=MAX_INCIDENTS)
+        #: Total incident occurrences ever recorded (dedup and the ring
+        #: buffer cap the *log*, never this counter).
+        self.incidents_total = 0
         self.rebuilds = 0
         self.resyncs = 0
         self.started = False
@@ -243,6 +258,16 @@ class Controller:
 
     def _after_react(self) -> None:
         """Arm or clear the retry timer from the residual degradation."""
+        if self.deployer.failures and self._retry_attempts >= GIVE_UP_ATTEMPTS:
+            # Backoff exhausted: stop hammering the pipeline and park the
+            # persistently-failing interfaces in quarantine (slow path) with
+            # a longer hold-off. Attempts are deliberately NOT reset — only
+            # an eventual success clears the streak.
+            for ifname, failure in list(self.deployer.failures.items()):
+                reason = f"gave up after {self._retry_attempts} attempts ({failure.stage}: {failure.error})"
+                del self.deployer.failures[ifname]
+                self.deployer.quarantine(ifname, reason, GIVE_UP_HOLDOFF_NS)
+                self._incident("retry-give-up", reason, ifname)
         if self.deployer.failures:
             self._schedule_retry()
         elif self.deployer.quarantined:
@@ -292,9 +317,27 @@ class Controller:
         self._schedule_retry(at_ns=self.kernel.clock.now_ns + QUARANTINE_HOLDOFF_NS)
 
     def _incident(self, kind: str, detail: str, ifname: Optional[str] = None) -> None:
-        self.incidents.append(
-            Incident(kind=kind, detail=detail, at_ns=self.kernel.clock.now_ns, ifname=ifname)
-        )
+        """Record an incident, coalescing flaps.
+
+        A repeat of the same (kind, detail, ifname) within the last
+        :data:`INCIDENT_DEDUP_WINDOW` entries bumps that entry's ``count``
+        and timestamp instead of appending, so a flapping router or probe
+        cannot wash every other incident out of the bounded ring buffer.
+        """
+        self.incidents_total += 1
+        now = self.kernel.clock.now_ns
+        window = list(self.incidents)[-INCIDENT_DEDUP_WINDOW:]
+        for incident in reversed(window):
+            if incident.kind == kind and incident.detail == detail and incident.ifname == ifname:
+                incident.count += 1
+                incident.at_ns = now
+                return
+        self.incidents.append(Incident(kind=kind, detail=detail, at_ns=now, ifname=ifname))
+
+    def notify_incident(self, kind: str, detail: str, ifname: Optional[str] = None) -> None:
+        """Public incident intake for collaborating subsystems (the fleet's
+        health monitor reports ``router-offline``/``router-drain`` here)."""
+        self._incident(kind, detail, ifname)
 
     def _rebuild(self, force: bool = False) -> Optional[List[str]]:
         """Re-derive the graph; deploy deltas. Returns redeployed interface
@@ -397,6 +440,7 @@ class Controller:
             "overruns": self.socket.overruns,
             "resyncs": self.resyncs,
             "incidents": len(self.incidents),
+            "incidents_total": self.incidents_total,
             "offline_cpus": self.kernel.cpus.offline_cpus(),
             "watchdog": self.watchdog.summary() if self.watchdog is not None else None,
             "migrations": {

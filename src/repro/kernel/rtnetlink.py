@@ -67,6 +67,8 @@ def route_attrs(route: Route) -> Dict[str, Any]:
     }
     if route.gateway is not None:
         attrs["gateway"] = route.gateway
+    if route.nhg is not None:
+        attrs["nhg"] = route.nhg
     return attrs
 
 
@@ -250,9 +252,16 @@ def register(kernel: "Kernel") -> None:
         attrs = req.attrs
         dst = IPv4Prefix(attrs["dst"], attrs.get("dst_len", 32))
         dev_name = None
-        if "oif" in attrs:
+        if "oif" in attrs and attrs["oif"]:
             dev_name = kernel.devices.by_index(attrs["oif"]).name
-        kernel.route_add(dst, via=attrs.get("gateway"), dev=dev_name, metric=attrs.get("metric", 0))
+        add = kernel.route_replace if attrs.get("replace") else kernel.route_add
+        add(
+            dst,
+            via=attrs.get("gateway"),
+            dev=dev_name,
+            metric=attrs.get("metric", 0),
+            nhg=attrs.get("nhg"),
+        )
         return []
 
     def del_route(req: NetlinkMsg) -> List[NetlinkMsg]:

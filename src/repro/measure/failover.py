@@ -1,0 +1,310 @@
+"""Multi-router failover scorecard.
+
+Measures what the anycast fleet promises: when a router dies, drains, or
+gets partitioned away, how many *established* flows (flows a sink had
+already attributed to a router before the event) end up served by a
+different router afterwards?
+
+- ``kill`` + resilient hashing: only the victim's own flows move —
+  disrupted fraction ≈ 1/N (threshold: ≤ 1/N + 10 %).
+- ``kill`` + mod-N hashing: removing one active member renumbers almost
+  every bucket — the baseline must disrupt ≥ 50 % to prove the point.
+- ``drain`` + resilient hashing: zero disruption. Draining members keep
+  every bucket that is still carrying traffic; flows finish where they
+  started, and the monitor reports ``router-drained`` once the last one
+  went idle.
+- ``partition`` + resilient hashing: probes are lost but the data plane
+  keeps forwarding; after detection the victim is weighted out like a
+  dead router (same ≤ 1/N + 10 % bound) without a single lost packet.
+
+Traffic keeps flowing *through* the detection window — packets sprayed at
+a dead router in the BFD blind spot vanish on the wire (and are counted),
+exactly as in production. Every kernel's conservation ledger must settle
+regardless.
+
+Chaos mode arms ``probe_flap`` noise on top (the detect-multiplier
+debounce must absorb isolated misses) and routes the kill itself through
+the ``router_kill`` fault site so the event shows up in the chaos ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import AnycastFleet, HealthMonitor
+from repro.kernel.fib import POLICY_MODN, POLICY_RESILIENT
+from repro.testing import faults
+
+EVENTS = ("kill", "drain", "partition")
+
+#: Per-round clock advance while traffic is flowing.
+ROUND_NS = 25_000_000  # 25 ms
+#: Detection must land within this many rounds (40 × 25 ms = 1 s).
+DETECT_ROUNDS_CAP = 40
+#: Idle rounds allowed for a drain to complete (buckets idle out at 200 ms).
+DRAIN_ROUNDS_CAP = 40
+#: probe_flap noise probability in chaos mode — low enough that three
+#: *consecutive* misses (a spurious detection) is vanishingly unlikely.
+CHAOS_FLAP_PROBABILITY = 0.05
+
+
+@dataclass
+class FailoverConfig:
+    seed: int = 42
+    num_routers: int = 4
+    policy: str = POLICY_RESILIENT
+    event: str = "kill"
+    num_flows: int = 128
+    warmup_rounds: int = 4
+    post_rounds: int = 6
+    chaos: bool = False
+    platform: str = "linuxfp"
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENTS:
+            raise ValueError(f"event must be one of {EVENTS}, got {self.event!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "num_routers": self.num_routers,
+            "policy": self.policy,
+            "event": self.event,
+            "num_flows": self.num_flows,
+            "warmup_rounds": self.warmup_rounds,
+            "post_rounds": self.post_rounds,
+            "chaos": self.chaos,
+            "platform": self.platform,
+        }
+
+
+@dataclass
+class FailoverReport:
+    """One event, one policy, one seed."""
+
+    config: FailoverConfig
+    victim: int = -1
+    established: int = 0
+    disrupted: int = 0
+    disrupted_fraction: float = 0.0
+    threshold: float = 0.0
+    detection_ns: Optional[int] = None
+    detected: bool = False
+    drained: bool = False
+    blackholed: int = 0
+    delivered: int = 0
+    incidents_by_kind: Dict[str, int] = field(default_factory=dict)
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    probes: Dict[str, object] = field(default_factory=dict)
+    conservation: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    conserved: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """The run's own pass/fail against the scorecard thresholds."""
+        if not self.conserved:
+            return False
+        if self.config.event == "drain":
+            return self.disrupted == 0 and self.drained
+        if not self.detected:
+            return False
+        if self.config.policy == POLICY_MODN:
+            # the baseline must demonstrate the churn it is famous for
+            return self.disrupted_fraction >= self.threshold
+        return self.disrupted_fraction <= self.threshold
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "ok": self.ok,
+            "victim": self.victim,
+            "established": self.established,
+            "disrupted": self.disrupted,
+            "disrupted_fraction": round(self.disrupted_fraction, 4),
+            "threshold": round(self.threshold, 4),
+            "detection_ns": self.detection_ns,
+            "detected": self.detected,
+            "drained": self.drained,
+            "blackholed": self.blackholed,
+            "delivered": self.delivered,
+            "incidents_by_kind": dict(self.incidents_by_kind),
+            "faults_fired": dict(self.faults_fired),
+            "probes": dict(self.probes),
+            "conservation": dict(self.conservation),
+            "conserved": self.conserved,
+        }
+
+
+def _threshold_for(config: FailoverConfig) -> float:
+    if config.event == "drain":
+        return 0.0
+    if config.policy == POLICY_MODN:
+        return 0.5  # the baseline must disrupt at least half
+    return 1.0 / config.num_routers + 0.10
+
+
+def run_failover(config: FailoverConfig) -> FailoverReport:
+    """One seeded failover experiment, deterministic end to end."""
+    rng = random.Random(config.seed)
+    report = FailoverReport(config=config, threshold=_threshold_for(config))
+    fleet = AnycastFleet(
+        num_routers=config.num_routers,
+        policy=config.policy,
+        platform=config.platform,
+    )
+    monitor = HealthMonitor(fleet)
+    flows = list(range(config.num_flows))
+    victim = rng.randrange(config.num_routers)
+    report.victim = victim
+    victim_name = fleet.members[victim].name
+
+    injector: Optional[faults.FaultInjector] = None
+    if config.chaos or config.event == "partition":
+        injector = faults.FaultInjector(config.seed)
+        if config.chaos:
+            injector.arm("probe_flap", probability=CHAOS_FLAP_PROBABILITY)
+            if config.event == "kill":
+                # the kill flows through the chaos ledger
+                injector.arm("router_kill", count=1, match=victim_name)
+        faults.install(injector)
+
+    def round_trip(inject: bool = True) -> None:
+        if inject:
+            fleet.inject(flows, advance_ns=0)
+        fleet.tick(advance_ns=ROUND_NS)
+        monitor.tick(fleet.clock.now_ns)
+
+    try:
+        # -- establish -------------------------------------------------
+        for _ in range(config.warmup_rounds):
+            round_trip()
+        before = fleet.snapshot_serving()
+        report.established = len(before)
+
+        # -- the event -------------------------------------------------
+        event_ns = fleet.clock.now_ns
+        if config.event == "kill":
+            fleet.kill_router(victim)
+        elif config.event == "drain":
+            fleet.drain_router(victim)
+        elif config.event == "partition":
+            # from here on, every probe toward the victim is lost while
+            # its data plane keeps forwarding
+            assert injector is not None
+            injector.arm("partition", match=victim_name)
+
+        # -- detection window (traffic keeps flowing) ------------------
+        if config.event in ("kill", "partition"):
+            for _ in range(DETECT_ROUNDS_CAP):
+                if not monitor.up[victim]:
+                    break
+                round_trip()
+            report.detected = not monitor.up[victim]
+            if report.detected:
+                report.detection_ns = fleet.clock.now_ns - event_ns
+
+        # -- post-event traffic ----------------------------------------
+        for _ in range(config.post_rounds):
+            round_trip()
+        after = fleet.snapshot_serving()
+
+        report.disrupted = sum(1 for f in before if before[f] != after.get(f, -1))
+        report.disrupted_fraction = (
+            report.disrupted / report.established if report.established else 0.0
+        )
+
+        # -- drain completion: traffic stops, buckets idle out ---------
+        if config.event == "drain":
+            for _ in range(DRAIN_ROUNDS_CAP):
+                if fleet.group.is_drained(fleet.members[victim].ip):
+                    break
+                round_trip(inject=False)
+            report.drained = fleet.group.is_drained(fleet.members[victim].ip)
+    finally:
+        if injector is not None:
+            faults.uninstall()
+
+    report.blackholed = sum(fleet.blackholed)
+    report.delivered = fleet.delivered
+    observer = fleet.observer_controller()
+    if observer is not None:
+        from repro.observability.metrics import _incidents_by_kind
+
+        report.incidents_by_kind = _incidents_by_kind(observer)
+    if injector is not None:
+        from collections import Counter
+
+        report.faults_fired = dict(Counter(site for site, _, _ in injector.fired))
+    report.probes = monitor.to_dict()
+    report.conservation = fleet.conservation()
+    report.conserved = all(entry["conserved"] for entry in report.conservation.values())
+    return report
+
+
+def run_scorecard(
+    seeds: List[int],
+    num_routers: int = 4,
+    num_flows: int = 128,
+    chaos: bool = True,
+) -> Dict[str, object]:
+    """The full comparison: kill/resilient vs kill/mod-N vs drain vs
+    partition, for every seed. Returns the BENCH_failover payload."""
+    runs: List[FailoverReport] = []
+    for seed in seeds:
+        for event, policy in (
+            ("kill", POLICY_RESILIENT),
+            ("kill", POLICY_MODN),
+            ("drain", POLICY_RESILIENT),
+            ("partition", POLICY_RESILIENT),
+        ):
+            runs.append(
+                run_failover(
+                    FailoverConfig(
+                        seed=seed,
+                        num_routers=num_routers,
+                        policy=policy,
+                        event=event,
+                        num_flows=num_flows,
+                        chaos=chaos,
+                    )
+                )
+            )
+
+    def fractions(event: str, policy: str) -> List[float]:
+        return [
+            r.disrupted_fraction
+            for r in runs
+            if r.config.event == event and r.config.policy == policy
+        ]
+
+    resilient_kill = fractions("kill", POLICY_RESILIENT)
+    modn_kill = fractions("kill", POLICY_MODN)
+    drain = fractions("drain", POLICY_RESILIENT)
+    summary = {
+        "num_routers": num_routers,
+        "seeds": list(seeds),
+        "resilient_kill_max_fraction": max(resilient_kill) if resilient_kill else None,
+        "resilient_threshold": 1.0 / num_routers + 0.10,
+        "modn_kill_min_fraction": min(modn_kill) if modn_kill else None,
+        "modn_threshold": 0.5,
+        "drain_max_fraction": max(drain) if drain else None,
+        "all_conserved": all(r.conserved for r in runs),
+    }
+    return {
+        "benchmark": "failover",
+        "runs": [r.to_dict() for r in runs],
+        "summary": summary,
+        "all_ok": all(r.ok for r in runs),
+    }
+
+
+def write_report(payload: Dict[str, object], path: str) -> Dict[str, object]:
+    """Write the BENCH_failover.json artifact."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return payload

@@ -354,7 +354,9 @@ def run_storm(config: StormConfig) -> StormReport:
         report.rx_packets + report.tx_local_packets == report.settled + report.pending
     )
     report.drops_by_reason = dict(dut.stack.drops)
-    report.incidents_by_kind = dict(Counter(i.kind for i in topo.controller.incidents))
+    from repro.observability.metrics import _incidents_by_kind
+
+    report.incidents_by_kind = _incidents_by_kind(topo.controller)
     report.backlog_high_water = list(dut.softirq.backlog_high_water)
     report.backlog_drops = list(dut.softirq.backlog_drops)
     report.faults_fired = dict(Counter(site for site, _, _ in injector.fired))

@@ -28,6 +28,14 @@ def _labels(**kwargs) -> str:
     return f"{{{inner}}}" if inner else ""
 
 
+def _incidents_by_kind(ctl) -> Dict[str, int]:
+    """Occurrences per incident kind; deduped entries weigh their count."""
+    out: Counter = Counter()
+    for incident in ctl.incidents:
+        out[incident.kind] += getattr(incident, "count", 1)
+    return dict(out)
+
+
 class MetricsRegistry:
     """Snapshot/export facade over a kernel (and optional controller)."""
 
@@ -109,7 +117,7 @@ class MetricsRegistry:
                 "health": ctl.health(),
                 "rebuilds": ctl.rebuilds,
                 "reactions": len(ctl.reactions),
-                "incidents_by_kind": dict(Counter(i.kind for i in ctl.incidents)),
+                "incidents_by_kind": _incidents_by_kind(ctl),
                 "deployed": ctl.deployed_summary(),
                 "optimizer": ctl.deployer.optimizer_summary(),
                 "jit": ctl.deployer.jit_summary(),
@@ -260,7 +268,7 @@ class MetricsRegistry:
             family("linuxfp_controller_rebuilds_total", "counter", "Graph rebuilds executed.")
             sample("linuxfp_controller_rebuilds_total", ctl.rebuilds)
             family("linuxfp_controller_incidents_total", "counter", "Control-plane incidents by kind.")
-            for kind, count in sorted(Counter(i.kind for i in ctl.incidents).items()):
+            for kind, count in sorted(_incidents_by_kind(ctl).items()):
                 sample("linuxfp_controller_incidents_total", count, kind=kind)
             if ctl.watchdog is not None:
                 wd = ctl.watchdog.summary()

@@ -44,6 +44,16 @@ Sites
                           (:meth:`repro.kernel.kernel.Kernel.cpu_offline`);
                           never fires on the last online CPU (action
                           ``offline``)
+``router_kill``           cluster: a fleet gateway loses power
+                          (:meth:`repro.cluster.fleet.AnycastFleet.
+                          kill_router` consults this site); its NICs stop
+                          delivering received frames (action ``kill``)
+``partition``             cluster: asymmetric partition — health probes
+                          toward the matched router are lost while its data
+                          plane keeps forwarding (action ``drop``)
+``probe_flap``            cluster: one BFD-style health probe is lost
+                          without any underlying failure, exercising the
+                          detect-multiplier debounce (action ``miss``)
 ========================  ====================================================
 
 ``link_flap``/``backlog_overflow``/``cpu_offline`` (the :data:`DATA_SITES`)
@@ -87,14 +97,32 @@ SITES = (
     "link_flap",
     "backlog_overflow",
     "cpu_offline",
+    "router_kill",
+    "partition",
+    "probe_flap",
 )
 
 #: Data-plane sites: firing one loses/perturbs *packets*, not control-plane
 #: work. Excluded from :meth:`FaultInjector.arm_everything` unless asked for.
 DATA_SITES = frozenset({"link_flap", "backlog_overflow", "cpu_offline"})
 
+#: Cluster sites: fleet-level chaos (dead routers, partitions, probe loss).
+#: They only make sense on a multi-router topology, so the failover harness
+#: arms them explicitly; :meth:`FaultInjector.arm_everything` always skips
+#: them (a single-gateway chaos run has no routers to kill).
+CLUSTER_SITES = frozenset({"router_kill", "partition", "probe_flap"})
+
+#: Valid actions per cluster site.
+CLUSTER_SITE_ACTIONS = {
+    "router_kill": ("kill",),
+    "partition": ("drop",),
+    "probe_flap": ("miss",),
+}
+
 #: Sites whose armed action is raising :class:`InjectedFault` at the caller.
-RAISE_SITES = frozenset(s for s in SITES if s != "netlink_deliver" and s not in DATA_SITES)
+RAISE_SITES = frozenset(
+    s for s in SITES if s != "netlink_deliver" and s not in DATA_SITES and s not in CLUSTER_SITES
+)
 
 #: Valid actions for the ``netlink_deliver`` site.
 NETLINK_ACTIONS = ("drop", "dup")
@@ -167,6 +195,11 @@ class FaultInjector:
             action = action or valid[0]
             if action not in valid:
                 raise ValueError(f"{site} action must be one of {valid}")
+        elif site in CLUSTER_SITES:
+            valid = CLUSTER_SITE_ACTIONS[site]
+            action = action or valid[0]
+            if action not in valid:
+                raise ValueError(f"{site} action must be one of {valid}")
         else:
             action = action or "drop"
             if action not in NETLINK_ACTIONS:
@@ -187,8 +220,13 @@ class FaultInjector:
         ``cpu_offline``) drop packets or unplug CPUs, which would make the
         chaos suites' fast-vs-slow equivalence assertions diverge for reasons
         unrelated to the control plane — opt in with ``include_data_plane``.
+        Cluster sites (``router_kill``, ``partition``, ``probe_flap``) are
+        always skipped: they only exist on multi-router fleets, which arm
+        them explicitly.
         """
         for site in SITES:
+            if site in CLUSTER_SITES:
+                continue
             if site in DATA_SITES and not include_data_plane:
                 continue
             self.arm(site, probability=probability, count=count)

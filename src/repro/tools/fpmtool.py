@@ -235,17 +235,42 @@ def cmd_map(args) -> int:
     return 0
 
 
-def cmd_reliability(args) -> int:
-    from repro.measure.storm import StormConfig, run_storm
+def _parse_seeds(spec: Optional[str], default: List[int]) -> List[int]:
+    if not spec:
+        return default
+    try:
+        return [int(s) for s in spec.split(",") if s.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"fpmtool: bad --seeds {spec!r} (want e.g. 7,19,42)")
 
-    config = StormConfig(
-        seed=args.seed,
-        num_cpus=args.cpus,
-        hook=args.hook,
-        packets=args.packets,
-        arm_faults=not args.no_faults,
-    )
-    report = run_storm(config)
+
+def cmd_reliability(args) -> int:
+    from repro.measure.storm import StormConfig, run_storm, write_report
+
+    seeds = _parse_seeds(args.seeds, [args.seed])
+    reports = []
+    for seed in seeds:
+        config = StormConfig(
+            seed=seed,
+            num_cpus=args.cpus,
+            hook=args.hook,
+            packets=args.packets,
+            arm_faults=not args.no_faults,
+        )
+        reports.append(run_storm(config))
+    if args.out:
+        write_report(reports, args.out)
+        print(f"fpmtool: wrote {args.out} ({len(reports)} run(s))")
+    exit_code = 0
+    for report in reports:
+        if _print_storm_report(report):
+            exit_code = 1
+    return exit_code
+
+
+def _print_storm_report(report) -> bool:
+    """Print one storm scorecard; returns True when the run failed."""
+    config = report.config
     print(
         f"== reliability scorecard (seed={config.seed}, {config.num_cpus} CPUs, "
         f"{report.injected} packets in {report.bursts} bursts) =="
@@ -290,7 +315,46 @@ def cmd_reliability(args) -> int:
     )
     for exc in report.unhandled_exceptions:
         print(f"  unhandled: {exc}")
-    return 0 if report.ok else 1
+    return not report.ok
+
+
+def cmd_failover(args) -> int:
+    from repro.measure.failover import run_scorecard, write_report
+
+    seeds = _parse_seeds(args.seeds, [7, 19, 42])
+    payload = run_scorecard(
+        seeds,
+        num_routers=args.routers,
+        num_flows=args.flows,
+        chaos=not args.no_chaos,
+    )
+    print(
+        f"== failover scorecard ({args.routers} routers, {args.flows} flows, "
+        f"seeds {','.join(str(s) for s in seeds)}) =="
+    )
+    print(f"{'seed':>6s} {'event':10s} {'policy':10s} {'disrupted':>10s} {'threshold':>10s} {'detect_ms':>10s} verdict")
+    for run in payload["runs"]:
+        config = run["config"]
+        detect = "-" if run["detection_ns"] is None else f"{run['detection_ns'] / 1e6:.1f}"
+        relation = ">=" if config["policy"] == "modn" else "<="
+        print(
+            f"{config['seed']:>6d} {config['event']:10s} {config['policy']:10s} "
+            f"{run['disrupted_fraction']:>10.3f} {relation}{run['threshold']:>8.3f} "
+            f"{detect:>10s} {'PASS' if run['ok'] else 'FAIL'}"
+        )
+    summary = payload["summary"]
+    print(
+        f"summary: resilient worst {summary['resilient_kill_max_fraction']:.3f} "
+        f"(<= {summary['resilient_threshold']:.3f}), "
+        f"mod-N best {summary['modn_kill_min_fraction']:.3f} (>= {summary['modn_threshold']:.2f}), "
+        f"drain worst {summary['drain_max_fraction']:.3f} (== 0), "
+        f"conserved={summary['all_conserved']}"
+    )
+    if args.out:
+        write_report(payload, args.out)
+        print(f"fpmtool: wrote {args.out} ({len(payload['runs'])} run(s))")
+    print(f"verdict: {'PASS' if payload['all_ok'] else 'FAIL'}")
+    return 0 if payload["all_ok"] else 1
 
 
 # --------------------------------------------------------------------- main
@@ -342,9 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rel = sub.add_parser("reliability", help="storm-scale reliability scorecard")
     p_rel.add_argument("--seed", type=int, default=0, help="storm RNG seed")
+    p_rel.add_argument("--seeds", default="", help="comma-separated seeds (overrides --seed)")
     p_rel.add_argument("--cpus", type=int, default=8, help="DUT CPU count")
     p_rel.add_argument("--no-faults", action="store_true", help="run the storm with fault injection disarmed")
+    p_rel.add_argument("--out", default="", help="write BENCH_reliability.json here")
     p_rel.set_defaults(func=cmd_reliability)
+
+    p_fail = sub.add_parser("failover", help="multi-router ECMP/anycast failover scorecard")
+    p_fail.add_argument("--seeds", default="", help="comma-separated seeds (default 7,19,42)")
+    p_fail.add_argument("--routers", type=int, default=4, help="fleet size")
+    p_fail.add_argument("--flows", type=int, default=128, help="established flows per run")
+    p_fail.add_argument("--no-chaos", action="store_true", help="disarm probe_flap noise")
+    p_fail.add_argument("--out", default="", help="write BENCH_failover.json here")
+    p_fail.set_defaults(func=cmd_failover)
     return parser
 
 

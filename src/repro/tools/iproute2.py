@@ -163,7 +163,7 @@ class IpTool(NetlinkTool):
                 out.append(f"{a['dst']}/{a['dst_len']}{via} dev if{a['oif']} metric {a.get('metric', 0)}")
             return out
         action = args[0]
-        if action not in ("add", "del"):
+        if action not in ("add", "del", "replace"):
             raise ToolError(f"unknown route action {action!r}")
         if len(args) < 2:
             raise ToolError("ip route add PREFIX [via GW] [dev NAME]")
@@ -186,11 +186,16 @@ class IpTool(NetlinkTool):
             elif word == "metric":
                 attrs["metric"] = int(rest[i + 1])
                 i += 2
+            elif word == "nhid":
+                attrs["nhg"] = int(rest[i + 1])
+                i += 2
             elif word == "onlink":
                 i += 1
             else:
                 raise ToolError(f"unknown route option {word!r}")
-        self.request(m.RTM_NEWROUTE if action == "add" else m.RTM_DELROUTE, attrs)
+        if action == "replace":
+            attrs["replace"] = True
+        self.request(m.RTM_DELROUTE if action == "del" else m.RTM_NEWROUTE, attrs)
         return []
 
     # ----------------------------------------------------------------- neigh

@@ -1,0 +1,241 @@
+"""The anycast fleet: spray fairness, failover, draining, health probing,
+partitions, and per-kernel conservation under router loss."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import AnycastFleet, HealthMonitor
+from repro.kernel.fib import POLICY_MODN
+from repro.testing import faults
+
+FLOWS = list(range(64))
+
+
+def warmed_fleet(policy="resilient", num_routers=4, rounds=3, platform="linuxfp"):
+    fleet = AnycastFleet(num_routers=num_routers, policy=policy, platform=platform)
+    monitor = HealthMonitor(fleet)
+    for _ in range(rounds):
+        fleet.inject(FLOWS)
+        monitor.tick(fleet.clock.now_ns)
+        fleet.tick()
+    return fleet, monitor
+
+
+def settle_detection(fleet, monitor, rounds=8):
+    for _ in range(rounds):
+        fleet.tick(advance_ns=50_000_000)
+        monitor.tick(fleet.clock.now_ns)
+
+
+class TestSpray:
+    def test_every_router_serves_flows(self):
+        fleet, _ = warmed_fleet()
+        dist = Counter(fleet.serving.values())
+        assert set(dist) == {0, 1, 2, 3}
+        assert min(dist.values()) >= len(FLOWS) // 8  # roughly fair
+
+    def test_flow_affinity_is_stable(self):
+        fleet, monitor = warmed_fleet()
+        before = fleet.snapshot_serving()
+        for _ in range(3):
+            fleet.inject(FLOWS)
+            monitor.tick(fleet.clock.now_ns)
+        assert fleet.snapshot_serving() == before  # no event: nothing moves
+
+    def test_all_packets_accounted(self):
+        fleet, _ = warmed_fleet()
+        assert fleet.delivered == 3 * len(FLOWS)
+        assert fleet.conserved()
+
+    def test_gateways_run_fast_paths(self):
+        fleet, _ = warmed_fleet()
+        for member in fleet.members:
+            assert member.controller is not None
+            assert member.controller.deployer.deployed["eth0"].current is not None
+
+    def test_plain_linux_platform_works_too(self):
+        fleet, _ = warmed_fleet(platform="linux")
+        assert fleet.delivered == 3 * len(FLOWS)
+        assert fleet.observer_controller() is None
+
+
+class TestKillFailover:
+    def test_kill_detected_and_weighted_out(self):
+        fleet, monitor = warmed_fleet()
+        fleet.kill_router(2)
+        settle_detection(fleet, monitor)
+        assert monitor.up == [True, True, False, True]
+        assert fleet.group.buckets_owned(fleet.members[2].ip) == 0
+        kinds = [i.kind for i in fleet.observer_controller().incidents]
+        assert "router-offline" in kinds
+
+    def test_resilient_moves_only_victim_flows(self):
+        fleet, monitor = warmed_fleet()
+        before = fleet.snapshot_serving()
+        fleet.kill_router(0)
+        settle_detection(fleet, monitor)
+        for _ in range(3):
+            fleet.inject(FLOWS)
+            monitor.tick(fleet.clock.now_ns)
+        after = fleet.snapshot_serving()
+        moved = {f for f in before if before[f] != after[f]}
+        assert moved == {f for f in before if before[f] == 0}
+
+    def test_modn_moves_most_flows(self):
+        fleet, monitor = warmed_fleet(policy=POLICY_MODN)
+        before = fleet.snapshot_serving()
+        fleet.kill_router(0)
+        settle_detection(fleet, monitor)
+        for _ in range(3):
+            fleet.inject(FLOWS)
+            monitor.tick(fleet.clock.now_ns)
+        after = fleet.snapshot_serving()
+        survivors = [f for f in before if before[f] != 0]
+        disrupted = [f for f in survivors if before[f] != after[f]]
+        assert len(disrupted) / len(survivors) >= 0.5
+
+    def test_blind_spot_blackholes_are_counted_and_conserved(self):
+        fleet, monitor = warmed_fleet()
+        fleet.kill_router(1)
+        fleet.inject(FLOWS)  # before detection: victim's share vanishes
+        victim_share = sum(1 for r in fleet.serving.values() if r == 1)
+        assert fleet.blackholed[1] > 0
+        assert victim_share > 0  # stale attribution, not delivery
+        assert fleet.conserved()
+
+    def test_revive_weights_back_in(self):
+        fleet, monitor = warmed_fleet()
+        fleet.kill_router(3)
+        settle_detection(fleet, monitor)
+        assert not monitor.up[3]
+        fleet.revive_router(3)
+        settle_detection(fleet, monitor)
+        assert monitor.up[3]
+        assert fleet.group.buckets_owned(fleet.members[3].ip) > 0
+        kinds = [i.kind for i in fleet.observer_controller().incidents]
+        assert "router-online" in kinds
+        # traffic flows through the revived router again
+        fleet.serving.clear()
+        fleet.inject(FLOWS)
+        assert 3 in set(fleet.serving.values())
+        assert fleet.conserved()
+
+    def test_observer_skips_dead_routers(self):
+        fleet, monitor = warmed_fleet()
+        fleet.kill_router(0)
+        assert fleet.observer_controller() is fleet.members[1].controller
+
+
+class TestDrain:
+    def test_drain_disrupts_nothing_while_flows_live(self):
+        fleet, monitor = warmed_fleet()
+        before = fleet.snapshot_serving()
+        fleet.drain_router(2)
+        for _ in range(4):
+            fleet.inject(FLOWS)
+            monitor.tick(fleet.clock.now_ns)
+        assert fleet.snapshot_serving() == before
+
+    def test_drain_completes_once_idle(self):
+        fleet, monitor = warmed_fleet()
+        fleet.drain_router(2)
+        for _ in range(10):  # traffic stopped: buckets idle out
+            fleet.tick(advance_ns=100_000_000)
+            monitor.tick(fleet.clock.now_ns)
+        assert fleet.group.is_drained(fleet.members[2].ip)
+        kinds = [i.kind for i in fleet.observer_controller().incidents]
+        assert "router-drain" in kinds and "router-drained" in kinds
+
+    def test_new_flows_avoid_drained_router(self):
+        # bucket-grained hashing: new flows may still land in a draining
+        # member's *warm* buckets, but once those idle out and migrate, no
+        # new flow can reach it
+        fleet, monitor = warmed_fleet()
+        fleet.drain_router(1)
+        for _ in range(5):
+            fleet.tick(advance_ns=100_000_000)
+            monitor.tick(fleet.clock.now_ns)
+        assert fleet.group.is_drained(fleet.members[1].ip)
+        fleet.serving.clear()
+        fleet.inject([f + 500 for f in range(48)])
+        assert 1 not in set(fleet.serving.values())
+
+    def test_undrain_restores_service(self):
+        fleet, monitor = warmed_fleet()
+        fleet.drain_router(1)
+        for _ in range(10):
+            fleet.tick(advance_ns=100_000_000)
+            monitor.tick(fleet.clock.now_ns)
+        fleet.undrain_router(1)
+        for _ in range(5):
+            fleet.tick(advance_ns=100_000_000)
+            monitor.tick(fleet.clock.now_ns)
+        assert fleet.group.buckets_owned(fleet.members[1].ip) > 0
+
+
+class TestProbing:
+    def test_single_probe_flap_does_not_flap_the_route(self):
+        fleet, monitor = warmed_fleet()
+        with faults.injected(seed=5) as inj:
+            inj.arm("probe_flap", count=1, match="gw2")
+            settle_detection(fleet, monitor, rounds=6)
+        assert monitor.up == [True] * 4  # debounce absorbed the miss
+        assert monitor.probes_missed >= 1
+        kinds = [i.kind for i in fleet.observer_controller().incidents]
+        assert "router-offline" not in kinds
+
+    def test_partition_weights_out_without_packet_loss(self):
+        fleet, monitor = warmed_fleet()
+        with faults.injected(seed=5) as inj:
+            inj.arm("partition", match="gw1")
+            settle_detection(fleet, monitor, rounds=6)
+            assert not monitor.up[1]
+            # data plane still forwards: re-spray moves flows, loses nothing
+            fleet.inject(FLOWS)
+        assert fleet.blackholed == [0, 0, 0, 0]
+        assert fleet.conserved()
+        assert 1 not in set(fleet.serving.values())
+
+    def test_detect_mult_is_respected(self):
+        fleet, monitor = warmed_fleet()
+        fleet.kill_router(0)
+        # fewer probe rounds than detect_mult: still considered up
+        monitor._probe_round(fleet.clock.now_ns)
+        monitor._probe_round(fleet.clock.now_ns)
+        assert monitor.up[0]
+        monitor._probe_round(fleet.clock.now_ns)
+        assert not monitor.up[0]
+
+    def test_monitor_reports_state(self):
+        fleet, monitor = warmed_fleet()
+        state = monitor.to_dict()
+        assert state["detect_mult"] == 3
+        assert state["probes_sent"] > 0
+        assert state["up"] == [True] * 4
+
+
+class TestClusterFaultSites:
+    def test_cluster_sites_are_registered(self):
+        assert faults.CLUSTER_SITES <= set(faults.SITES)
+        for site in faults.CLUSTER_SITES:
+            assert site not in faults.RAISE_SITES
+
+    def test_arm_everything_skips_cluster_sites(self):
+        inj = faults.FaultInjector(0)
+        inj.arm_everything(probability=1.0, include_data_plane=True)
+        assert not [a for a in inj._arms if a.site in faults.CLUSTER_SITES]
+
+    def test_cluster_site_actions_validated(self):
+        inj = faults.FaultInjector(0)
+        with pytest.raises(ValueError):
+            inj.arm("router_kill", action="drop")
+        arm = inj.arm("router_kill")
+        assert arm.action == "kill"
+
+    def test_kill_router_records_in_chaos_ledger(self):
+        fleet, monitor = warmed_fleet()
+        with faults.injected(seed=1) as inj:
+            inj.arm("router_kill", count=1)
+            fleet.kill_router(2)
+        assert inj.fired_at("router_kill")

@@ -1,0 +1,335 @@
+"""ECMP multipath: resilient consistent hashing vs the mod-N baseline.
+
+The tentpole promise, measured at the unit level: removing one of N
+members moves ~1/N of the bucket table under the resilient policy and
+almost everything under mod-N; draining members keep their active
+buckets; every group mutation bumps the FIB generation so the flow cache
+can never serve a stale next hop.
+"""
+
+import pytest
+
+from repro.core import Controller
+from repro.kernel import Kernel
+from repro.kernel.fib import (
+    POLICY_MODN,
+    POLICY_RESILIENT,
+    Fib,
+    NextHop,
+    NexthopGroup,
+    Route,
+    RouteError,
+)
+from repro.measure.topology import LineTopology
+from repro.netsim.addresses import ipv4, prefix
+from repro.netsim.packet import make_udp
+
+IDLE_NS = 1_000_000_000
+
+
+def hops(n, base_oif=1):
+    return [NextHop(oif=base_oif + k, gateway=ipv4(f"10.1.{k}.2")) for k in range(n)]
+
+
+def group(n=4, policy=POLICY_RESILIENT, num_buckets=64, **kw):
+    return NexthopGroup(1, hops(n), policy=policy, num_buckets=num_buckets, **kw)
+
+
+class TestGroupBasics:
+    def test_needs_members(self):
+        with pytest.raises(RouteError):
+            NexthopGroup(1, [])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(RouteError):
+            NexthopGroup(1, hops(2), policy="rendezvous")
+
+    def test_rejects_duplicate_gateways(self):
+        with pytest.raises(RouteError):
+            NexthopGroup(1, hops(2) + [NextHop(oif=9, gateway=ipv4("10.1.0.2"))])
+
+    def test_rejects_fewer_buckets_than_members(self):
+        with pytest.raises(RouteError):
+            NexthopGroup(1, hops(4), num_buckets=2)
+
+    def test_every_flow_gets_a_member(self):
+        g = group()
+        owners = {g.select(h).gateway for h in range(512)}
+        assert owners == set(g.member_gateways())
+
+    def test_buckets_are_fairly_shared(self):
+        g = group(n=4, num_buckets=64)
+        counts = [g.buckets_owned(gw) for gw in g.member_gateways()]
+        assert sum(counts) == 64
+        assert max(counts) - min(counts) <= 1
+
+    def test_weights_skew_bucket_shares(self):
+        nexthops = hops(2)
+        heavy = NextHop(oif=nexthops[0].oif, gateway=nexthops[0].gateway, weight=3)
+        g = NexthopGroup(1, [heavy, nexthops[1]], num_buckets=64)
+        assert g.buckets_owned(heavy.gateway) == 48  # 3/4 of 64
+        assert g.buckets_owned(nexthops[1].gateway) == 16
+
+
+class TestChurn:
+    def test_resilient_failure_moves_only_the_dead_share(self):
+        g = group(n=4, num_buckets=128)
+        before = g.owner_map()
+        dead = g.member_gateways()[1]
+        g.set_alive(dead, False)
+        after = g.owner_map()
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        # exactly the dead member's buckets moved, nothing else
+        assert moved == sum(1 for owner in before if owner == dead)
+        assert g.buckets_owned(dead) == 0
+
+    def test_modn_failure_renumbers_most_flows(self):
+        g = group(n=4, policy=POLICY_MODN)
+        before = {h: g.select(h).gateway for h in range(256)}
+        g.set_alive(g.member_gateways()[1], False)
+        after = {h: g.select(h).gateway for h in range(256)}
+        moved = sum(1 for h in before if before[h] != after[h])
+        assert moved / len(before) >= 0.5
+
+    def test_recovery_restores_the_original_map(self):
+        g = group(n=4, num_buckets=128)
+        before = g.owner_map()
+        gw = g.member_gateways()[2]
+        g.set_alive(gw, False)
+        g.set_alive(gw, True)
+        # the returning member only takes back idle buckets — with no
+        # traffic all buckets are idle, so the map converges to fair again
+        assert g.buckets_owned(gw) == 32
+
+    def test_all_members_dead_selects_none(self):
+        g = group(n=2)
+        for gw in g.member_gateways():
+            g.set_alive(gw, False)
+        assert g.select(123) is None
+
+    def test_select_survives_stale_table(self):
+        """A member can die between rebalances; select must lazily repair."""
+        g = group(n=2, num_buckets=8)
+        victim = g.member_gateways()[0]
+        # mark dead directly (no rebalance yet), as a crash would
+        g._member_for(victim).alive = False
+        hop = g.select(0)
+        assert hop is not None and hop.gateway != victim
+
+
+class TestDraining:
+    def test_draining_member_keeps_active_buckets(self):
+        g = group(n=4, num_buckets=64, idle_timer_ns=IDLE_NS)
+        victim = g.member_gateways()[0]
+        # traffic keeps every one of the victim's buckets warm
+        warm = [h for h in range(256) if g.select(h, now_ns=0).gateway == victim]
+        g.set_draining(victim, True, now_ns=1)
+        for h in warm:
+            assert g.select(h, now_ns=2).gateway == victim  # flows finish in place
+        assert not g.is_drained(victim)
+
+    def test_new_flows_avoid_draining_member(self):
+        g = group(n=4, num_buckets=64, idle_timer_ns=IDLE_NS)
+        victim = g.member_gateways()[0]
+        g.set_draining(victim, True, now_ns=0)
+        g.maintain(now_ns=IDLE_NS + 1)  # all buckets idle: they migrate
+        assert g.is_drained(victim)
+        owners = {g.select(h, now_ns=IDLE_NS + 2).gateway for h in range(256)}
+        assert victim not in owners
+
+    def test_drain_completes_when_flows_go_idle(self):
+        g = group(n=4, num_buckets=64, idle_timer_ns=IDLE_NS)
+        victim = g.member_gateways()[0]
+        warm = [h for h in range(256) if g.select(h, now_ns=0).gateway == victim]
+        g.set_draining(victim, True, now_ns=1)
+        assert g.select(warm[0], now_ns=2).gateway == victim
+        g.maintain(now_ns=IDLE_NS * 3)  # traffic stopped: buckets idle out
+        assert g.is_drained(victim)
+
+    def test_undrain_rejoins(self):
+        g = group(n=4, num_buckets=64, idle_timer_ns=IDLE_NS)
+        victim = g.member_gateways()[0]
+        g.set_draining(victim, True, now_ns=0)
+        g.maintain(now_ns=IDLE_NS + 1)
+        g.set_draining(victim, False, now_ns=IDLE_NS + 2)
+        g.maintain(now_ns=IDLE_NS * 2 + 3)
+        assert g.buckets_owned(victim) == 16
+
+
+class TestMembershipOps:
+    def test_add_nexthop_takes_a_fair_share(self):
+        g = group(n=3, num_buckets=60)
+        g.add_nexthop(NextHop(oif=9, gateway=ipv4("10.1.9.2")))
+        assert g.buckets_owned("10.1.9.2") == 15
+
+    def test_remove_nexthop_moves_only_its_buckets(self):
+        g = group(n=4, num_buckets=128)
+        before = g.owner_map()
+        victim = g.member_gateways()[3]
+        g.remove_nexthop(victim)
+        after = g.owner_map()
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        assert moved == sum(1 for owner in before if owner == victim)
+
+    def test_remove_unknown_raises(self):
+        g = group(n=2)
+        with pytest.raises(RouteError):
+            g.remove_nexthop("10.99.99.99")
+
+
+class TestFibIntegration:
+    def fib_with_group(self, policy=POLICY_RESILIENT):
+        fib = Fib()
+        fib.nexthop_group_add(NexthopGroup(7, hops(4), policy=policy))
+        fib.add(Route(prefix=prefix("10.200.0.0/16"), oif=0, nhg=7))
+        return fib
+
+    def test_multipath_route_resolves_per_flow(self):
+        fib = self.fib_with_group()
+        route = fib.lookup("10.200.1.1")
+        assert route is not None and route.is_multipath
+        resolved = {fib.resolve(route, h).gateway for h in range(64)}
+        assert len(resolved) == 4
+
+    def test_resolve_single_path_is_passthrough(self):
+        fib = Fib()
+        route = Route(prefix=prefix("10.0.0.0/8"), oif=1, gateway=ipv4("10.0.0.1"))
+        fib.add(route)
+        assert fib.resolve(route, 5) is route
+
+    def test_resolve_missing_group_is_fib_miss(self):
+        fib = Fib()
+        fib.add(Route(prefix=prefix("10.0.0.0/8"), oif=0, nhg=99))
+        assert fib.resolve(fib.lookup("10.0.0.1"), 5) is None
+
+    def test_group_mutations_bump_generation(self):
+        fib = self.fib_with_group()
+        g = fib.nexthop_group(7)
+        for mutate in (
+            lambda: g.set_alive("10.1.0.2", False),
+            lambda: g.set_alive("10.1.0.2", True),
+            lambda: g.set_draining("10.1.1.2", True),
+            lambda: g.add_nexthop(NextHop(oif=9, gateway=ipv4("10.1.9.2"))),
+            lambda: g.remove_nexthop("10.1.9.2"),
+        ):
+            gen = fib.gen
+            mutate()
+            assert fib.gen > gen, "flow cache would have served a stale hop"
+
+    def test_group_del_bumps_and_detaches(self):
+        fib = self.fib_with_group()
+        gen = fib.gen
+        g = fib.nexthop_group_del(7)
+        assert fib.gen > gen
+        gen = fib.gen
+        g.set_alive("10.1.0.2", False)
+        assert fib.gen == gen  # detached: no more callbacks
+
+    def test_duplicate_group_id_rejected(self):
+        fib = self.fib_with_group()
+        with pytest.raises(RouteError):
+            fib.nexthop_group_add(NexthopGroup(7, hops(2)))
+
+
+class TestKernelApi:
+    def test_route_add_requires_existing_group(self):
+        from repro.kernel.kernel import DeviceError
+
+        kernel = Kernel("r")
+        with pytest.raises(DeviceError):
+            kernel.route_add("10.9.0.0/16", nhg=3)
+
+    def test_nexthop_group_lifecycle(self):
+        kernel = Kernel("r")
+        kernel.nexthop_group_add(3, hops(2))
+        kernel.route_add("10.9.0.0/16", nhg=3)
+        route = kernel.fib.lookup("10.9.1.1")
+        assert route.nhg == 3
+        kernel.nexthop_group_del(3)
+        assert kernel.fib.nexthop_group(3) is None
+
+    def test_route_replace_swaps_next_hop(self):
+        topo = LineTopology()
+        topo.install_prefixes(2)
+        gen = topo.dut.fib.gen
+        topo.dut.route_replace("10.100.0.0/16", via="10.0.1.2")
+        assert topo.dut.fib.gen > gen
+        assert topo.dut.fib.lookup("10.100.0.1").gateway == ipv4("10.0.1.2")
+
+    def test_route_replace_creates_when_absent(self):
+        topo = LineTopology()
+        topo.dut.route_replace("10.200.0.0/16", via="10.0.2.2")
+        assert topo.dut.fib.lookup("10.200.0.1") is not None
+
+    def test_route_add_still_rejects_duplicates(self):
+        topo = LineTopology()
+        topo.install_prefixes(1)
+        with pytest.raises(RouteError):
+            topo.dut.route_add("10.100.0.0/16", via="10.0.1.2")
+
+
+class TestStaleRouteRegression:
+    """Satellite: replace/delete must invalidate cached forwarding state —
+    the next packet follows the *new* FIB, never a stale cached hop."""
+
+    def cached_router(self):
+        topo = LineTopology()
+        topo.install_prefixes(4)
+        controller = Controller(topo.dut, hook="xdp", flow_cache=True)
+        controller.start()
+        topo.prewarm_neighbors()
+        out = []
+        topo.sink_eth.nic.attach(lambda frame, q: out.append(frame))
+        return topo, out
+
+    def send(self, topo, flow=0):
+        frame = make_udp(
+            topo.src_eth.mac,
+            topo.dut_in.mac,
+            "10.0.1.2",
+            topo.flow_destination(flow, 4),
+            sport=1234,
+            dport=53,
+        ).to_bytes()
+        topo.dut_in.nic.receive_from_wire(frame)
+
+    def test_route_replace_invalidates_cached_flow(self):
+        topo, out = self.cached_router()
+        cache = topo.dut.flow_cache
+        self.send(topo)
+        self.send(topo)
+        assert cache.stats.hits["xdp"] == 1
+        delivered = len(out)
+        # replace the covering prefix to point back at the source side: the
+        # cached "forward to sink" decision is now wrong
+        topo.dut.route_replace("10.100.0.0/16", via="10.0.1.2")
+        self.send(topo)
+        assert len(out) == delivered  # NOT delivered to the sink anymore
+        assert any(r.startswith("gen:fib") for r in cache.stats.invalidations)
+
+    def test_route_del_invalidates_to_no_route(self):
+        topo, out = self.cached_router()
+        self.send(topo)
+        self.send(topo)
+        delivered = len(out)
+        drops_before = topo.dut.stack.drops.get("no_route", 0)
+        topo.dut.route_del("10.100.0.0/16")
+        self.send(topo)
+        assert len(out) == delivered
+        assert topo.dut.stack.drops.get("no_route", 0) == drops_before + 1
+
+    def test_iproute2_replace_and_nhid(self):
+        from repro.tools import ip
+
+        kernel = Kernel("r")
+        dev = kernel.add_physical("eth0")
+        kernel.set_link("eth0", True)
+        kernel.add_address("eth0", "10.1.0.1/24")
+        kernel.nexthop_group_add(5, hops(2))
+        ip(kernel, "route add 10.50.0.0/16 nhid 5")
+        assert kernel.fib.lookup("10.50.0.1").nhg == 5
+        ip(kernel, "route replace 10.50.0.0/16 via 10.1.0.2")
+        route = kernel.fib.lookup("10.50.0.1")
+        assert route.nhg is None and route.gateway == ipv4("10.1.0.2")
+        ip(kernel, "route del 10.50.0.0/16")
+        assert kernel.fib.lookup("10.50.0.1") is None

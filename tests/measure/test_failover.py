@@ -1,0 +1,139 @@
+"""The failover scorecard: the PR's acceptance criteria, as tests.
+
+Seeded router-kill chaos across >= 3 seeds with a 4-router fleet must
+show consistent hashing disrupting at most 1/N + 10 % of established
+flows while the mod-N baseline disrupts at least half; graceful drains
+disrupt none; every kernel's conservation ledger settles.
+"""
+
+import json
+
+import pytest
+
+from repro.kernel.fib import POLICY_MODN, POLICY_RESILIENT
+from repro.measure.failover import (
+    FailoverConfig,
+    run_failover,
+    run_scorecard,
+    write_report,
+)
+
+SEEDS = [7, 19, 42]
+N = 4
+
+
+def run(seed, event="kill", policy=POLICY_RESILIENT, chaos=True):
+    return run_failover(
+        FailoverConfig(seed=seed, num_routers=N, policy=policy, event=event, chaos=chaos)
+    )
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resilient_kill_within_bound(self, seed):
+        report = run(seed)
+        assert report.detected
+        assert report.established > 0
+        assert report.disrupted_fraction <= 1.0 / N + 0.10
+        assert report.conserved
+        assert report.ok
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_modn_kill_disrupts_most(self, seed):
+        report = run(seed, policy=POLICY_MODN)
+        assert report.detected
+        assert report.disrupted_fraction >= 0.5
+        assert report.conserved
+        assert report.ok
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_drain_disrupts_none(self, seed):
+        report = run(seed, event="drain")
+        assert report.disrupted == 0
+        assert report.drained
+        assert report.conserved
+        assert report.ok
+
+    def test_partition_detects_without_loss(self):
+        report = run(SEEDS[0], event="partition")
+        assert report.detected
+        assert report.blackholed == 0
+        assert report.disrupted_fraction <= 1.0 / N + 0.10
+        assert report.ok
+
+    def test_ledgers_settle_per_kernel(self):
+        report = run(SEEDS[0])
+        hosts = set(report.conservation)
+        assert {"spine", "sink", "gw0", "gw1", "gw2", "gw3"} <= hosts
+        for host, entry in report.conservation.items():
+            assert entry["conserved"], f"{host} leaked packets"
+
+
+class TestMechanics:
+    def test_runs_are_deterministic(self):
+        a = run(SEEDS[1]).to_dict()
+        b = run(SEEDS[1]).to_dict()
+        assert a == b
+
+    def test_detection_is_bfd_fast(self):
+        report = run(SEEDS[0])
+        # 50 ms probes x 3 misses: detection lands within ~10 probe periods
+        assert report.detection_ns is not None
+        assert report.detection_ns <= 500_000_000
+
+    def test_kill_blackholes_are_visible(self):
+        report = run(SEEDS[0])
+        assert report.blackholed > 0  # the BFD blind spot is honest
+
+    def test_incidents_flow_through_controller(self):
+        report = run(SEEDS[0])
+        assert report.incidents_by_kind.get("router-offline", 0) >= 1
+
+    def test_chaos_mode_records_fault_firings(self):
+        report = run(SEEDS[0], chaos=True)
+        assert report.faults_fired.get("router_kill", 0) == 1
+
+    def test_bad_event_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverConfig(event="meteor")
+
+
+class TestScorecard:
+    def test_scorecard_passes_and_writes_artifact(self, tmp_path):
+        payload = run_scorecard(SEEDS, num_routers=N, num_flows=64)
+        assert payload["all_ok"]
+        summary = payload["summary"]
+        assert summary["resilient_kill_max_fraction"] <= summary["resilient_threshold"]
+        assert summary["modn_kill_min_fraction"] >= summary["modn_threshold"]
+        assert summary["drain_max_fraction"] == 0.0
+        assert summary["all_conserved"]
+        out = tmp_path / "BENCH_failover.json"
+        write_report(payload, str(out))
+        loaded = json.loads(out.read_text())
+        assert loaded["benchmark"] == "failover"
+        assert len(loaded["runs"]) == len(SEEDS) * 4
+
+    def test_cli_gates_on_thresholds(self, tmp_path, monkeypatch):
+        from repro.tools.fpmtool import main
+
+        out = tmp_path / "BENCH_failover.json"
+        code = main(
+            ["failover", "--seeds", "7", "--flows", "64", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_cli_exits_nonzero_when_threshold_fails(self, monkeypatch):
+        # sabotage the threshold computation so a passing run "fails"
+        import repro.measure.failover as failover_mod
+        from repro.tools.fpmtool import main
+
+        real = failover_mod.run_scorecard
+
+        def rigged(seeds, **kw):
+            payload = real(seeds, **kw)
+            payload["all_ok"] = False
+            return payload
+
+        monkeypatch.setattr(failover_mod, "run_scorecard", rigged)
+        assert main(["failover", "--seeds", "7", "--flows", "32"]) == 1
